@@ -1,0 +1,65 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These have no direct counterpart in the paper's figures; they isolate the
+effect of individual design decisions inside PASS:
+
+* the leaf partitioner (ADP vs equal-depth vs AQP++-style hill climbing);
+* the 0-variance MCF rule for AVG queries (Section 3.4);
+* the per-leaf sample allocation policy under a bounded storage budget;
+* the optimization sample size ``m`` driving the ADP partitioner.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import (
+    ablation_opt_sample_size,
+    ablation_partitioners,
+    ablation_sample_allocation,
+    ablation_zero_variance_rule,
+)
+
+
+def test_ablation_partitioners(benchmark, scale):
+    run_once(
+        benchmark,
+        ablation_partitioners,
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        n_partitions=scale["n_partitions"],
+        sample_rate=scale["sample_rate"],
+    )
+
+
+def test_ablation_zero_variance_rule(benchmark, scale):
+    run_once(
+        benchmark,
+        ablation_zero_variance_rule,
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        n_partitions=scale["n_partitions"],
+        sample_rate=scale["sample_rate"],
+    )
+
+
+def test_ablation_sample_allocation(benchmark, scale):
+    run_once(
+        benchmark,
+        ablation_sample_allocation,
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        n_partitions=scale["n_partitions"],
+        sample_rate=scale["sample_rate"],
+    )
+
+
+def test_ablation_opt_sample_size(benchmark, scale):
+    run_once(
+        benchmark,
+        ablation_opt_sample_size,
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        n_partitions=scale["n_partitions"],
+        sample_rate=scale["sample_rate"],
+    )

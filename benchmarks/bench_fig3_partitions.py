@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 3: median relative error vs number of partitions.
+
+Paper reference: Figure 3 — 2000 random SUM queries, 0.5% sample rate, the
+number of partitions varied from 4 to 128 on the three datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import figure3_error_vs_partitions
+
+
+def test_figure3_error_vs_partitions(benchmark, scale):
+    run_once(
+        benchmark,
+        figure3_error_vs_partitions,
+        partition_counts=scale["partition_counts"],
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        sample_rate=scale["sample_rate"],
+    )

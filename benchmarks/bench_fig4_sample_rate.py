@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 4: median relative error vs sample rate.
+
+Paper reference: Figure 4 — 2000 random SUM queries, 64 partitions, the
+sample rate varied from 10% to 100% on the three datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import figure4_error_vs_sample_rate
+
+
+def test_figure4_error_vs_sample_rate(benchmark, scale):
+    run_once(
+        benchmark,
+        figure4_error_vs_sample_rate,
+        sample_rates=scale["sample_rates"],
+        n_rows=scale["n_rows_sweep"],
+        n_queries=scale["n_queries"],
+        n_partitions=scale["n_partitions"],
+    )

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 5: median CI ratio vs sample rate.
+
+Paper reference: Figure 5 — the confidence-interval ratio counterpart of
+Figure 4 (same workload, same sweeps).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import figure5_ci_vs_sample_rate
+
+
+def test_figure5_ci_vs_sample_rate(benchmark, scale):
+    run_once(
+        benchmark,
+        figure5_ci_vs_sample_rate,
+        sample_rates=scale["sample_rates"],
+        n_rows=scale["n_rows_sweep"],
+        n_queries=scale["n_queries"],
+        n_partitions=scale["n_partitions"],
+    )

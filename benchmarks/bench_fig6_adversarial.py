@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 6: ADP vs EQ partitioning on adversarial data.
+
+Paper reference: Figure 6 — median CI ratio of the approximate-DP (ADP) and
+equal-depth (EQ) partitioners on the synthetic adversarial dataset, for
+random queries over the whole dataset and for challenging queries confined to
+the high-variance tail.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import figure6_adp_vs_eq_adversarial
+
+
+def test_figure6_adp_vs_eq_adversarial(benchmark, scale):
+    run_once(
+        benchmark,
+        figure6_adp_vs_eq_adversarial,
+        partition_counts=scale["partition_counts"],
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        sample_rate=scale["sample_rate"],
+    )

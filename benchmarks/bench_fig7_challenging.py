@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 7: ADP vs EQ on challenging real-data queries.
+
+Paper reference: Figure 7 — median CI ratio of ADP vs EQ partitioning on
+challenging queries (drawn from the maximum-variance window) of the Intel,
+Instacart and NYC datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import figure7_adp_vs_eq_real
+
+
+def test_figure7_adp_vs_eq_real(benchmark, scale):
+    run_once(
+        benchmark,
+        figure7_adp_vs_eq_real,
+        partition_counts=scale["partition_counts"],
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        sample_rate=scale["sample_rate"],
+    )

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 8: KD-PASS vs KD-US on 1D-5D query templates.
+
+Paper reference: Figure 8 — median CI ratio of KD-PASS vs KD-US and the
+KD-PASS skip rate on the NYC dataset for query templates of 1 to 5 predicate
+columns (1024 leaves in the paper).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import figure8_multidim
+
+
+def test_figure8_multidim(benchmark, scale):
+    run_once(
+        benchmark,
+        figure8_multidim,
+        n_rows=scale["n_rows"],
+        n_leaves=scale["kd_leaves"],
+        n_queries=scale["n_queries_multidim"],
+        sample_rate=scale["sample_rate"],
+    )

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 9: workload shift with 2-D aggregates.
+
+Paper reference: Figure 9 — the synopsis built for the 2-D query template
+answering the 1D-5D templates; KD-PASS keeps benefiting from data skipping on
+the shared attributes while KD-US degrades.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import figure9_workload_shift
+
+
+def test_figure9_workload_shift(benchmark, scale):
+    run_once(
+        benchmark,
+        figure9_workload_shift,
+        n_rows=scale["n_rows"],
+        n_leaves=scale["kd_leaves"],
+        n_queries=scale["n_queries_multidim"],
+        sample_rate=scale["sample_rate"],
+    )

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Table 1: headline accuracy and construction cost.
+
+Paper reference: Table 1 — median relative error of US / ST / AQP++ /
+PASS-ESS / PASS-BSS2x / PASS-BSS10x over 2000 random COUNT / SUM / AVG
+queries on the Intel, Instacart and NYC datasets, with the mean construction
+cost per approach.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import table1_accuracy
+
+
+def test_table1_accuracy(benchmark, scale):
+    run_once(
+        benchmark,
+        table1_accuracy,
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        sample_rate=scale["sample_rate"],
+        n_partitions=scale["n_partitions"],
+    )

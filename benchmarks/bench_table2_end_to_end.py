@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table 2: end-to-end comparison with VerdictDB / DeepDB.
+
+Paper reference: Table 2 — PASS-BSS1x/2x/10x vs VerdictDB scrambles (10% and
+100%) vs DeepDB models (10% and 100% training data): query latency, storage,
+construction time, and median relative error on the 1-D workloads plus the
+NYC 2D-5D templates.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import table2_end_to_end
+
+
+def test_table2_end_to_end(benchmark, scale):
+    run_once(
+        benchmark,
+        table2_end_to_end,
+        n_rows=scale["n_rows_sweep"],
+        n_queries=scale["n_queries_multidim"],
+        sample_rate=scale["sample_rate"],
+        n_partitions=scale["n_partitions"],
+        kd_leaves=scale["kd_leaves"],
+    )

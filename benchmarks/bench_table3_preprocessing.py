@@ -1,0 +1,23 @@
+"""Benchmark regenerating Table 3: preprocessing cost vs number of partitions.
+
+Paper reference: Table 3 — PASS construction cost, mean / max query latency,
+and median relative error on the NYC dataset for k = 4 ... 128 with the ADP
+partitioner.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import table3_preprocessing_cost
+
+
+def test_table3_preprocessing_cost(benchmark, scale):
+    run_once(
+        benchmark,
+        table3_preprocessing_cost,
+        partition_counts=scale["partition_counts"],
+        n_rows=scale["n_rows"],
+        n_queries=scale["n_queries"],
+        sample_rate=scale["sample_rate"],
+    )

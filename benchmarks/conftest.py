@@ -1,0 +1,73 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+experiment functions take seconds to minutes, so each benchmark runs exactly
+one round (``benchmark.pedantic``) and prints the experiment's sections so the
+numbers land in the benchmark log (``bench_output.txt``).
+
+Scale knobs: the ``BENCH_SCALE`` dictionary below defines the row / query /
+partition counts used by the benchmarks.  They are reduced from the paper's
+sizes (3M–7.7M rows, 2000 queries) so the full suite finishes in minutes; pass
+``--paper-scale`` to pytest to run the original sizes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="Run the benchmarks at the paper's original dataset sizes.",
+    )
+
+
+#: Reduced scale used by default (keeps the whole suite to a few minutes).
+REDUCED_SCALE = {
+    "n_rows": 60_000,
+    "n_rows_sweep": 40_000,
+    "n_queries": 150,
+    "n_queries_multidim": 100,
+    "n_partitions": 64,
+    "kd_leaves": 256,
+    "partition_counts": (4, 8, 16, 32, 64, 128),
+    "sample_rates": (0.1, 0.25, 0.5, 0.75, 1.0),
+    "sample_rate": 0.005,
+}
+
+#: The paper's original experiment scale (hours of runtime in pure Python).
+PAPER_SCALE = {
+    "n_rows": 3_000_000,
+    "n_rows_sweep": 3_000_000,
+    "n_queries": 2_000,
+    "n_queries_multidim": 1_000,
+    "n_partitions": 64,
+    "kd_leaves": 1_024,
+    "partition_counts": (4, 8, 16, 32, 64, 128),
+    "sample_rates": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    "sample_rate": 0.005,
+}
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> dict:
+    """The active scale configuration for this benchmark run."""
+    if request.config.getoption("--paper-scale"):
+        return dict(PAPER_SCALE)
+    return dict(REDUCED_SCALE)
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result

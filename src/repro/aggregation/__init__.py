@@ -1,0 +1,18 @@
+"""Stratified aggregation substrate.
+
+Pre-computed partition statistics (SUM / COUNT / MIN / MAX per partition,
+Section 2.3), prefix-sum indexes used by the partitioning optimizers, and the
+pure stratified-aggregation synopsis with deterministic hard bounds.
+"""
+
+from repro.aggregation.partition import PartitionStats, compute_partition_stats
+from repro.aggregation.prefix import PrefixSums
+from repro.aggregation.strat_agg import HardBounds, StratifiedAggregationSynopsis
+
+__all__ = [
+    "PartitionStats",
+    "compute_partition_stats",
+    "PrefixSums",
+    "HardBounds",
+    "StratifiedAggregationSynopsis",
+]

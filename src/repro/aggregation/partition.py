@@ -1,0 +1,143 @@
+"""Per-partition aggregate statistics.
+
+Every node of a PASS partition tree (and every partition of the stratified
+aggregation baseline) carries the four aggregates the paper precomputes:
+SUM, COUNT, MIN, MAX of the aggregation column over the partition's tuples
+(Section 3.2).  AVG is derived from SUM and COUNT.  The statistics are
+*mergeable*: the statistics of a parent node are exactly the merge of its
+children's statistics, which is what lets the tree be built bottom-up and
+maintained under updates in O(height) time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.aggregates import AggregateType
+
+__all__ = ["PartitionStats", "compute_partition_stats"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """SUM / COUNT / MIN / MAX of the aggregation column over one partition.
+
+    The empty partition is represented by ``count == 0`` with ``sum == 0`` and
+    ``min = +inf``, ``max = -inf`` so that merging with it is the identity.
+    """
+
+    sum: float
+    count: int
+    min: float
+    max: float
+
+    @classmethod
+    def empty(cls) -> "PartitionStats":
+        """Statistics of an empty partition (the merge identity)."""
+        return cls(sum=0.0, count=0, min=math.inf, max=-math.inf)
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "PartitionStats":
+        """Compute the statistics of a partition from its aggregate values."""
+        values = np.asarray(values, dtype=float)
+        if values.shape[0] == 0:
+            return cls.empty()
+        return cls(
+            sum=float(values.sum()),
+            count=int(values.shape[0]),
+            min=float(values.min()),
+            max=float(values.max()),
+        )
+
+    @property
+    def avg(self) -> float:
+        """Mean of the partition's values (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.sum / self.count
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the partition holds no tuples."""
+        return self.count == 0
+
+    @property
+    def has_zero_variance(self) -> bool:
+        """True when every value in the partition is identical.
+
+        This is the trigger for the paper's "0 variance rule" (Section 3.4):
+        for AVG queries a zero-variance partition can be treated as covered
+        even under partial overlap, because any subset has the same mean.
+        """
+        return self.count > 0 and self.min == self.max
+
+    def merge(self, other: "PartitionStats") -> "PartitionStats":
+        """Statistics of the union of two disjoint partitions."""
+        return PartitionStats(
+            sum=self.sum + other.sum,
+            count=self.count + other.count,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    def aggregate(self, agg: AggregateType) -> float:
+        """The value of one aggregate over the whole partition."""
+        agg = AggregateType.parse(agg)
+        if agg == AggregateType.SUM:
+            return self.sum
+        if agg == AggregateType.COUNT:
+            return float(self.count)
+        if agg == AggregateType.AVG:
+            return self.avg
+        if agg == AggregateType.MIN:
+            return self.min if self.count else float("nan")
+        if agg == AggregateType.MAX:
+            return self.max if self.count else float("nan")
+        raise ValueError(f"unsupported aggregate: {agg!r}")
+
+    def add_value(self, value: float) -> "PartitionStats":
+        """Statistics after inserting one tuple with aggregate ``value``."""
+        return PartitionStats(
+            sum=self.sum + value,
+            count=self.count + 1,
+            min=min(self.min, value),
+            max=max(self.max, value),
+        )
+
+    def remove_value(self, value: float) -> "PartitionStats":
+        """Statistics after deleting one tuple with aggregate ``value``.
+
+        MIN / MAX cannot be maintained exactly under deletion without the raw
+        data; the bounds are kept conservative (they may become loose but stay
+        valid), matching the paper's note that heavy updates eventually require
+        re-optimisation.
+        """
+        if self.count == 0:
+            raise ValueError("cannot remove a value from an empty partition")
+        new_count = self.count - 1
+        if new_count == 0:
+            return PartitionStats.empty()
+        return PartitionStats(
+            sum=self.sum - value,
+            count=new_count,
+            min=self.min,
+            max=self.max,
+        )
+
+
+def compute_partition_stats(values: np.ndarray, masks: list[np.ndarray]) -> list[PartitionStats]:
+    """Compute :class:`PartitionStats` for several partitions of one column.
+
+    Parameters
+    ----------
+    values:
+        The aggregation column of the full table.
+    masks:
+        One boolean row mask per partition; partitions are expected to be
+        disjoint but this is not enforced here.
+    """
+    values = np.asarray(values, dtype=float)
+    return [PartitionStats.from_values(values[mask]) for mask in masks]

@@ -1,0 +1,75 @@
+"""Prefix-sum index over a sorted column.
+
+The partitioning optimizers (Section 4.3 and Appendix A) repeatedly need the
+sum, sum of squares, and count of the aggregation column over contiguous rank
+ranges ``[i, j]`` of the table sorted by the predicate column.  Precomputing
+prefix sums makes each such range query O(1), which is what turns the naive
+O(k N^4) dynamic program into the practical variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PrefixSums"]
+
+
+@dataclass(frozen=True)
+class PrefixSums:
+    """O(1) range sums of a value array and its squares.
+
+    The array is indexed by *rank* (position in the sorted order the caller
+    established); ranges are half-open-free: :meth:`range_sum(i, j)` covers the
+    closed index range ``[i, j]``.
+    """
+
+    values: np.ndarray
+    _prefix: np.ndarray
+    _prefix_sq: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "PrefixSums":
+        """Build prefix sums from a 1-D array of values."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1:
+            raise ValueError("PrefixSums expects a one-dimensional array")
+        prefix = np.concatenate([[0.0], np.cumsum(values)])
+        prefix_sq = np.concatenate([[0.0], np.cumsum(values**2)])
+        return cls(values=values, _prefix=prefix, _prefix_sq=prefix_sq)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def _check(self, start: int, end: int) -> None:
+        if start < 0 or end >= len(self) or start > end:
+            raise IndexError(
+                f"invalid range [{start}, {end}] for array of length {len(self)}"
+            )
+
+    def range_count(self, start: int, end: int) -> int:
+        """Number of items in the closed index range ``[start, end]``."""
+        self._check(start, end)
+        return end - start + 1
+
+    def range_sum(self, start: int, end: int) -> float:
+        """Sum of the values in the closed index range ``[start, end]``."""
+        self._check(start, end)
+        return float(self._prefix[end + 1] - self._prefix[start])
+
+    def range_sum_sq(self, start: int, end: int) -> float:
+        """Sum of squared values in the closed index range ``[start, end]``."""
+        self._check(start, end)
+        return float(self._prefix_sq[end + 1] - self._prefix_sq[start])
+
+    def range_mean(self, start: int, end: int) -> float:
+        """Mean of the values in the closed index range ``[start, end]``."""
+        return self.range_sum(start, end) / self.range_count(start, end)
+
+    def range_variance(self, start: int, end: int) -> float:
+        """Population variance of the values in ``[start, end]`` (clamped at 0)."""
+        count = self.range_count(start, end)
+        mean = self.range_sum(start, end) / count
+        variance = self.range_sum_sq(start, end) / count - mean * mean
+        return max(0.0, variance)

@@ -1,0 +1,7 @@
+"""Comparison systems: AQP++, a VerdictDB-style scramble, a DeepDB-style model."""
+
+from repro.baselines.aqp_pp import AQPPlusPlus
+from repro.baselines.deepdb_sim import DeepDBModel
+from repro.baselines.verdictdb_sim import VerdictDBScramble
+
+__all__ = ["AQPPlusPlus", "DeepDBModel", "VerdictDBScramble"]

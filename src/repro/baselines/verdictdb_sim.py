@@ -1,0 +1,171 @@
+"""A VerdictDB-style scramble baseline (Park et al., SIGMOD 2018).
+
+VerdictDB materializes a *scramble*: a pre-drawn uniform sample of the
+original table (optionally the whole table), stored with block identifiers so
+that variational subsampling can estimate errors.  Queries run only against
+the scramble and scale results by the inverse sampling ratio.
+
+This simplified reimplementation keeps the parts the paper's end-to-end
+comparison (Table 2) exercises: scrambles of a configurable ratio, full-scan
+query answering over the scramble with CLT error estimates from subsample
+block variance, and the storage / latency cost profile that follows from
+storing and scanning the scramble.  Join support and the rest of VerdictDB's
+query coverage are out of scope.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult, LAMBDA_99
+
+__all__ = ["VerdictDBScramble"]
+
+
+class VerdictDBScramble:
+    """A scramble-based AQP synopsis.
+
+    Parameters
+    ----------
+    table:
+        Source table.
+    value_column / predicate_columns:
+        Column roles; only these columns are retained in the scramble.
+    scramble_ratio:
+        Fraction of the table stored in the scramble (1.0 reproduces the
+        paper's VerdictDB-100% configuration).
+    n_blocks:
+        Number of subsample blocks used for variance estimation (variational
+        subsampling uses O(sqrt(n)) blocks; a fixed moderate count is enough
+        for the reproduction).
+    rng:
+        Numpy generator or seed.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        value_column: str,
+        predicate_columns: Sequence[str],
+        scramble_ratio: float = 0.1,
+        n_blocks: int = 100,
+        lam: float = LAMBDA_99,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        if not 0.0 < scramble_ratio <= 1.0:
+            raise ValueError("scramble_ratio must be in (0, 1]")
+        if n_blocks <= 1:
+            raise ValueError("n_blocks must be at least 2")
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        start = time.perf_counter()
+        self._value_column = value_column
+        self._predicate_columns = list(predicate_columns)
+        self._population_size = table.n_rows
+        self._ratio = scramble_ratio
+        self._lam = lam
+
+        keep_columns = [value_column] + [
+            column for column in self._predicate_columns if column != value_column
+        ]
+        scramble_size = max(1, int(round(scramble_ratio * table.n_rows)))
+        self._scramble = table.project(keep_columns).sample(scramble_size, generator)
+        self._values = self._scramble.column(value_column).astype(float)
+        self._blocks = generator.integers(0, n_blocks, size=self._scramble.n_rows)
+        self._n_blocks = n_blocks
+        self.build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def scramble_size(self) -> int:
+        """Number of rows stored in the scramble."""
+        return self._scramble.n_rows
+
+    @property
+    def population_size(self) -> int:
+        """Number of rows in the original table."""
+        return self._population_size
+
+    def storage_bytes(self) -> int:
+        """Approximate scramble footprint (columns plus block ids)."""
+        return self._scramble.memory_bytes() + self._blocks.nbytes
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def query(self, query: AggregateQuery, lam: float | None = None) -> AQPResult:
+        """Answer a query by scanning the scramble and scaling by 1 / ratio."""
+        if query.value_column != self._value_column:
+            raise ValueError(
+                f"scramble was built for column {self._value_column!r}, "
+                f"query aggregates {query.value_column!r}"
+            )
+        lam = self._lam if lam is None else lam
+        agg = query.agg
+        predicate = query.predicate
+        if len(predicate) == 0:
+            match_mask = np.ones(self.scramble_size, dtype=bool)
+        else:
+            match_mask = predicate.mask(self._scramble.columns(predicate.columns))
+
+        matched_values = self._values[match_mask]
+        exact_scramble = self._ratio >= 1.0
+        if agg == AggregateType.COUNT:
+            estimate = float(match_mask.sum()) / self._ratio
+        elif agg == AggregateType.SUM:
+            estimate = float(matched_values.sum()) / self._ratio
+        elif agg == AggregateType.AVG:
+            estimate = float(matched_values.mean()) if matched_values.size else float("nan")
+        elif agg == AggregateType.MIN:
+            estimate = float(matched_values.min()) if matched_values.size else float("nan")
+        else:
+            estimate = float(matched_values.max()) if matched_values.size else float("nan")
+
+        if agg in (AggregateType.MIN, AggregateType.MAX):
+            variance = 0.0 if exact_scramble else float("nan")
+        else:
+            variance = 0.0 if exact_scramble else self._block_variance(agg, match_mask)
+        if math.isnan(variance):
+            half_width = float("nan")
+        else:
+            half_width = lam * math.sqrt(max(variance, 0.0))
+        return AQPResult(
+            estimate=estimate,
+            ci_half_width=half_width,
+            variance=variance,
+            tuples_processed=self.scramble_size,
+            tuples_skipped=self._population_size - self.scramble_size,
+            exact=exact_scramble,
+        )
+
+    def _block_variance(self, agg: AggregateType, match_mask: np.ndarray) -> float:
+        """Variance of the estimator from per-block (subsample) estimates."""
+        block_estimates = []
+        block_weight = self._n_blocks / self._ratio
+        for block in range(self._n_blocks):
+            block_mask = self._blocks == block
+            in_block = match_mask & block_mask
+            if agg == AggregateType.COUNT:
+                block_estimates.append(float(in_block.sum()) * block_weight)
+            elif agg == AggregateType.SUM:
+                block_estimates.append(float(self._values[in_block].sum()) * block_weight)
+            else:  # AVG
+                matched = self._values[in_block]
+                if matched.size == 0:
+                    continue
+                block_estimates.append(float(matched.mean()))
+        if len(block_estimates) <= 1:
+            return float("nan")
+        estimates = np.asarray(block_estimates)
+        # Variance of the mean of the (approximately independent) block estimates.
+        return float(np.var(estimates)) / len(block_estimates)

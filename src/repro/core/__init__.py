@@ -1,0 +1,20 @@
+"""The paper's primary contribution: the PASS synopsis and its builder."""
+
+from repro.core.builder import build_leaf_boxes, build_leaf_samples, build_pass
+from repro.core.config import PARTITIONER_CHOICES, PASSConfig
+from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.tree import MCFResult, PartitionNode, PartitionTree
+from repro.core.updates import DynamicPASS
+
+__all__ = [
+    "build_leaf_boxes",
+    "build_leaf_samples",
+    "build_pass",
+    "PARTITIONER_CHOICES",
+    "PASSConfig",
+    "PASSSynopsis",
+    "MCFResult",
+    "PartitionNode",
+    "PartitionTree",
+    "DynamicPASS",
+]

@@ -1,0 +1,304 @@
+"""The PASS synopsis: a partition tree of aggregates plus leaf samples.
+
+Query processing follows Section 3.3 exactly:
+
+1. **Index lookup** — run MCF over the partition tree to split the relevant
+   partitions into fully covered nodes and partially overlapped leaves.
+2. **Partial aggregation** — covered nodes contribute their precomputed
+   aggregates exactly.
+3. **Sample estimation** — each partially overlapped leaf contributes an
+   estimate from its stratified sample (Section 2.2 formulas).
+4. **Results** — the exact and sampled parts add up; only the sampled part
+   carries variance, giving the CLT confidence interval.
+5. **Hard bounds** — the known extrema and cardinalities of the partitions
+   also give deterministic bounds on the answer (Section 2.3), reported
+   alongside the CLT interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregation.partition import PartitionStats
+from repro.aggregation.strat_agg import hard_bounds
+from repro.core.tree import MCFResult, PartitionNode, PartitionTree
+from repro.query.aggregates import AggregateType
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult, LAMBDA_99
+from repro.sampling.estimators import (
+    EstimateWithVariance,
+    ratio_estimate,
+    stratum_count_contribution,
+    stratum_sum_contribution,
+)
+from repro.sampling.stratified import Stratum
+
+__all__ = ["PASSSynopsis"]
+
+
+class PASSSynopsis:
+    """Precomputation-Assisted Stratified Sampling synopsis.
+
+    Parameters
+    ----------
+    tree:
+        Partition tree whose leaves align 1:1 with ``leaf_samples``.
+    leaf_samples:
+        One :class:`~repro.sampling.stratified.Stratum` per tree leaf, in
+        leaf-index order.
+    value_column:
+        The aggregation column the synopsis answers queries about.
+    lam:
+        Default confidence-interval multiplier.
+    zero_variance_rule:
+        Enable the AVG-only MCF shortcut of Section 3.4.
+    with_fpc:
+        Apply finite-population corrections to per-leaf estimates.
+    build_seconds:
+        Wall-clock construction cost recorded by the builder (reported in the
+        cost tables).
+    """
+
+    def __init__(
+        self,
+        tree: PartitionTree,
+        leaf_samples: Sequence[Stratum],
+        value_column: str,
+        lam: float = LAMBDA_99,
+        zero_variance_rule: bool = True,
+        with_fpc: bool = False,
+        build_seconds: float = 0.0,
+    ) -> None:
+        if tree.n_leaves != len(leaf_samples):
+            raise ValueError(
+                f"tree has {tree.n_leaves} leaves but {len(leaf_samples)} samples were given"
+            )
+        self._tree = tree
+        self._leaf_samples = list(leaf_samples)
+        self._value_column = value_column
+        self._lam = lam
+        self._zero_variance_rule = zero_variance_rule
+        self._with_fpc = with_fpc
+        self._population_size = tree.root.stats.count
+        self.build_seconds = build_seconds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> PartitionTree:
+        """The partition tree of precomputed aggregates."""
+        return self._tree
+
+    @property
+    def leaf_samples(self) -> list[Stratum]:
+        """The stratified samples attached to the leaves (leaf-index order)."""
+        return list(self._leaf_samples)
+
+    @property
+    def value_column(self) -> str:
+        """The aggregation column."""
+        return self._value_column
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of leaf partitions."""
+        return self._tree.n_leaves
+
+    @property
+    def population_size(self) -> int:
+        """Number of tuples summarized by the synopsis."""
+        return self._population_size
+
+    @property
+    def sample_size(self) -> int:
+        """Total number of stored sample tuples across all leaves."""
+        return sum(stratum.sample_size for stratum in self._leaf_samples)
+
+    def storage_bytes(self) -> int:
+        """Approximate synopsis footprint: tree aggregates plus leaf samples."""
+        samples = sum(stratum.storage_bytes() for stratum in self._leaf_samples)
+        return self._tree.storage_bytes() + samples
+
+    def replace_leaf_sample(self, leaf_index: int, stratum: Stratum) -> None:
+        """Swap the stratified sample of one leaf (dynamic-update support)."""
+        if not 0 <= leaf_index < len(self._leaf_samples):
+            raise IndexError(f"leaf index {leaf_index} out of range")
+        self._leaf_samples[leaf_index] = stratum
+
+    # ------------------------------------------------------------------
+    # Query processing (Section 3.3)
+    # ------------------------------------------------------------------
+    def lookup(self, query: AggregateQuery) -> MCFResult:
+        """Run the MCF index lookup for a query."""
+        use_zero_variance = (
+            self._zero_variance_rule and query.agg == AggregateType.AVG
+        )
+        return self._tree.minimal_coverage_frontier(
+            query.predicate, zero_variance_rule=use_zero_variance
+        )
+
+    def query(self, query: AggregateQuery, lam: float | None = None) -> AQPResult:
+        """Answer an aggregate query from the synopsis."""
+        if query.value_column != self._value_column:
+            raise ValueError(
+                f"synopsis was built for column {self._value_column!r}, "
+                f"query aggregates {query.value_column!r}"
+            )
+        lam = self._lam if lam is None else lam
+        frontier = self.lookup(query)
+        covered_stats = [node.stats for node in frontier.covered]
+        partial_nodes = list(frontier.partial)
+        partial_stats = [node.stats for node in partial_nodes]
+        bounds = hard_bounds(query.agg, covered_stats, partial_stats)
+
+        processed = sum(
+            self._leaf_samples[node.leaf_index].sample_size for node in partial_nodes
+        )
+        partial_population = sum(node.size for node in partial_nodes)
+        skipped = self._population_size - partial_population
+
+        agg = query.agg
+        if agg in (AggregateType.MIN, AggregateType.MAX):
+            return self._extremum_answer(
+                agg, query, frontier, bounds, processed, skipped
+            )
+        if agg == AggregateType.AVG:
+            estimate = self._avg_estimate(query, frontier)
+        else:
+            estimate = self._sum_count_estimate(agg, query, frontier)
+
+        exact = frontier.is_exact
+        if exact:
+            half_width = 0.0
+            variance = 0.0
+        elif math.isnan(estimate.variance):
+            half_width = float("nan")
+            variance = float("nan")
+        else:
+            variance = estimate.variance
+            half_width = lam * math.sqrt(max(variance, 0.0))
+        return AQPResult(
+            estimate=estimate.estimate,
+            ci_half_width=half_width,
+            variance=variance,
+            hard_lower=bounds.lower,
+            hard_upper=bounds.upper,
+            tuples_processed=processed,
+            tuples_skipped=skipped,
+            exact=exact,
+        )
+
+    def skip_rate(self, query: AggregateQuery) -> float:
+        """Fraction of dataset tuples whose contribution never touches samples."""
+        if self._population_size == 0:
+            return 1.0
+        frontier = self.lookup(query)
+        partial_population = sum(node.size for node in frontier.partial)
+        return 1.0 - partial_population / self._population_size
+
+    # ------------------------------------------------------------------
+    # Estimation pieces
+    # ------------------------------------------------------------------
+    def _covered_sum_count(
+        self, agg: AggregateType, covered: Sequence[PartitionNode]
+    ) -> float:
+        if agg == AggregateType.SUM:
+            return sum(node.stats.sum for node in covered)
+        return float(sum(node.stats.count for node in covered))
+
+    def _partial_contribution(
+        self, agg: AggregateType, query: AggregateQuery, node: PartitionNode
+    ) -> EstimateWithVariance:
+        if node.size == 0:
+            # An empty partition (possible for k-d leaves over sparse regions)
+            # contributes exactly nothing.
+            return EstimateWithVariance(0.0, 0.0)
+        stratum = self._leaf_samples[node.leaf_index]
+        match_mask = stratum.match_mask(query)
+        if agg == AggregateType.SUM:
+            return stratum_sum_contribution(
+                stratum.sample_values(self._value_column),
+                match_mask,
+                node.size,
+                with_fpc=self._with_fpc,
+            )
+        return stratum_count_contribution(
+            match_mask, node.size, with_fpc=self._with_fpc
+        )
+
+    def _sum_count_estimate(
+        self, agg: AggregateType, query: AggregateQuery, frontier: MCFResult
+    ) -> EstimateWithVariance:
+        exact_part = self._covered_sum_count(agg, frontier.covered)
+        total = EstimateWithVariance(exact_part, 0.0)
+        for node in frontier.partial:
+            contribution = self._partial_contribution(agg, query, node)
+            if math.isnan(contribution.variance):
+                # A partial leaf without samples: its contribution is unknown;
+                # fall back to half of its hard-bound width as a conservative
+                # point estimate with unknown variance.
+                stats = node.stats
+                midpoint = 0.5 * (stats.sum if agg == AggregateType.SUM else stats.count)
+                total = EstimateWithVariance(
+                    total.estimate + midpoint, float("nan")
+                )
+                continue
+            total = total + contribution
+        return total
+
+    def _avg_estimate(
+        self, query: AggregateQuery, frontier: MCFResult
+    ) -> EstimateWithVariance:
+        """AVG as the ratio of the SUM and COUNT estimates (delta method)."""
+        numerator = self._sum_count_estimate(AggregateType.SUM, query, frontier)
+        denominator = self._sum_count_estimate(AggregateType.COUNT, query, frontier)
+        if denominator.estimate == 0:
+            return EstimateWithVariance(float("nan"), float("nan"))
+        if frontier.is_exact:
+            return EstimateWithVariance(
+                numerator.estimate / denominator.estimate, 0.0
+            )
+        return ratio_estimate(numerator, denominator)
+
+    def _extremum_answer(
+        self,
+        agg: AggregateType,
+        query: AggregateQuery,
+        frontier: MCFResult,
+        bounds,
+        processed: int,
+        skipped: int,
+    ) -> AQPResult:
+        """MIN / MAX: exact over covered nodes, sample-refined over partial leaves."""
+        candidates: list[float] = []
+        for node in frontier.covered:
+            value = node.stats.max if agg == AggregateType.MAX else node.stats.min
+            if not math.isinf(value):
+                candidates.append(value)
+        for node in frontier.partial:
+            stratum = self._leaf_samples[node.leaf_index]
+            match_mask = stratum.match_mask(query)
+            matched = stratum.sample_values(self._value_column)[match_mask]
+            if matched.shape[0]:
+                candidates.append(
+                    float(matched.max() if agg == AggregateType.MAX else matched.min())
+                )
+        if candidates:
+            estimate = max(candidates) if agg == AggregateType.MAX else min(candidates)
+        else:
+            estimate = float("nan")
+        exact = frontier.is_exact
+        return AQPResult(
+            estimate=estimate,
+            ci_half_width=0.0 if exact else float("nan"),
+            variance=0.0 if exact else float("nan"),
+            hard_lower=bounds.lower,
+            hard_upper=bounds.upper,
+            tuples_processed=processed,
+            tuples_skipped=skipped,
+            exact=exact,
+        )

@@ -1,0 +1,328 @@
+"""The partition tree and the Minimal Coverage Frontier (MCF) algorithm.
+
+A partition tree (Definition 3.1) is a hierarchy of partitions in which every
+child is contained in its parent, siblings are disjoint, and siblings jointly
+cover their parent.  Every node carries the precomputed SUM / COUNT / MIN /
+MAX of its tuples.  The leaves carry (elsewhere, in the PASS synopsis) the
+stratified samples.
+
+The MCF algorithm (Algorithm 1) walks the tree for a query predicate and
+returns the minimal set of nodes that covers the query: internal or leaf
+nodes fully covered by the predicate (answered exactly from their aggregates)
+and leaf nodes partially overlapped (answered from their samples).  Nodes
+disjoint from the predicate are pruned, which is the source of PASS's data
+skipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.aggregation.partition import PartitionStats
+from repro.query.predicate import Box, Interval, RectPredicate, Relation
+
+__all__ = ["PartitionNode", "PartitionTree", "MCFResult"]
+
+
+@dataclass
+class PartitionNode:
+    """One node of a partition tree.
+
+    Attributes
+    ----------
+    box:
+        The node's partitioning condition ``psi``.
+    stats:
+        Precomputed aggregates of the node's tuples (mutable so dynamic
+        updates can maintain them in place).
+    children:
+        Child nodes; empty for leaves.
+    leaf_index:
+        Position of the node in the tree's leaf list when it is a leaf,
+        ``None`` otherwise.  The PASS synopsis uses it to find the stratified
+        sample attached to the leaf.
+    """
+
+    box: Box
+    stats: PartitionStats
+    children: list["PartitionNode"] = field(default_factory=list)
+    leaf_index: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        """Number of dataset tuples in the node's partition."""
+        return self.stats.count
+
+    def iter_subtree(self) -> Iterator["PartitionNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+
+@dataclass(frozen=True)
+class MCFResult:
+    """Outcome of an MCF traversal for one query predicate.
+
+    Attributes
+    ----------
+    covered:
+        Nodes fully covered by the predicate (answered exactly).
+    partial:
+        Leaf nodes partially overlapped by the predicate (answered from
+        samples).
+    nodes_visited:
+        Number of tree nodes examined; the paper's O(gamma log B) cost.
+    """
+
+    covered: tuple[PartitionNode, ...]
+    partial: tuple[PartitionNode, ...]
+    nodes_visited: int
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no partial overlaps remain (the query aligns with the tree)."""
+        return not self.partial
+
+
+class PartitionTree:
+    """A partition tree built bottom-up from a flat leaf partitioning.
+
+    Parameters
+    ----------
+    root:
+        Root node covering the whole dataset.
+    leaves:
+        The leaf nodes in leaf-index order.
+    """
+
+    def __init__(self, root: PartitionNode, leaves: Sequence[PartitionNode]) -> None:
+        self._root = root
+        self._leaves = list(leaves)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build_from_leaves(
+        cls,
+        leaf_boxes: Sequence[Box],
+        leaf_stats: Sequence[PartitionStats],
+        fanout: int = 2,
+    ) -> "PartitionTree":
+        """Build a balanced tree bottom-up by grouping consecutive leaves.
+
+        Leaves are first ordered spatially (lexicographically by the lower
+        bounds of their box intervals) so that siblings are geometrically
+        adjacent and parent bounding boxes stay tight, then grouped ``fanout``
+        at a time level by level until a single root remains.  Parent
+        statistics are the merge of their children's statistics; parent boxes
+        are the bounding box of their children (tight for contiguous 1-D
+        partitions, conservative for k-d leaf sets — either way every tuple of
+        a descendant is inside its ancestors' boxes, which is what the MCF
+        pruning relies on).
+        """
+        if len(leaf_boxes) != len(leaf_stats):
+            raise ValueError("leaf_boxes and leaf_stats must have the same length")
+        if not leaf_boxes:
+            raise ValueError("cannot build a tree without leaves")
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+
+        order = sorted(
+            range(len(leaf_boxes)),
+            key=lambda i: tuple(
+                (column, leaf_boxes[i].interval(column).low)
+                for column in sorted(leaf_boxes[i].columns)
+            ),
+        )
+        leaves = [
+            PartitionNode(box=leaf_boxes[i], stats=leaf_stats[i], leaf_index=i)
+            for i in order
+        ]
+        # Restore leaf_index to the caller's ordering (the sample list order).
+        level: list[PartitionNode] = leaves
+        while len(level) > 1:
+            next_level: list[PartitionNode] = []
+            for start in range(0, len(level), fanout):
+                group = level[start : start + fanout]
+                if len(group) == 1:
+                    next_level.append(group[0])
+                    continue
+                stats = PartitionStats.empty()
+                for node in group:
+                    stats = stats.merge(node.stats)
+                next_level.append(
+                    PartitionNode(
+                        box=_bounding_box( [node.box for node in group] ),
+                        stats=stats,
+                        children=list(group),
+                    )
+                )
+            level = next_level
+        root = level[0]
+        ordered_leaves: list[PartitionNode] = [None] * len(leaf_boxes)  # type: ignore[list-item]
+        for node in leaves:
+            ordered_leaves[node.leaf_index] = node
+        return cls(root=root, leaves=ordered_leaves)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> PartitionNode:
+        """The root node (the whole dataset)."""
+        return self._root
+
+    @property
+    def leaves(self) -> list[PartitionNode]:
+        """Leaf nodes in leaf-index order."""
+        return list(self._leaves)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf partitions."""
+        return len(self._leaves)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes in the tree."""
+        return sum(1 for _ in self._root.iter_subtree())
+
+    @property
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (root alone = 0)."""
+
+        def depth(node: PartitionNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(child) for child in node.children)
+
+        return depth(self._root)
+
+    def validate(self) -> None:
+        """Check the partition-tree invariants of Definition 3.1.
+
+        Raises ``ValueError`` when a parent's statistics are not the merge of
+        its children's or when a child's tuple count exceeds its parent's.
+        """
+        for node in self._root.iter_subtree():
+            if node.is_leaf:
+                continue
+            merged = PartitionStats.empty()
+            for child in node.children:
+                merged = merged.merge(child.stats)
+                if child.stats.count > node.stats.count:
+                    raise ValueError("child partition larger than its parent")
+            if merged.count != node.stats.count or not np.isclose(
+                merged.sum, node.stats.sum
+            ):
+                raise ValueError("parent statistics are not the merge of the children")
+
+    def storage_bytes(self) -> int:
+        """Approximate bytes of the aggregate statistics stored in the tree."""
+        # sum, count, min, max per node, 8 bytes each, plus box bounds.
+        per_node = 4 * 8
+        per_box = sum(
+            2 * 8 for _ in self._root.box.columns
+        )
+        return self.n_nodes * (per_node + per_box)
+
+    # ------------------------------------------------------------------
+    # MCF
+    # ------------------------------------------------------------------
+    def minimal_coverage_frontier(
+        self,
+        predicate: RectPredicate,
+        zero_variance_rule: bool = False,
+    ) -> MCFResult:
+        """Run Algorithm 1 for a query predicate.
+
+        Parameters
+        ----------
+        predicate:
+            The query's rectangular predicate.
+        zero_variance_rule:
+            When True, any partially-overlapped node whose values all coincide
+            (min == max) is treated as covered — valid for AVG queries only
+            (Section 3.4).
+        """
+        covered: list[PartitionNode] = []
+        partial: list[PartitionNode] = []
+        visited = 0
+
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            relation = predicate.relation_to_box(node.box)
+            if relation == Relation.DISJOINT:
+                continue
+            if relation == Relation.COVER:
+                covered.append(node)
+                continue
+            if zero_variance_rule and node.stats.has_zero_variance:
+                covered.append(node)
+                continue
+            if node.is_leaf:
+                partial.append(node)
+                continue
+            stack.extend(node.children)
+        return MCFResult(
+            covered=tuple(covered), partial=tuple(partial), nodes_visited=visited
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance helpers
+    # ------------------------------------------------------------------
+    def leaf_for_point(self, point: dict[str, float]) -> PartitionNode:
+        """The leaf whose box contains the given predicate-column point."""
+        node = self._root
+        while not node.is_leaf:
+            for child in node.children:
+                if all(
+                    child.box.interval(column).contains_value(value)
+                    for column, value in point.items()
+                    if column in child.box
+                ):
+                    node = child
+                    break
+            else:
+                raise KeyError(f"no leaf contains point {point!r}")
+        return node
+
+    def path_to_leaf(self, leaf: PartitionNode) -> list[PartitionNode]:
+        """Root-to-leaf path ending at ``leaf`` (used by dynamic updates)."""
+
+        def find(node: PartitionNode) -> list[PartitionNode] | None:
+            if node is leaf:
+                return [node]
+            for child in node.children:
+                suffix = find(child)
+                if suffix is not None:
+                    return [node] + suffix
+            return None
+
+        path = find(self._root)
+        if path is None:
+            raise KeyError("leaf does not belong to this tree")
+        return path
+
+
+def _bounding_box(boxes: Sequence[Box]) -> Box:
+    """The smallest box containing every box in ``boxes``."""
+    columns = sorted({column for box in boxes for column in box.columns})
+    intervals = {}
+    for column in columns:
+        lows = [box.interval(column).low for box in boxes]
+        highs = [box.interval(column).high for box in boxes]
+        intervals[column] = Interval(min(lows), max(highs))
+    return Box(intervals)

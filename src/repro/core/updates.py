@@ -1,0 +1,176 @@
+"""Dynamic maintenance of a PASS synopsis (Section 4.5).
+
+Insertions and deletions are handled without rebuilding the structure:
+
+* the tuple is routed to its leaf partition by walking the tree;
+* the SUM / COUNT / MIN / MAX statistics of every node on the root-to-leaf
+  path are updated in O(height) time;
+* the leaf's stratified sample is maintained with reservoir sampling, so it
+  stays a uniform sample of the leaf's (growing) population.
+
+After many updates the partitioning may drift away from the optimum the
+builder found; :meth:`DynamicPASS.updates_since_build` lets callers decide
+when to trigger a re-optimization (the paper leaves the split/merge variant
+as future work).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.builder import build_pass
+from repro.core.config import PASSConfig
+from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.tree import PartitionNode
+from repro.data.table import Table
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult
+from repro.sampling.reservoir import ReservoirSample
+from repro.sampling.stratified import Stratum
+
+__all__ = ["DynamicPASS"]
+
+
+class DynamicPASS:
+    """A PASS synopsis that accepts streaming inserts and deletes.
+
+    Parameters
+    ----------
+    table:
+        Initial table the synopsis is built from.
+    value_column / predicate_columns / config:
+        Passed through to :func:`~repro.core.builder.build_pass`.
+    reservoir_capacity:
+        Per-leaf reservoir capacity; defaults to each leaf's initial sample
+        size (so storage stays constant under inserts).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        value_column: str,
+        predicate_columns: Sequence[str],
+        config: PASSConfig | None = None,
+        reservoir_capacity: int | None = None,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        self._value_column = value_column
+        self._predicate_columns = list(predicate_columns)
+        self._config = config or PASSConfig()
+        self._synopsis = build_pass(
+            table, value_column, predicate_columns, self._config
+        )
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self._sample_columns = list(
+            self._synopsis.leaf_samples[0].sample_columns.keys()
+        ) if self._synopsis.leaf_samples else [value_column]
+
+        # Seed one reservoir per leaf from the builder's stratified sample so
+        # the initial state matches the static synopsis exactly.
+        self._reservoirs: list[ReservoirSample] = []
+        for stratum in self._synopsis.leaf_samples:
+            capacity = reservoir_capacity or max(1, stratum.sample_size)
+            reservoir = ReservoirSample(capacity, rng=generator)
+            for row_index in range(stratum.sample_size):
+                row = {
+                    column: float(values[row_index])
+                    for column, values in stratum.sample_columns.items()
+                }
+                reservoir.offer(row)
+            # The reservoir has now "seen" only its own sample; record the
+            # true leaf population so acceptance probabilities stay unbiased.
+            reservoir.rebase_seen(max(stratum.size, len(reservoir)))
+            self._reservoirs.append(reservoir)
+        self._updates_since_build = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def synopsis(self) -> PASSSynopsis:
+        """The underlying PASS synopsis (stats updated in place)."""
+        return self._synopsis
+
+    @property
+    def updates_since_build(self) -> int:
+        """Number of inserts and deletes applied since the last (re)build."""
+        return self._updates_since_build
+
+    @property
+    def population_size(self) -> int:
+        """Current number of tuples summarized."""
+        return self._synopsis.tree.root.stats.count
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, row: Mapping[str, float]) -> None:
+        """Insert one tuple: update path statistics and the leaf reservoir."""
+        leaf = self._route(row)
+        value = float(row[self._value_column])
+        for node in self._synopsis.tree.path_to_leaf(leaf):
+            node.stats = node.stats.add_value(value)
+        reservoir = self._reservoirs[leaf.leaf_index]
+        reservoir.offer({column: float(row[column]) for column in self._sample_columns})
+        self._refresh_leaf_sample(leaf)
+        self._updates_since_build += 1
+
+    def delete(self, row: Mapping[str, float]) -> None:
+        """Delete one tuple: update path statistics and drop it from the sample.
+
+        MIN / MAX bounds become conservative (they are not tightened on
+        deletion); SUM / COUNT / AVG stay exact.
+        """
+        leaf = self._route(row)
+        value = float(row[self._value_column])
+        if leaf.stats.count == 0:
+            raise ValueError("cannot delete from an empty partition")
+        for node in self._synopsis.tree.path_to_leaf(leaf):
+            node.stats = node.stats.remove_value(value)
+        reservoir = self._reservoirs[leaf.leaf_index]
+        reservoir.discard({column: float(row[column]) for column in self._sample_columns})
+        self._refresh_leaf_sample(leaf)
+        self._updates_since_build += 1
+
+    def query(self, query: AggregateQuery, lam: float | None = None) -> AQPResult:
+        """Answer a query from the (updated) synopsis."""
+        return self._synopsis.query(query, lam=lam)
+
+    def rebuild(self, table: Table) -> None:
+        """Re-optimize the synopsis from a fresh table snapshot."""
+        self.__init__(
+            table,
+            self._value_column,
+            self._predicate_columns,
+            config=self._config,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _route(self, row: Mapping[str, float]) -> PartitionNode:
+        point = {
+            column: float(row[column])
+            for column in self._predicate_columns
+            if column in row
+        }
+        if not point:
+            raise KeyError(
+                f"row must provide the predicate columns {self._predicate_columns}"
+            )
+        return self._synopsis.tree.leaf_for_point(point)
+
+    def _refresh_leaf_sample(self, leaf: PartitionNode) -> None:
+        """Rebuild the leaf's Stratum view from its reservoir contents."""
+        reservoir = self._reservoirs[leaf.leaf_index]
+        old = self._synopsis.leaf_samples[leaf.leaf_index]
+        new_stratum = Stratum(
+            box=old.box,
+            size=leaf.stats.count,
+            sample_columns=reservoir.as_columns(self._sample_columns),
+        )
+        self._synopsis.replace_leaf_sample(leaf.leaf_index, new_stratum)

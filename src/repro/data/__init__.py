@@ -1,0 +1,29 @@
+"""Data substrate for the PASS reproduction.
+
+This subpackage provides the minimal column-store table abstraction on top of
+numpy (:mod:`repro.data.table`), the synthetic dataset generators that stand in
+for the paper's real-world datasets (:mod:`repro.data.generators`), and the
+convenience loaders keyed by dataset name (:mod:`repro.data.loaders`).
+"""
+
+from repro.data.table import Column, Table
+from repro.data.generators import (
+    adversarial,
+    instacart_like,
+    intel_wireless_like,
+    nyc_taxi_like,
+    uniform_random,
+)
+from repro.data.loaders import DATASET_LOADERS, load_dataset
+
+__all__ = [
+    "Column",
+    "Table",
+    "adversarial",
+    "instacart_like",
+    "intel_wireless_like",
+    "nyc_taxi_like",
+    "uniform_random",
+    "DATASET_LOADERS",
+    "load_dataset",
+]

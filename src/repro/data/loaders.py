@@ -1,0 +1,125 @@
+"""Dataset loaders keyed by name.
+
+The experiment harness refers to datasets by short names ("intel", "instacart",
+"nyc", "adversarial").  :func:`load_dataset` resolves those names to the
+surrogate generators in :mod:`repro.data.generators` together with the default
+aggregation / predicate column choices used by the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence
+
+from repro.data.generators import (
+    adversarial,
+    instacart_like,
+    intel_wireless_like,
+    nyc_taxi_like,
+)
+from repro.data.table import Table
+
+__all__ = ["DatasetSpec", "DATASET_LOADERS", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A loaded dataset plus the column roles the paper's experiments use.
+
+    Attributes
+    ----------
+    table:
+        The loaded :class:`~repro.data.table.Table`.
+    value_column:
+        Name of the aggregation column (``A`` in the paper).
+    predicate_columns:
+        Names of the predicate columns (``C1..Cd``), in the order the
+        multi-dimensional query templates add them.
+    """
+
+    table: Table
+    value_column: str
+    predicate_columns: tuple[str, ...]
+
+    @property
+    def default_predicate_column(self) -> str:
+        """The single predicate column used by the 1-D experiments."""
+        return self.predicate_columns[0]
+
+
+def _seed_kwargs(seed: int | None) -> dict:
+    """Only forward an explicit seed so generator defaults stay deterministic."""
+    return {} if seed is None else {"seed": seed}
+
+
+def _load_intel(n_rows: int, seed: int | None) -> DatasetSpec:
+    table = intel_wireless_like(n_rows=n_rows, **_seed_kwargs(seed))
+    return DatasetSpec(table=table, value_column="light", predicate_columns=("time",))
+
+
+def _load_instacart(n_rows: int, seed: int | None) -> DatasetSpec:
+    table = instacart_like(n_rows=n_rows, **_seed_kwargs(seed))
+    return DatasetSpec(
+        table=table, value_column="reordered", predicate_columns=("product_id",)
+    )
+
+
+def _load_nyc(n_rows: int, seed: int | None) -> DatasetSpec:
+    table = nyc_taxi_like(n_rows=n_rows, **_seed_kwargs(seed))
+    return DatasetSpec(
+        table=table,
+        value_column="trip_distance",
+        predicate_columns=(
+            "pickup_time",
+            "pickup_date",
+            "pu_location_id",
+            "dropoff_date",
+            "dropoff_time",
+        ),
+    )
+
+
+def _load_adversarial(n_rows: int, seed: int | None) -> DatasetSpec:
+    table = adversarial(n_rows=n_rows, **_seed_kwargs(seed))
+    return DatasetSpec(table=table, value_column="value", predicate_columns=("key",))
+
+
+DATASET_LOADERS: Dict[str, Callable[[int, int | None], DatasetSpec]] = {
+    "intel": _load_intel,
+    "instacart": _load_instacart,
+    "nyc": _load_nyc,
+    "adversarial": _load_adversarial,
+}
+
+_DEFAULT_SIZES = {
+    "intel": 100_000,
+    "instacart": 100_000,
+    "nyc": 150_000,
+    "adversarial": 100_000,
+}
+
+
+def load_dataset(
+    name: str, n_rows: int | None = None, seed: int | None = None
+) -> DatasetSpec:
+    """Load a dataset surrogate by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"intel"``, ``"instacart"``, ``"nyc"``, ``"adversarial"``.
+    n_rows:
+        Number of rows to generate.  Defaults to a scaled-down size that keeps
+        the benchmark harness fast; pass the paper's original sizes
+        (3M / 1.4M / 7.7M / 1M) for a full-scale run.
+    seed:
+        Random seed for the generator; defaults to each generator's built-in
+        seed so repeated loads are identical.
+    """
+    try:
+        loader = DATASET_LOADERS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_LOADERS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+    rows = n_rows if n_rows is not None else _DEFAULT_SIZES[name]
+    return loader(rows, seed)

@@ -1,0 +1,289 @@
+"""A tiny numpy-backed column store.
+
+The paper's problem setup (Section 2) works over a collection of tuples
+``P = {(c_i, a_i)}`` where ``c_i`` are predicate attributes and ``a_i`` is the
+numeric aggregation attribute.  :class:`Table` holds those attributes as named
+numpy columns and offers just enough relational machinery for the rest of the
+library: schema introspection, row selection by boolean mask, row sampling,
+sorting, and vertical projection.
+
+The class is deliberately small — it is a substrate, not a DBMS.  Everything
+the synopses need (ground truth evaluation, stratification, sampling) is a
+vectorised numpy operation over these columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Column", "Table"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, immutable numeric column.
+
+    Parameters
+    ----------
+    name:
+        Column name used in predicates and aggregate specifications.
+    values:
+        One-dimensional numpy array of numeric values.  The array is stored
+        as-is (no copy) but flagged non-writeable to keep tables immutable.
+    """
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        if values.ndim != 1:
+            raise ValueError(
+                f"column {self.name!r} must be one-dimensional, got shape {values.shape}"
+            )
+        if not np.issubdtype(values.dtype, np.number) and values.dtype != np.bool_:
+            raise TypeError(
+                f"column {self.name!r} must be numeric or boolean, got dtype {values.dtype}"
+            )
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype of the column values."""
+        return self.values.dtype
+
+    def min(self) -> float:
+        """Minimum value of the column (nan for empty columns)."""
+        return float(self.values.min()) if len(self) else float("nan")
+
+    def max(self) -> float:
+        """Maximum value of the column (nan for empty columns)."""
+        return float(self.values.max()) if len(self) else float("nan")
+
+
+class Table:
+    """An immutable, numpy-backed relational table.
+
+    A :class:`Table` is an ordered mapping of column names to equal-length
+    numpy arrays.  All operations return new tables (or numpy views); the
+    underlying arrays are never mutated.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to 1-D array-like of values.  All columns must
+        have the same length.
+    name:
+        Optional human-readable table name, used in reports and ``repr``.
+    """
+
+    def __init__(self, columns: Mapping[str, Iterable], name: str = "table") -> None:
+        self._name = name
+        self._columns: Dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for col_name, values in columns.items():
+            array = np.asarray(values)
+            if array.ndim != 1:
+                raise ValueError(
+                    f"column {col_name!r} must be one-dimensional, got shape {array.shape}"
+                )
+            if n_rows is None:
+                n_rows = array.shape[0]
+            elif array.shape[0] != n_rows:
+                raise ValueError(
+                    f"column {col_name!r} has {array.shape[0]} rows, expected {n_rows}"
+                )
+            self._columns[col_name] = array
+        self._n_rows = int(n_rows or 0)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(cls, name: str = "table", **columns: Iterable) -> "Table":
+        """Build a table from keyword column arrays.
+
+        Example
+        -------
+        >>> t = Table.from_columns(time=[1, 2, 3], light=[10.0, 11.0, 9.5])
+        >>> t.n_rows
+        3
+        """
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, float]], name: str = "table"
+    ) -> "Table":
+        """Build a table from a sequence of row dictionaries.
+
+        All records must share exactly the same keys.
+        """
+        if not records:
+            return cls({}, name=name)
+        keys = list(records[0].keys())
+        columns = {key: np.array([record[key] for record in records]) for key in keys}
+        return cls(columns, name=name)
+
+    # ------------------------------------------------------------------
+    # Schema and access
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable table name."""
+        return self._name
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows in the table."""
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of all columns, in insertion order."""
+        return list(self._columns.keys())
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(self.column_names)
+        return f"Table(name={self._name!r}, n_rows={self._n_rows}, columns=[{cols}])"
+
+    def column(self, column_name: str) -> np.ndarray:
+        """Return the raw numpy array of a column.
+
+        Raises
+        ------
+        KeyError
+            If the column does not exist; the error message lists available
+            column names to aid debugging.
+        """
+        try:
+            return self._columns[column_name]
+        except KeyError:
+            available = ", ".join(self.column_names)
+            raise KeyError(
+                f"unknown column {column_name!r}; available columns: {available}"
+            ) from None
+
+    def columns(self, column_names: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Return a dict of the requested columns (raw arrays)."""
+        return {name: self.column(name) for name in column_names}
+
+    # ------------------------------------------------------------------
+    # Relational-ish operations
+    # ------------------------------------------------------------------
+    def select(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table containing only rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_:
+            raise TypeError("select() expects a boolean mask")
+        if mask.shape[0] != self._n_rows:
+            raise ValueError(
+                f"mask has {mask.shape[0]} entries, table has {self._n_rows} rows"
+            )
+        return Table(
+            {col: values[mask] for col, values in self._columns.items()},
+            name=name or self._name,
+        )
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table containing the rows at ``indices`` (in order)."""
+        indices = np.asarray(indices)
+        return Table(
+            {col: values[indices] for col, values in self._columns.items()},
+            name=name or self._name,
+        )
+
+    def project(self, column_names: Sequence[str], name: str | None = None) -> "Table":
+        """Return a new table with only the requested columns."""
+        return Table(
+            {col: self.column(col) for col in column_names},
+            name=name or self._name,
+        )
+
+    def sort_by(self, column_name: str, name: str | None = None) -> "Table":
+        """Return a new table sorted ascending by ``column_name`` (stable)."""
+        order = np.argsort(self.column(column_name), kind="stable")
+        return self.take(order, name=name)
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        replace: bool = False,
+        name: str | None = None,
+    ) -> "Table":
+        """Return a uniform random sample of ``n`` rows.
+
+        Parameters
+        ----------
+        n:
+            Number of rows to draw.  Clamped to the table size when sampling
+            without replacement.
+        rng:
+            Numpy random generator to draw from (callers own the seed).
+        replace:
+            Sample with replacement when True.
+        """
+        if n < 0:
+            raise ValueError("sample size must be non-negative")
+        if not replace:
+            n = min(n, self._n_rows)
+        indices = rng.choice(self._n_rows, size=n, replace=replace)
+        return self.take(indices, name=name)
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows (useful for inspection in examples)."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def concat(self, other: "Table", name: str | None = None) -> "Table":
+        """Vertically concatenate two tables with identical schemas."""
+        if set(self.column_names) != set(other.column_names):
+            raise ValueError(
+                "cannot concatenate tables with different schemas: "
+                f"{self.column_names} vs {other.column_names}"
+            )
+        return Table(
+            {
+                col: np.concatenate([self.column(col), other.column(col)])
+                for col in self.column_names
+            },
+            name=name or self._name,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics helpers used throughout the synopses
+    # ------------------------------------------------------------------
+    def column_bounds(self, column_name: str) -> tuple[float, float]:
+        """Return ``(min, max)`` of a column; ``(nan, nan)`` when empty."""
+        values = self.column(column_name)
+        if values.shape[0] == 0:
+            return (float("nan"), float("nan"))
+        return (float(values.min()), float(values.max()))
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the column data in bytes."""
+        return int(sum(values.nbytes for values in self._columns.values()))
+
+    def to_records(self) -> list[dict[str, float]]:
+        """Materialise the table as a list of row dictionaries (small tables)."""
+        names = self.column_names
+        arrays = [self._columns[name] for name in names]
+        return [
+            {name: array[i].item() for name, array in zip(names, arrays)}
+            for i in range(self._n_rows)
+        ]

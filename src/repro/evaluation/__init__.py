@@ -1,0 +1,28 @@
+"""Evaluation: metrics, the comparison harness, and per-figure experiments."""
+
+from repro.evaluation.harness import ComparisonRun, SynopsisEvaluation, run_comparison
+from repro.evaluation.metrics import (
+    QueryRecord,
+    WorkloadMetrics,
+    ci_ratio,
+    evaluate_workload,
+    nan_median,
+    relative_error,
+)
+from repro.evaluation.reporting import ExperimentResult, Section, format_table, render_result
+
+__all__ = [
+    "ComparisonRun",
+    "SynopsisEvaluation",
+    "run_comparison",
+    "QueryRecord",
+    "WorkloadMetrics",
+    "ci_ratio",
+    "evaluate_workload",
+    "nan_median",
+    "relative_error",
+    "ExperimentResult",
+    "Section",
+    "format_table",
+    "render_result",
+]

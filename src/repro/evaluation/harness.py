@@ -1,0 +1,114 @@
+"""Experiment harness: build synopses, run workloads, collect comparable rows.
+
+The harness factors out the boilerplate shared by every experiment: load a
+dataset, generate a workload, compute ground truths once, build each
+competing synopsis while timing the construction, evaluate the workload, and
+return uniform :class:`SynopsisEvaluation` rows the reporting module can
+render.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Sequence
+
+from repro.data.loaders import DatasetSpec, load_dataset
+from repro.evaluation.metrics import WorkloadMetrics, evaluate_workload
+from repro.query.query import AggregateQuery, ExactEngine
+from repro.query.workload import WorkloadSpec
+
+__all__ = ["SynopsisEvaluation", "ComparisonRun", "run_comparison", "ground_truths"]
+
+
+@dataclass(frozen=True)
+class SynopsisEvaluation:
+    """One synopsis' build cost, footprint, and workload metrics."""
+
+    name: str
+    build_seconds: float
+    storage_bytes: int
+    metrics: WorkloadMetrics
+
+    @property
+    def storage_mb(self) -> float:
+        """Synopsis footprint in megabytes."""
+        return self.storage_bytes / (1024.0 * 1024.0)
+
+
+@dataclass(frozen=True)
+class ComparisonRun:
+    """Every synopsis' evaluation on one (dataset, workload) pair."""
+
+    dataset: str
+    workload: WorkloadSpec
+    evaluations: tuple[SynopsisEvaluation, ...]
+
+    def evaluation(self, name: str) -> SynopsisEvaluation:
+        """Look up one synopsis' evaluation by name."""
+        for evaluation in self.evaluations:
+            if evaluation.name == name:
+                return evaluation
+        known = ", ".join(e.name for e in self.evaluations)
+        raise KeyError(f"no evaluation named {name!r}; available: {known}")
+
+
+def ground_truths(
+    engine: ExactEngine, queries: Iterable[AggregateQuery]
+) -> list[float]:
+    """Exact answers for a workload (computed once, shared across synopses)."""
+    return [engine.execute(query) for query in queries]
+
+
+def run_comparison(
+    dataset: DatasetSpec | str,
+    workload: WorkloadSpec,
+    synopsis_factories: Dict[str, Callable[[DatasetSpec], object]],
+    n_rows: int | None = None,
+    truths: Sequence[float] | None = None,
+) -> ComparisonRun:
+    """Build and evaluate several synopses on the same dataset and workload.
+
+    Parameters
+    ----------
+    dataset:
+        A loaded :class:`~repro.data.loaders.DatasetSpec` or a dataset name
+        (loaded with ``n_rows``).
+    workload:
+        The query workload to evaluate.
+    synopsis_factories:
+        Mapping from display name to a factory ``DatasetSpec -> synopsis``.
+        The factory's wall-clock time is recorded as the build cost (falling
+        back to a synopsis-reported ``build_seconds`` when present and larger,
+        e.g. when the factory reuses a cached structure).
+    n_rows:
+        Row count when ``dataset`` is given by name.
+    truths:
+        Optional precomputed ground truths for the workload.
+    """
+    spec = dataset if isinstance(dataset, DatasetSpec) else load_dataset(dataset, n_rows)
+    engine = ExactEngine(spec.table)
+    queries = list(workload.queries)
+    if truths is None:
+        truths = ground_truths(engine, queries)
+
+    evaluations = []
+    for name, factory in synopsis_factories.items():
+        start = time.perf_counter()
+        synopsis = factory(spec)
+        build_seconds = time.perf_counter() - start
+        reported = getattr(synopsis, "build_seconds", 0.0)
+        build_seconds = max(build_seconds, reported)
+        storage = int(getattr(synopsis, "storage_bytes", lambda: 0)())
+        metrics = evaluate_workload(synopsis, queries, engine, ground_truth=truths)
+        evaluations.append(
+            SynopsisEvaluation(
+                name=name,
+                build_seconds=build_seconds,
+                storage_bytes=storage,
+                metrics=metrics,
+            )
+        )
+    return ComparisonRun(
+        dataset=spec.table.name, workload=workload, evaluations=tuple(evaluations)
+    )

@@ -1,0 +1,196 @@
+"""Evaluation metrics (Section 5.1.2).
+
+The paper reports three metrics per workload:
+
+* **relative error** — |estimate - truth| / |truth|, summarized by the median
+  over the workload's queries;
+* **CI ratio** — half the confidence interval divided by the truth, again
+  summarized by the median; and
+* **skip rate** — the fraction of dataset tuples whose contribution was
+  resolved without touching samples (only meaningful for PASS-style synopses).
+
+:func:`evaluate_workload` runs a synopsis over a workload against the exact
+engine and produces a :class:`WorkloadMetrics` summary plus the per-query
+records the harness uses for latency percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.query.query import AggregateQuery, ExactEngine
+from repro.result import AQPResult
+
+__all__ = [
+    "QueryRecord",
+    "WorkloadMetrics",
+    "relative_error",
+    "ci_ratio",
+    "nan_median",
+    "evaluate_workload",
+]
+
+
+class SupportsQuery(Protocol):
+    """Anything with a ``query(AggregateQuery) -> AQPResult`` method."""
+
+    def query(self, query: AggregateQuery) -> AQPResult:  # pragma: no cover - protocol
+        ...
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth| with the same conventions as the paper.
+
+    A zero ground truth with a zero estimate counts as zero error; a zero
+    ground truth with a non-zero estimate counts as infinite error; NaN
+    estimates propagate NaN (and are excluded by :func:`nan_median`).
+    """
+    if math.isnan(estimate) or math.isnan(truth):
+        return float("nan")
+    if truth == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def ci_ratio(half_width: float, truth: float) -> float:
+    """Half CI width over the ground truth (NaN when undefined)."""
+    if math.isnan(half_width) or math.isnan(truth) or truth == 0.0:
+        return float("nan")
+    return abs(half_width) / abs(truth)
+
+
+def nan_median(values: Iterable[float]) -> float:
+    """Median ignoring NaN and infinite entries (NaN when nothing remains)."""
+    finite = [value for value in values if math.isfinite(value)]
+    if not finite:
+        return float("nan")
+    return float(np.median(finite))
+
+
+def nan_mean(values: Iterable[float]) -> float:
+    """Mean ignoring NaN and infinite entries (NaN when nothing remains)."""
+    finite = [value for value in values if math.isfinite(value)]
+    if not finite:
+        return float("nan")
+    return float(np.mean(finite))
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Per-query evaluation record."""
+
+    query: AggregateQuery
+    truth: float
+    result: AQPResult
+    latency_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error of this query's estimate."""
+        return relative_error(self.result.estimate, self.truth)
+
+    @property
+    def ci_ratio(self) -> float:
+        """CI ratio of this query's confidence interval."""
+        return ci_ratio(self.result.ci_half_width, self.truth)
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of touched tuples resolved without samples.
+
+        ``skipped / (skipped + processed)``; PASS-style synopses report the
+        dataset tuples they never needed to sample, so this closely tracks the
+        paper's skip rate (exact per-query values are available from
+        :meth:`repro.core.pass_synopsis.PASSSynopsis.skip_rate`).
+        """
+        total = self.result.tuples_skipped + self.result.tuples_processed
+        if total == 0:
+            return 0.0
+        return self.result.tuples_skipped / total
+
+
+@dataclass(frozen=True)
+class WorkloadMetrics:
+    """Summary of a synopsis over one workload."""
+
+    n_queries: int
+    median_relative_error: float
+    median_ci_ratio: float
+    mean_skip_rate: float
+    mean_tuples_processed: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    ci_coverage: float
+    hard_bound_coverage: float
+    records: tuple[QueryRecord, ...] = field(repr=False, default=())
+
+    @classmethod
+    def from_records(cls, records: Sequence[QueryRecord]) -> "WorkloadMetrics":
+        """Aggregate per-query records into the paper's summary metrics."""
+        if not records:
+            raise ValueError("cannot summarize an empty workload")
+        covered = [r for r in records if not math.isnan(r.result.ci_half_width)]
+        coverage = (
+            float(np.mean([r.result.contains_truth(r.truth) for r in covered]))
+            if covered
+            else float("nan")
+        )
+        hard_cov = float(
+            np.mean([r.result.within_hard_bounds(r.truth) for r in records])
+        )
+        return cls(
+            n_queries=len(records),
+            median_relative_error=nan_median(r.relative_error for r in records),
+            median_ci_ratio=nan_median(r.ci_ratio for r in records),
+            mean_skip_rate=nan_mean(r.skip_rate for r in records),
+            mean_tuples_processed=nan_mean(
+                float(r.result.tuples_processed) for r in records
+            ),
+            mean_latency_ms=nan_mean(r.latency_seconds * 1e3 for r in records),
+            max_latency_ms=max(r.latency_seconds * 1e3 for r in records),
+            ci_coverage=coverage,
+            hard_bound_coverage=hard_cov,
+            records=tuple(records),
+        )
+
+
+def evaluate_workload(
+    synopsis: SupportsQuery,
+    queries: Iterable[AggregateQuery],
+    engine: ExactEngine,
+    ground_truth: Sequence[float] | None = None,
+) -> WorkloadMetrics:
+    """Run every query through a synopsis and summarize against the truth.
+
+    Parameters
+    ----------
+    synopsis:
+        Any object exposing ``query(AggregateQuery) -> AQPResult``.
+    queries:
+        The workload.
+    engine:
+        Exact engine used to compute ground truths when ``ground_truth`` is
+        not supplied.
+    ground_truth:
+        Optional precomputed exact answers aligned with ``queries`` (sharing
+        them across synopses avoids recomputing full scans).
+    """
+    queries = list(queries)
+    if ground_truth is None:
+        ground_truth = [engine.execute(query) for query in queries]
+    if len(ground_truth) != len(queries):
+        raise ValueError("ground_truth length must match the number of queries")
+    records = []
+    for query, truth in zip(queries, ground_truth):
+        start = time.perf_counter()
+        result = synopsis.query(query)
+        latency = time.perf_counter() - start
+        records.append(
+            QueryRecord(query=query, truth=truth, result=result, latency_seconds=latency)
+        )
+    return WorkloadMetrics.from_records(records)

@@ -1,0 +1,84 @@
+"""Formatting experiment results as plain-text / markdown tables.
+
+Every experiment in :mod:`repro.evaluation.experiments` returns an
+:class:`ExperimentResult`: a set of named sections, each a header row plus
+data rows.  The benchmark harness prints these with :func:`render_result`
+so the console output mirrors the corresponding table or figure of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Section", "ExperimentResult", "format_table", "render_result", "fmt"]
+
+
+def fmt(value: object, precision: int = 4) -> str:
+    """Format one cell: floats compactly, NaN as '-', everything else via str."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value != 0 and abs(value) < 10 ** (-precision):
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in str_rows)) if str_rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Section:
+    """One table of an experiment result."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def to_text(self) -> str:
+        """Render the section as a titled plain-text table."""
+        return f"{self.title}\n{format_table(self.headers, self.rows)}"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A named experiment (one paper table or figure) and its sections."""
+
+    name: str
+    description: str
+    sections: tuple[Section, ...]
+
+    def section(self, title: str) -> Section:
+        """Look up a section by title."""
+        for section in self.sections:
+            if section.title == title:
+                return section
+        known = ", ".join(section.title for section in self.sections)
+        raise KeyError(f"no section titled {title!r}; available: {known}")
+
+    def to_text(self) -> str:
+        """Render the whole experiment as plain text."""
+        parts = [f"=== {self.name} ===", self.description, ""]
+        for section in self.sections:
+            parts.append(section.to_text())
+            parts.append("")
+        return "\n".join(parts)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render and return the experiment's text (also convenient to print)."""
+    return result.to_text()

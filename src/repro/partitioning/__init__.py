@@ -1,0 +1,53 @@
+"""Partitioning optimizers: the core algorithmic contribution of the paper.
+
+This subpackage contains the variance formulas (Section 4.2.1), the
+approximate maximum-variance-query oracles (Appendix A), the 1-D dynamic
+programs including the ADP algorithm used in the experiments (Section 4.3),
+the multi-dimensional k-d tree construction (Section 4.4), and the baseline
+partitioners (equal-depth, AQP++ hill climbing).
+"""
+
+from repro.partitioning.boundaries import boxes_from_boundaries, partition_masks
+from repro.partitioning.dp import (
+    PartitioningResult,
+    approximate_dp_partition,
+    naive_dp_partition,
+    optimal_count_partition,
+)
+from repro.partitioning.equal import equal_depth_boundaries, equal_depth_partition
+from repro.partitioning.hill_climbing import hill_climbing_partition
+from repro.partitioning.kdtree import KDPartitioningResult, kd_partition
+from repro.partitioning.max_variance import (
+    MaxVarianceOracle,
+    SparseTable,
+    brute_force_max_variance,
+)
+from repro.partitioning.variance import (
+    avg_query_variance,
+    core_variance_term,
+    count_query_variance,
+    query_variance,
+    sum_query_variance,
+)
+
+__all__ = [
+    "boxes_from_boundaries",
+    "partition_masks",
+    "PartitioningResult",
+    "approximate_dp_partition",
+    "naive_dp_partition",
+    "optimal_count_partition",
+    "equal_depth_boundaries",
+    "equal_depth_partition",
+    "hill_climbing_partition",
+    "KDPartitioningResult",
+    "kd_partition",
+    "MaxVarianceOracle",
+    "SparseTable",
+    "brute_force_max_variance",
+    "avg_query_variance",
+    "core_variance_term",
+    "count_query_variance",
+    "query_variance",
+    "sum_query_variance",
+]

@@ -1,0 +1,64 @@
+"""Converting 1-D partition boundaries into rectangular boxes.
+
+All 1-D partitioners in this package (equal-depth, the dynamic programs, the
+hill-climbing baseline) produce their result as a sorted list of *cut values*
+on the predicate column.  This module turns those cuts into the list of
+mutually exclusive :class:`~repro.query.predicate.Box` objects the synopsis
+structures consume, and provides the inverse helpers used in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.query.predicate import Box, Interval
+
+__all__ = ["boxes_from_boundaries", "boundaries_from_ranks", "partition_masks"]
+
+
+def boxes_from_boundaries(column: str, boundaries: Sequence[float]) -> list[Box]:
+    """Build 1-D partition boxes from interior cut values.
+
+    ``boundaries`` are the ``k - 1`` interior cut values; the resulting boxes
+    are ``(-inf, b_1], (b_1, b_2], ..., (b_{k-1}, +inf)`` with half-open upper
+    sides realised via ``nextafter`` so the boxes are disjoint over floats.
+    Duplicate or unsorted boundaries are deduplicated and sorted first.
+    """
+    cuts = sorted(set(float(b) for b in boundaries))
+    boxes: list[Box] = []
+    low = -math.inf
+    for cut in cuts:
+        boxes.append(Box({column: Interval(low, cut)}))
+        low = float(np.nextafter(cut, math.inf))
+    boxes.append(Box({column: Interval(low, math.inf)}))
+    return boxes
+
+
+def boundaries_from_ranks(
+    sorted_values: np.ndarray, break_ranks: Sequence[int]
+) -> list[float]:
+    """Turn partition break ranks over a sorted column into cut values.
+
+    ``break_ranks`` contains, for each partition except the last, the rank of
+    its final element in ``sorted_values``; the cut value is that element's
+    value (so the partition is the closed prefix up to and including it).
+    """
+    sorted_values = np.asarray(sorted_values, dtype=float)
+    n = sorted_values.shape[0]
+    cuts = []
+    for rank in break_ranks:
+        if rank < 0 or rank >= n:
+            raise IndexError(f"break rank {rank} out of range for {n} values")
+        cuts.append(float(sorted_values[rank]))
+    return cuts
+
+
+def partition_masks(
+    column_values: np.ndarray, boxes: Sequence[Box], column: str
+) -> list[np.ndarray]:
+    """Boolean row masks of each 1-D partition box over a column."""
+    column_values = np.asarray(column_values)
+    return [box.mask({column: column_values}) for box in boxes]

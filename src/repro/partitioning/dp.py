@@ -1,0 +1,284 @@
+"""1-D partitioning via dynamic programming (Section 4.3, Appendix A.5).
+
+Given a query template (SUM, COUNT, or AVG) the goal is a partitioning of the
+sorted predicate column into ``k`` contiguous buckets that minimizes the
+maximum single-partition query variance.  Three algorithm variants are
+provided, mirroring the paper's progression:
+
+* :func:`naive_dp_partition` — the exact dynamic program over every tuple with
+  exhaustive query enumeration inside each candidate bucket.  Exponentially
+  clearer than it is fast; used on tiny inputs and in tests.
+* :func:`approximate_dp_partition` — the **ADP** algorithm used in the paper's
+  experiments: optimize over a uniform sample of ``m`` tuples, approximate the
+  worst in-bucket query with the constant-factor oracles of Appendix A, and
+  exploit the monotonicity of the DP to binary-search each split point.
+  Runs in ``O(k * m * log m)`` oracle calls.
+* :func:`optimal_count_partition` — the closed-form optimum for COUNT
+  templates (equal-count buckets, Lemma A.1).
+
+All variants return a :class:`PartitioningResult` whose boxes plug directly
+into the PASS builder or the stratified-sampling baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.partitioning.boundaries import boxes_from_boundaries
+from repro.partitioning.equal import equal_depth_boundaries
+from repro.partitioning.max_variance import MaxVarianceOracle
+from repro.partitioning.variance import count_query_variance
+from repro.query.aggregates import AggregateType
+from repro.query.predicate import Box
+
+__all__ = [
+    "PartitioningResult",
+    "naive_dp_partition",
+    "approximate_dp_partition",
+    "optimal_count_partition",
+]
+
+
+@dataclass(frozen=True)
+class PartitioningResult:
+    """Outcome of a 1-D partitioning optimization.
+
+    Attributes
+    ----------
+    column:
+        The predicate column the partitioning applies to.
+    boundaries:
+        Interior cut values (``k - 1`` of them, possibly fewer after
+        deduplication).
+    boxes:
+        The partition boxes derived from the boundaries.
+    objective:
+        The optimizer's (approximate) value of the max single-partition query
+        variance for the returned partitioning.
+    break_ranks:
+        For sample-based optimizers, the end rank of each partition except the
+        last within the sorted optimization sample; empty otherwise.
+    """
+
+    column: str
+    boundaries: tuple[float, ...]
+    boxes: tuple[Box, ...]
+    objective: float
+    break_ranks: tuple[int, ...] = ()
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of partitions produced."""
+        return len(self.boxes)
+
+
+def _run_dp(
+    oracle: MaxVarianceOracle,
+    n_partitions: int,
+    use_binary_search: bool,
+) -> tuple[list[int], float]:
+    """Core min-max dynamic program over the oracle's rank space.
+
+    Returns the break ranks (end rank of every partition except the last) and
+    the optimal objective value.
+    """
+    m = oracle.n_samples
+    if m == 0:
+        raise ValueError("cannot partition an empty sample")
+    k = max(1, min(n_partitions, m))
+
+    # best[i][j]: minimal max-variance splitting the first i samples (ranks
+    # 0..i-1) into at most j+1 partitions.  parent[i][j]: the chosen h (number
+    # of samples in the first j partitions).
+    best = np.full((m + 1, k), np.inf)
+    parent = np.full((m + 1, k), -1, dtype=int)
+    best[0, :] = 0.0
+    for i in range(1, m + 1):
+        best[i, 0] = oracle.max_variance(0, i - 1)
+        parent[i, 0] = 0
+
+    for j in range(1, k):
+        for i in range(1, m + 1):
+            if use_binary_search:
+                h = _binary_search_split(oracle, best, i, j)
+                candidates = [c for c in (h - 1, h, h + 1) if 0 <= c <= i - 1]
+            else:
+                candidates = list(range(0, i))
+            best_value = np.inf
+            best_h = 0
+            for candidate in candidates:
+                value = max(
+                    best[candidate, j - 1], oracle.max_variance(candidate, i - 1)
+                )
+                if value < best_value:
+                    best_value = value
+                    best_h = candidate
+            best[i, j] = best_value
+            parent[i, j] = best_h
+
+    # Reconstruct the break ranks from the parent pointers.
+    breaks: list[int] = []
+    i = m
+    for j in range(k - 1, 0, -1):
+        h = int(parent[i, j])
+        if 0 < h < m:
+            breaks.append(h - 1)
+        i = h
+        if i <= 0:
+            break
+    breaks.sort()
+    return breaks, float(best[m, k - 1])
+
+
+def _binary_search_split(
+    oracle: MaxVarianceOracle, best: np.ndarray, i: int, j: int
+) -> int:
+    """Binary-search the crossing point of the two monotone DP terms.
+
+    ``best[h, j-1]`` is non-decreasing in ``h`` while the max variance of the
+    final bucket ``[h, i-1]`` is non-increasing, so the optimal split is where
+    they cross (Appendix A.5).
+    """
+    lo, hi = 0, i - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if best[mid, j - 1] < oracle.max_variance(mid, i - 1):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _ranks_to_boundaries(
+    sorted_predicate: np.ndarray, break_ranks: list[int]
+) -> list[float]:
+    """Cut values halfway between the last sample of a bucket and the next one."""
+    cuts = []
+    n = sorted_predicate.shape[0]
+    for rank in break_ranks:
+        left = float(sorted_predicate[rank])
+        right = float(sorted_predicate[min(rank + 1, n - 1)])
+        cuts.append(left if left == right else 0.5 * (left + right))
+    return sorted(set(cuts))
+
+
+def naive_dp_partition(
+    table: Table,
+    value_column: str,
+    predicate_column: str,
+    n_partitions: int,
+    agg: AggregateType | str = AggregateType.SUM,
+    delta: float = 0.05,
+) -> PartitioningResult:
+    """Exact 1-D dynamic program over every tuple (small inputs only).
+
+    Enumerates every candidate query inside every candidate bucket, so the
+    cost grows as ``O(k * N^2 * |Q|)``; intended for datasets of at most a few
+    hundred rows (ground truth for tests and for validating ADP).
+    """
+    agg = AggregateType.parse(agg)
+    order = np.argsort(table.column(predicate_column), kind="stable")
+    predicate_sorted = table.column(predicate_column)[order].astype(float)
+    values_sorted = table.column(value_column)[order].astype(float)
+    oracle = MaxVarianceOracle(values_sorted, agg=agg, delta=delta, exact=True)
+    breaks, objective = _run_dp(oracle, n_partitions, use_binary_search=False)
+    boundaries = _ranks_to_boundaries(predicate_sorted, breaks)
+    return PartitioningResult(
+        column=predicate_column,
+        boundaries=tuple(boundaries),
+        boxes=tuple(boxes_from_boundaries(predicate_column, boundaries)),
+        objective=objective,
+        break_ranks=tuple(breaks),
+    )
+
+
+def approximate_dp_partition(
+    table: Table,
+    value_column: str,
+    predicate_column: str,
+    n_partitions: int,
+    agg: AggregateType | str = AggregateType.SUM,
+    delta: float = 0.05,
+    opt_sample_size: int | None = None,
+    opt_sample_rate: float | None = None,
+    rng: np.random.Generator | int | None = 0,
+) -> PartitioningResult:
+    """The ADP partitioner: sampled, discretized, binary-searched DP.
+
+    Parameters
+    ----------
+    table, value_column, predicate_column:
+        Dataset and column roles.
+    n_partitions:
+        Desired number of leaf partitions ``k``.
+    agg:
+        The query template to optimize for (COUNT templates short-circuit to
+        the equal-count optimum).
+    delta:
+        Meaningful-query fraction; AVG candidate windows span ``delta * m``
+        samples.
+    opt_sample_size / opt_sample_rate:
+        Size of the uniform optimization sample ``m`` (default:
+        ``min(2000, N)``).  At most one of the two may be given.
+    rng:
+        Numpy generator or seed for the optimization sample.
+    """
+    agg = AggregateType.parse(agg)
+    if agg == AggregateType.COUNT:
+        return optimal_count_partition(table, predicate_column, n_partitions)
+    if opt_sample_size is not None and opt_sample_rate is not None:
+        raise ValueError("provide at most one of opt_sample_size or opt_sample_rate")
+    if opt_sample_rate is not None:
+        if not 0.0 < opt_sample_rate <= 1.0:
+            raise ValueError("opt_sample_rate must be in (0, 1]")
+        opt_sample_size = max(1, int(round(opt_sample_rate * table.n_rows)))
+    if opt_sample_size is None:
+        opt_sample_size = min(1000, table.n_rows)
+    opt_sample_size = min(opt_sample_size, table.n_rows)
+    if opt_sample_size < n_partitions:
+        opt_sample_size = min(table.n_rows, max(n_partitions * 4, opt_sample_size))
+
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    indices = generator.choice(table.n_rows, size=opt_sample_size, replace=False)
+    predicate_values = table.column(predicate_column)[indices].astype(float)
+    aggregate_values = table.column(value_column)[indices].astype(float)
+    order = np.argsort(predicate_values, kind="stable")
+    predicate_sorted = predicate_values[order]
+    values_sorted = aggregate_values[order]
+
+    oracle = MaxVarianceOracle(values_sorted, agg=agg, delta=delta, exact=False)
+    breaks, objective = _run_dp(oracle, n_partitions, use_binary_search=True)
+    boundaries = _ranks_to_boundaries(predicate_sorted, breaks)
+    return PartitioningResult(
+        column=predicate_column,
+        boundaries=tuple(boundaries),
+        boxes=tuple(boxes_from_boundaries(predicate_column, boundaries)),
+        objective=objective,
+        break_ranks=tuple(breaks),
+    )
+
+
+def optimal_count_partition(
+    table: Table, predicate_column: str, n_partitions: int
+) -> PartitioningResult:
+    """Optimal 1-D partitioning for COUNT templates: equal-count buckets.
+
+    Lemma A.1 shows the worst COUNT query in a bucket of ``N_i`` tuples has
+    variance proportional to ``N_i``, so equalizing bucket sizes minimizes the
+    maximum; this runs in a single sort.
+    """
+    boundaries = equal_depth_boundaries(table.column(predicate_column), n_partitions)
+    boxes = boxes_from_boundaries(predicate_column, boundaries)
+    largest = int(np.ceil(table.n_rows / max(1, len(boxes))))
+    objective = count_query_variance(largest, largest / 2.0)
+    return PartitioningResult(
+        column=predicate_column,
+        boundaries=tuple(boundaries),
+        boxes=tuple(boxes),
+        objective=objective,
+    )

@@ -1,0 +1,45 @@
+"""Equal-depth (equal-frequency) partitioning — the EQ baseline.
+
+Splitting the sorted predicate column into ``k`` partitions of equal tuple
+count is the paper's EQ baseline (Section 5.3) and also the provably optimal
+partitioning for COUNT query templates (Lemma A.1).  It requires a single
+sort and no variance evaluation, so it doubles as the cheap default when no
+optimization time is available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.partitioning.boundaries import boxes_from_boundaries
+from repro.query.predicate import Box
+
+__all__ = ["equal_depth_boundaries", "equal_depth_partition"]
+
+
+def equal_depth_boundaries(values: np.ndarray, n_partitions: int) -> list[float]:
+    """Interior cut values producing ``n_partitions`` equal-count partitions.
+
+    Boundaries are the values of the tuples at ranks ``i * n / k``; duplicate
+    values collapse, so fewer than ``n_partitions`` partitions may result on
+    heavily repeated data.
+    """
+    if n_partitions <= 0:
+        raise ValueError("n_partitions must be positive")
+    values = np.sort(np.asarray(values, dtype=float))
+    n = values.shape[0]
+    if n == 0:
+        raise ValueError("cannot partition an empty column")
+    n_partitions = min(n_partitions, n)
+    cut_ranks = [int(round(i * n / n_partitions)) - 1 for i in range(1, n_partitions)]
+    cuts = [float(values[max(0, rank)]) for rank in cut_ranks]
+    return sorted(set(cuts))
+
+
+def equal_depth_partition(
+    table: Table, predicate_column: str, n_partitions: int
+) -> list[Box]:
+    """Equal-depth partition boxes of a table over one predicate column."""
+    boundaries = equal_depth_boundaries(table.column(predicate_column), n_partitions)
+    return boxes_from_boundaries(predicate_column, boundaries)

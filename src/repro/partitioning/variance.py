@@ -1,0 +1,124 @@
+"""Single-partition query variance formulas (Section 4.2.1 and Appendix A).
+
+The partitioning optimizers score a candidate partition by the largest
+variance any "meaningful" query fully contained in it could have.  This
+module implements the per-query variance ``V_i(q)`` for SUM, COUNT, and AVG
+queries in two flavours:
+
+* **population** formulas over the actual tuples of the partition
+  (Section 4.2.1), used by the exact dynamic program and by tests; and
+* **sampled** formulas over the optimization sample (Appendix A.2), where
+  only the core term ``n_i * sum(t^2) - (sum(t))^2`` matters for comparing
+  queries inside the same partition.
+
+All functions accept pre-aggregated moments (count, sum, sum of squares) so
+callers can evaluate them from prefix sums in O(1).
+"""
+
+from __future__ import annotations
+
+from repro.query.aggregates import AggregateType
+
+__all__ = [
+    "core_variance_term",
+    "sum_query_variance",
+    "count_query_variance",
+    "avg_query_variance",
+    "query_variance",
+    "sampled_sum_error_variance",
+    "sampled_avg_error_variance",
+]
+
+
+def core_variance_term(n_partition: float, q_sum: float, q_sum_sq: float) -> float:
+    """The shared term ``V_i(q) = n_i * sum(t^2) - (sum(t))^2`` (Appendix A.2).
+
+    ``n_partition`` is the number of items in the partition (not the query).
+    The term is non-negative whenever the query is contained in the partition;
+    it is clamped at zero to absorb floating-point cancellation.
+    """
+    return max(0.0, n_partition * q_sum_sq - q_sum * q_sum)
+
+
+def sum_query_variance(
+    n_partition: float, q_sum: float, q_sum_sq: float
+) -> float:
+    """``V_i(q)`` of a SUM query fully inside a partition (Section 4.2.1).
+
+    ``V_i(q) = (1 / N_i) * (N_i * sum(t^2) - (sum(t))^2)``.
+    """
+    if n_partition <= 0:
+        return 0.0
+    return core_variance_term(n_partition, q_sum, q_sum_sq) / n_partition
+
+
+def count_query_variance(n_partition: float, n_query: float) -> float:
+    """``V_i(q)`` of a COUNT query: SUM variance with all values equal to 1.
+
+    With ``X = n_query`` matching tuples, the core term is ``N_i*X - X^2`` and
+    the variance is ``(N_i*X - X^2) / N_i``; it is maximised at ``X = N_i/2``
+    (Lemma A.1), which is why equal-size partitions are optimal for COUNT.
+    """
+    if n_partition <= 0:
+        return 0.0
+    return max(0.0, n_partition * n_query - n_query * n_query) / n_partition
+
+
+def avg_query_variance(
+    n_partition: float, n_query: float, q_sum: float, q_sum_sq: float
+) -> float:
+    """``V_i(q)`` of an AVG query fully inside a partition (Section 4.2.1).
+
+    ``V_i(q) = (1 / N_i) * (1 / N_iq^2) * (N_i * sum(t^2) - (sum(t))^2)``.
+    """
+    if n_partition <= 0 or n_query <= 0:
+        return 0.0
+    return core_variance_term(n_partition, q_sum, q_sum_sq) / (
+        n_partition * n_query * n_query
+    )
+
+
+def query_variance(
+    agg: AggregateType,
+    n_partition: float,
+    n_query: float,
+    q_sum: float,
+    q_sum_sq: float,
+) -> float:
+    """Dispatch to the per-aggregate ``V_i(q)`` formula."""
+    agg = AggregateType.parse(agg)
+    if agg == AggregateType.SUM:
+        return sum_query_variance(n_partition, q_sum, q_sum_sq)
+    if agg == AggregateType.COUNT:
+        return count_query_variance(n_partition, n_query)
+    if agg == AggregateType.AVG:
+        return avg_query_variance(n_partition, n_query, q_sum, q_sum_sq)
+    raise ValueError(f"partitioning variance is not defined for {agg!r}")
+
+
+def sampled_sum_error_variance(
+    population_size: float, n_samples: float, q_sum: float, q_sum_sq: float
+) -> float:
+    """Sample-based error variance of a SUM (or COUNT) query (Appendix A.1).
+
+    ``(N_i^2 / n_i^3) * (n_i * sum(t^2) - (sum(t))^2)`` where the sums range
+    over the sampled items of the query inside the partition.
+    """
+    if n_samples <= 0:
+        return 0.0
+    core = core_variance_term(n_samples, q_sum, q_sum_sq)
+    return (population_size * population_size) / (n_samples**3) * core
+
+
+def sampled_avg_error_variance(
+    n_samples: float, q_samples: float, q_sum: float, q_sum_sq: float
+) -> float:
+    """Sample-based error variance of an AVG query (Appendix A.2).
+
+    ``(1 / (n_i * |q|^2)) * (n_i * sum(t^2) - (sum(t))^2)`` where ``|q|`` is
+    the number of sampled items inside the query.
+    """
+    if n_samples <= 0 or q_samples <= 0:
+        return 0.0
+    core = core_variance_term(n_samples, q_sum, q_sum_sq)
+    return core / (n_samples * q_samples * q_samples)

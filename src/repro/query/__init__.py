@@ -1,0 +1,24 @@
+"""Query model: rectangular predicates, aggregate queries, exact engine, workloads."""
+
+from repro.query.aggregates import AggregateType
+from repro.query.predicate import Box, Interval, RectPredicate
+from repro.query.query import AggregateQuery, ExactEngine
+from repro.query.workload import (
+    WorkloadSpec,
+    challenging_queries,
+    random_range_queries,
+    template_queries,
+)
+
+__all__ = [
+    "AggregateType",
+    "Box",
+    "Interval",
+    "RectPredicate",
+    "AggregateQuery",
+    "ExactEngine",
+    "WorkloadSpec",
+    "challenging_queries",
+    "random_range_queries",
+    "template_queries",
+]

@@ -1,0 +1,70 @@
+"""Aggregate function definitions.
+
+PASS supports SUM, COUNT, AVG, MIN and MAX aggregates with predicates
+(Section 3.1).  This module defines the :class:`AggregateType` enum shared by
+the exact engine, the sampling estimators, and the synopses, plus small
+helpers for computing an aggregate exactly over a numpy array.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["AggregateType", "exact_aggregate", "SAMPLING_SUPPORTED", "ALL_AGGREGATES"]
+
+
+class AggregateType(str, enum.Enum):
+    """The aggregate functions supported by the synopsis structures."""
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+    @classmethod
+    def parse(cls, value: "str | AggregateType") -> "AggregateType":
+        """Parse an aggregate from a (case-insensitive) string or enum value."""
+        if isinstance(value, AggregateType):
+            return value
+        try:
+            return cls(value.upper())
+        except (ValueError, AttributeError):
+            known = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown aggregate {value!r}; expected one of: {known}"
+            ) from None
+
+
+#: Aggregates whose results sampling-based synopses can estimate with CLT
+#: confidence intervals.  MIN and MAX are only answered with the deterministic
+#: hard bounds of stratified aggregation.
+SAMPLING_SUPPORTED = (AggregateType.SUM, AggregateType.COUNT, AggregateType.AVG)
+
+#: All aggregates, in a canonical order.
+ALL_AGGREGATES = tuple(AggregateType)
+
+
+def exact_aggregate(agg: AggregateType, values: np.ndarray) -> float:
+    """Compute the exact aggregate of ``values``.
+
+    Empty inputs follow SQL semantics: COUNT is 0, SUM is 0, and AVG / MIN /
+    MAX are NaN (SQL NULL).
+    """
+    values = np.asarray(values, dtype=float)
+    if agg == AggregateType.COUNT:
+        return float(values.shape[0])
+    if values.shape[0] == 0:
+        return 0.0 if agg == AggregateType.SUM else float("nan")
+    if agg == AggregateType.SUM:
+        return float(values.sum())
+    if agg == AggregateType.AVG:
+        return float(values.mean())
+    if agg == AggregateType.MIN:
+        return float(values.min())
+    if agg == AggregateType.MAX:
+        return float(values.max())
+    raise ValueError(f"unsupported aggregate: {agg!r}")

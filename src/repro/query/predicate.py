@@ -1,0 +1,307 @@
+"""Rectangular predicates and partition boxes.
+
+The paper restricts queries and partitioning conditions to "rectangular"
+conditions ``x_i <= C_i <= y_i`` over the predicate columns (Section 3.1).
+Two closely related classes implement that geometry:
+
+* :class:`Interval` — a closed 1-D range ``[low, high]`` with containment /
+  overlap algebra.
+* :class:`Box` — a named mapping from column name to :class:`Interval`; it is
+  the partitioning condition ``psi_i`` attached to a partition-tree node.
+* :class:`RectPredicate` — the query-side predicate, also a mapping from
+  column name to :class:`Interval`.  Columns not mentioned are unconstrained.
+
+The containment relations between a predicate and a box drive the MCF
+algorithm: a box can be *covered* (every tuple in the box satisfies the
+predicate), *disjoint* (no tuple can satisfy it), or *partial* (anything
+else).  Those relations are decided purely from the interval geometry, never
+by scanning tuples, which is what makes the partition tree an index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["Interval", "Box", "RectPredicate", "Relation"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` on the real line.
+
+    ``low`` may be ``-inf`` and ``high`` may be ``+inf`` to express one-sided
+    or unconstrained ranges.  An interval with ``low > high`` is rejected.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.low) or math.isnan(self.high):
+            raise ValueError("interval bounds must not be NaN")
+        if self.low > self.high:
+            raise ValueError(f"invalid interval: low={self.low} > high={self.high}")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        """The interval covering the whole real line."""
+        return cls(-math.inf, math.inf)
+
+    @classmethod
+    def at_least(cls, low: float) -> "Interval":
+        """The interval ``[low, +inf)``."""
+        return cls(low, math.inf)
+
+    @classmethod
+    def at_most(cls, high: float) -> "Interval":
+        """The interval ``(-inf, high]``."""
+        return cls(-math.inf, high)
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """The degenerate interval ``[value, value]`` (equality predicate)."""
+        return cls(value, value)
+
+    # -- geometry -------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Length of the interval (may be ``inf``)."""
+        return self.high - self.low
+
+    def contains_value(self, value: float) -> bool:
+        """True when ``low <= value <= high``."""
+        return self.low <= value <= self.high
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` lies entirely inside this interval."""
+        return self.low <= other.low and other.high <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals share at least one point."""
+        return self.low <= other.high and other.low <= self.high
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the intersection interval, or None when disjoint."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return Interval(low, high)
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of the values falling inside the interval."""
+        values = np.asarray(values)
+        return (values >= self.low) & (values <= self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.low:g}, {self.high:g}]"
+
+
+class Relation:
+    """Symbolic result of comparing a predicate against a box."""
+
+    COVER = "cover"
+    PARTIAL = "partial"
+    DISJOINT = "disjoint"
+
+
+class _IntervalMapping:
+    """Shared behaviour for Box and RectPredicate (both are column->Interval maps)."""
+
+    def __init__(self, intervals: Mapping[str, Interval]) -> None:
+        self._intervals: Dict[str, Interval] = dict(intervals)
+        for column, interval in self._intervals.items():
+            if not isinstance(interval, Interval):
+                raise TypeError(
+                    f"column {column!r} must map to an Interval, got {type(interval)!r}"
+                )
+
+    @property
+    def columns(self) -> list[str]:
+        """Columns constrained by this object."""
+        return list(self._intervals.keys())
+
+    @property
+    def intervals(self) -> Dict[str, Interval]:
+        """Copy of the column -> Interval mapping."""
+        return dict(self._intervals)
+
+    def interval(self, column: str) -> Interval:
+        """The interval constraining ``column`` (unbounded when unconstrained)."""
+        return self._intervals.get(column, Interval.unbounded())
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def mask(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Boolean row mask over the given column arrays.
+
+        Every constrained column must be present in ``columns``.  Rows must
+        satisfy all per-column intervals (conjunction of range conditions).
+        """
+        mask: np.ndarray | None = None
+        for column, interval in self._intervals.items():
+            if column not in columns:
+                raise KeyError(f"column {column!r} not provided for mask evaluation")
+            column_mask = interval.mask(columns[column])
+            mask = column_mask if mask is None else (mask & column_mask)
+        if mask is None:
+            # No constraints: everything matches.  Callers must pass at least
+            # one column so the row count is known.
+            if not columns:
+                raise ValueError("cannot build a mask without any columns")
+            any_column = next(iter(columns.values()))
+            return np.ones(np.asarray(any_column).shape[0], dtype=bool)
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{col}: {iv!r}" for col, iv in self._intervals.items())
+        return f"{type(self).__name__}({parts})"
+
+
+class Box(_IntervalMapping):
+    """A rectangular region of the predicate-column space.
+
+    Boxes are the partitioning conditions ``psi_i`` attached to partition-tree
+    nodes.  They support the geometric tests the MCF algorithm needs:
+    containment inside a predicate, overlap with a predicate, and splitting.
+    """
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._intervals.items(), key=lambda kv: kv[0])))
+
+    @classmethod
+    def unbounded(cls, columns: Iterable[str]) -> "Box":
+        """A box spanning the whole space over the given columns."""
+        return cls({column: Interval.unbounded() for column in columns})
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` lies entirely inside this box.
+
+        Columns unconstrained in ``self`` impose no restriction; columns
+        constrained in ``self`` but unconstrained in ``other`` mean ``other``
+        extends outside ``self`` (unless self's interval is unbounded too).
+        """
+        for column, interval in self._intervals.items():
+            if not interval.contains_interval(other.interval(column)):
+                return False
+        return True
+
+    def overlaps_box(self, other: "Box") -> bool:
+        """True when the two boxes share at least one point."""
+        for column, interval in self._intervals.items():
+            if not interval.overlaps(other.interval(column)):
+                return False
+        return True
+
+    def intersect(self, other: "Box") -> "Box | None":
+        """Return the intersection box, or None when the boxes are disjoint."""
+        columns = set(self.columns) | set(other.columns)
+        intervals: Dict[str, Interval] = {}
+        for column in columns:
+            intersection = self.interval(column).intersect(other.interval(column))
+            if intersection is None:
+                return None
+            intervals[column] = intersection
+        return Box(intervals)
+
+    def split(self, column: str, split_value: float) -> tuple["Box", "Box"]:
+        """Split the box on ``column`` at ``split_value``.
+
+        Returns ``(left, right)`` where the left box covers values strictly
+        below ``split_value`` is impossible with closed intervals, so the
+        convention is: left covers ``[low, split_value]`` and right covers
+        ``(split_value, high]`` approximated as ``[nextafter(split_value),
+        high]``.  With continuous data (or tie-broken sort positions upstream)
+        this matches the "points to the left / right of the hyperplane"
+        description of the k-d tree in Section 4.4.
+        """
+        interval = self.interval(column)
+        if not interval.contains_value(split_value):
+            raise ValueError(
+                f"split value {split_value} outside interval {interval!r} of {column!r}"
+            )
+        left_intervals = self.intervals
+        right_intervals = self.intervals
+        left_intervals[column] = Interval(interval.low, split_value)
+        right_intervals[column] = Interval(
+            float(np.nextafter(split_value, math.inf)), interval.high
+        )
+        return Box(left_intervals), Box(right_intervals)
+
+
+class RectPredicate(_IntervalMapping):
+    """A rectangular query predicate ``x_i <= C_i <= y_i``.
+
+    A predicate constrains a subset of the predicate columns; unmentioned
+    columns are unconstrained.  The relation of a predicate to a partition box
+    (cover / partial / disjoint) is the geometric primitive used by stratified
+    aggregation (Section 2.3) and the MCF algorithm (Section 3.2).
+    """
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectPredicate):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._intervals.items(), key=lambda kv: kv[0])))
+
+    @classmethod
+    def from_bounds(cls, **bounds: tuple[float, float]) -> "RectPredicate":
+        """Build a predicate from ``column=(low, high)`` keyword pairs.
+
+        Example
+        -------
+        >>> RectPredicate.from_bounds(time=(0.0, 3.5), sensor_id=(0, 10))
+        RectPredicate(time: [0, 3.5], sensor_id: [0, 10])
+        """
+        return cls({column: Interval(low, high) for column, (low, high) in bounds.items()})
+
+    @classmethod
+    def everything(cls) -> "RectPredicate":
+        """The predicate that matches every tuple (no constraints)."""
+        return cls({})
+
+    def relation_to_box(self, box: Box) -> str:
+        """Classify ``box`` relative to this predicate.
+
+        Returns
+        -------
+        One of :data:`Relation.COVER` (every point of the box satisfies the
+        predicate), :data:`Relation.DISJOINT` (no point can satisfy it), or
+        :data:`Relation.PARTIAL`.
+        """
+        covers = True
+        for column, interval in self._intervals.items():
+            box_interval = box.interval(column)
+            if not interval.overlaps(box_interval):
+                return Relation.DISJOINT
+            if not interval.contains_interval(box_interval):
+                covers = False
+        return Relation.COVER if covers else Relation.PARTIAL
+
+    def covers_box(self, box: Box) -> bool:
+        """True when every point of ``box`` satisfies the predicate."""
+        return self.relation_to_box(box) == Relation.COVER
+
+    def overlaps_box(self, box: Box) -> bool:
+        """True when the predicate region and the box share at least one point."""
+        return self.relation_to_box(box) != Relation.DISJOINT
+
+    def as_box(self, columns: Iterable[str]) -> Box:
+        """The predicate region as a Box over the given column set."""
+        return Box({column: self.interval(column) for column in columns})

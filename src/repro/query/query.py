@@ -1,0 +1,113 @@
+"""Aggregate queries and the exact (ground-truth) execution engine.
+
+An :class:`AggregateQuery` is the library's representation of
+
+.. code-block:: sql
+
+   SELECT agg(value_column) FROM table WHERE rect-predicate(C1, ..., Cd)
+
+The :class:`ExactEngine` evaluates queries by a full scan, producing the
+ground truth that the AQP synopses are measured against.  It intentionally
+has no cleverness — its job is to be obviously correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType, exact_aggregate
+from repro.query.predicate import RectPredicate
+
+__all__ = ["AggregateQuery", "ExactEngine"]
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A subpopulation-aggregate query.
+
+    Attributes
+    ----------
+    agg:
+        Which aggregate to compute (SUM / COUNT / AVG / MIN / MAX).
+    value_column:
+        Name of the aggregation column ``A``.
+    predicate:
+        Rectangular predicate over the predicate columns; use
+        :meth:`RectPredicate.everything` for an unfiltered aggregate.
+    """
+
+    agg: AggregateType
+    value_column: str
+    predicate: RectPredicate
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "agg", AggregateType.parse(self.agg))
+
+    @classmethod
+    def sum(cls, value_column: str, predicate: RectPredicate) -> "AggregateQuery":
+        """Convenience constructor for a SUM query."""
+        return cls(AggregateType.SUM, value_column, predicate)
+
+    @classmethod
+    def count(cls, value_column: str, predicate: RectPredicate) -> "AggregateQuery":
+        """Convenience constructor for a COUNT query."""
+        return cls(AggregateType.COUNT, value_column, predicate)
+
+    @classmethod
+    def avg(cls, value_column: str, predicate: RectPredicate) -> "AggregateQuery":
+        """Convenience constructor for an AVG query."""
+        return cls(AggregateType.AVG, value_column, predicate)
+
+    def with_aggregate(self, agg: AggregateType | str) -> "AggregateQuery":
+        """A copy of this query computing a different aggregate."""
+        return replace(self, agg=AggregateType.parse(agg))
+
+    @property
+    def predicate_columns(self) -> list[str]:
+        """The columns the predicate constrains."""
+        return self.predicate.columns
+
+
+class ExactEngine:
+    """Full-scan query execution over a :class:`~repro.data.table.Table`.
+
+    The engine caches nothing across queries; every call materialises the
+    predicate mask and aggregates the matching value rows.  It is the ground
+    truth oracle used by the evaluation metrics and by tests.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+
+    @property
+    def table(self) -> Table:
+        """The underlying table."""
+        return self._table
+
+    def predicate_mask(self, query: AggregateQuery) -> np.ndarray:
+        """Boolean mask of the rows matching the query's predicate."""
+        predicate = query.predicate
+        if len(predicate) == 0:
+            return np.ones(self._table.n_rows, dtype=bool)
+        columns = self._table.columns(predicate.columns)
+        return predicate.mask(columns)
+
+    def selectivity(self, query: AggregateQuery) -> float:
+        """Fraction of table rows matching the query's predicate."""
+        if self._table.n_rows == 0:
+            return 0.0
+        return float(self.predicate_mask(query).sum()) / self._table.n_rows
+
+    def execute(self, query: AggregateQuery) -> float:
+        """Exact result of the query (ground truth)."""
+        mask = self.predicate_mask(query)
+        values = self._table.column(query.value_column)[mask]
+        return exact_aggregate(query.agg, values)
+
+    def execute_many(self, queries: Iterable[AggregateQuery]) -> list[float]:
+        """Exact results for a sequence of queries."""
+        return [self.execute(query) for query in queries]

@@ -1,0 +1,252 @@
+"""Workload generators used by the paper's experiments.
+
+Three families of workloads appear in Section 5:
+
+* **Random range queries** (Figures 3–5, Tables 1–3): rectangular predicates
+  whose endpoints are drawn from the actual attribute values, so the query
+  always overlaps data ("meaningful" queries in the paper's terminology).
+* **Challenging queries** (Figures 6–7): queries concentrated in the region of
+  the dataset with the maximum aggregate-value variance, where partitioning
+  quality matters most.
+* **Multi-dimensional template queries** (Figures 8–9): templates Q1..Q5 over
+  the first ``i`` predicate columns of the NYC dataset.
+
+All generators are deterministic given an explicit ``numpy`` random generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType
+from repro.query.predicate import Interval, RectPredicate
+from repro.query.query import AggregateQuery
+
+__all__ = [
+    "WorkloadSpec",
+    "random_range_queries",
+    "challenging_queries",
+    "template_queries",
+    "max_variance_window",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a generated workload.
+
+    Attributes
+    ----------
+    queries:
+        The generated queries.
+    description:
+        Human-readable description used in reports.
+    """
+
+    queries: tuple[AggregateQuery, ...]
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def with_aggregate(self, agg: AggregateType | str) -> "WorkloadSpec":
+        """The same predicates, re-targeted at a different aggregate."""
+        agg = AggregateType.parse(agg)
+        return WorkloadSpec(
+            queries=tuple(query.with_aggregate(agg) for query in self.queries),
+            description=f"{self.description} [{agg.value}]",
+        )
+
+
+def _random_interval(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    min_fraction: float,
+    max_fraction: float,
+) -> Interval:
+    """Draw a random interval whose endpoints are actual attribute values.
+
+    The interval's *rank width* (fraction of the sorted attribute values it
+    spans) is uniform in ``[min_fraction, max_fraction]``, which gives a
+    spread of selectivities similar to the paper's "randomly selected
+    queries".
+    """
+    n = values.shape[0]
+    if n == 0:
+        raise ValueError("cannot draw an interval from an empty column")
+    sorted_values = np.sort(values)
+    fraction = rng.uniform(min_fraction, max_fraction)
+    width = max(1, int(round(fraction * n)))
+    start = int(rng.integers(0, max(1, n - width + 1)))
+    end = min(n - 1, start + width - 1)
+    return Interval(float(sorted_values[start]), float(sorted_values[end]))
+
+
+def random_range_queries(
+    table: Table,
+    value_column: str,
+    predicate_columns: Sequence[str],
+    n_queries: int,
+    agg: AggregateType | str = AggregateType.SUM,
+    rng: np.random.Generator | int | None = 0,
+    min_fraction: float = 0.01,
+    max_fraction: float = 0.5,
+) -> WorkloadSpec:
+    """Generate random rectangular range queries over the given columns.
+
+    Parameters
+    ----------
+    table:
+        Source table; interval endpoints are drawn from its attribute values.
+    value_column:
+        Aggregation column of every generated query.
+    predicate_columns:
+        Columns to constrain; every query constrains all of them.
+    n_queries:
+        Number of queries to generate.
+    agg:
+        Aggregate type (SUM by default, matching most of the paper's plots).
+    rng:
+        Numpy generator or seed.
+    min_fraction, max_fraction:
+        Range of per-column rank widths; controls query selectivity.
+    """
+    if n_queries <= 0:
+        raise ValueError("n_queries must be positive")
+    if not predicate_columns:
+        raise ValueError("at least one predicate column is required")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    agg = AggregateType.parse(agg)
+    column_values = {column: table.column(column) for column in predicate_columns}
+    queries = []
+    for _ in range(n_queries):
+        intervals = {
+            column: _random_interval(values, generator, min_fraction, max_fraction)
+            for column, values in column_values.items()
+        }
+        queries.append(AggregateQuery(agg, value_column, RectPredicate(intervals)))
+    description = (
+        f"{n_queries} random {agg.value} queries over {list(predicate_columns)} "
+        f"on {table.name}"
+    )
+    return WorkloadSpec(queries=tuple(queries), description=description)
+
+
+def max_variance_window(
+    table: Table,
+    value_column: str,
+    predicate_column: str,
+    window_fraction: float = 0.125,
+) -> Interval:
+    """Locate the predicate-column window with the largest aggregate variance.
+
+    This mirrors the paper's use of the "fast discretization method" to find
+    challenging query regions (Section 5.3): the table is sorted by the
+    predicate column and the contiguous window of ``window_fraction`` of the
+    rows with the largest variance of the aggregation column is returned.
+    """
+    if not 0.0 < window_fraction <= 1.0:
+        raise ValueError("window_fraction must be in (0, 1]")
+    order = np.argsort(table.column(predicate_column), kind="stable")
+    keys = table.column(predicate_column)[order]
+    values = table.column(value_column)[order].astype(float)
+    n = values.shape[0]
+    window = max(2, int(round(window_fraction * n)))
+    window = min(window, n)
+
+    # Sliding-window variance via prefix sums of values and squared values.
+    prefix = np.concatenate([[0.0], np.cumsum(values)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(values**2)])
+    starts = np.arange(0, n - window + 1)
+    ends = starts + window
+    window_sum = prefix[ends] - prefix[starts]
+    window_sum_sq = prefix_sq[ends] - prefix_sq[starts]
+    variance = window_sum_sq / window - (window_sum / window) ** 2
+    best = int(np.argmax(variance))
+    return Interval(float(keys[best]), float(keys[best + window - 1]))
+
+
+def challenging_queries(
+    table: Table,
+    value_column: str,
+    predicate_column: str,
+    n_queries: int,
+    agg: AggregateType | str = AggregateType.SUM,
+    rng: np.random.Generator | int | None = 0,
+    window_fraction: float = 0.125,
+    min_fraction: float = 0.05,
+    max_fraction: float = 0.8,
+) -> WorkloadSpec:
+    """Generate queries concentrated in the max-variance region of the data.
+
+    The paper's "challenging queries" (Figures 6 and 7) are random queries
+    drawn from the interval with the maximum variance.  Here we locate that
+    window with :func:`max_variance_window` and draw random sub-intervals of
+    it.
+    """
+    if n_queries <= 0:
+        raise ValueError("n_queries must be positive")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    agg = AggregateType.parse(agg)
+    hot_window = max_variance_window(
+        table, value_column, predicate_column, window_fraction=window_fraction
+    )
+    keys = table.column(predicate_column)
+    in_window = keys[(keys >= hot_window.low) & (keys <= hot_window.high)]
+    if in_window.shape[0] < 2:
+        raise ValueError("max-variance window contains fewer than 2 tuples")
+    queries = []
+    for _ in range(n_queries):
+        interval = _random_interval(in_window, generator, min_fraction, max_fraction)
+        queries.append(
+            AggregateQuery(agg, value_column, RectPredicate({predicate_column: interval}))
+        )
+    description = (
+        f"{n_queries} challenging {agg.value} queries in max-variance window "
+        f"{hot_window!r} of {table.name}"
+    )
+    return WorkloadSpec(queries=tuple(queries), description=description)
+
+
+def template_queries(
+    table: Table,
+    value_column: str,
+    predicate_columns: Sequence[str],
+    n_dimensions: int,
+    n_queries: int,
+    agg: AggregateType | str = AggregateType.SUM,
+    rng: np.random.Generator | int | None = 0,
+    min_fraction: float = 0.05,
+    max_fraction: float = 0.6,
+) -> WorkloadSpec:
+    """Generate the i-dimensional query template of Section 5.4.
+
+    The ``i``-th template constrains the first ``i`` predicate columns; all
+    other columns are unconstrained.  Used for the multi-dimensional and
+    workload-shift experiments (Figures 8 and 9).
+    """
+    if n_dimensions <= 0 or n_dimensions > len(predicate_columns):
+        raise ValueError(
+            f"n_dimensions must be in [1, {len(predicate_columns)}], got {n_dimensions}"
+        )
+    workload = random_range_queries(
+        table=table,
+        value_column=value_column,
+        predicate_columns=list(predicate_columns[:n_dimensions]),
+        n_queries=n_queries,
+        agg=agg,
+        rng=rng,
+        min_fraction=min_fraction,
+        max_fraction=max_fraction,
+    )
+    return WorkloadSpec(
+        queries=workload.queries,
+        description=f"{n_dimensions}D template: {workload.description}",
+    )

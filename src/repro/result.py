@@ -1,0 +1,97 @@
+"""Common result types returned by every AQP synopsis.
+
+All synopses (uniform sampling, stratified sampling, stratified aggregation,
+AQP++, PASS, and the end-to-end baselines) return an :class:`AQPResult`, so
+the evaluation harness can treat them interchangeably.  PASS additionally
+fills the deterministic hard bounds and data-skipping statistics that only it
+(and pure stratified aggregation) can provide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["AQPResult", "LAMBDA_95", "LAMBDA_99"]
+
+#: Normal-quantile multipliers for the confidence intervals used in the paper.
+LAMBDA_95 = 1.96
+LAMBDA_99 = 2.576
+
+
+@dataclass(frozen=True)
+class AQPResult:
+    """The answer of an approximate query.
+
+    Attributes
+    ----------
+    estimate:
+        Point estimate of the aggregate.
+    ci_half_width:
+        Half-width of the CLT confidence interval (``lambda * sqrt(variance)``).
+        Zero when the answer is exact, NaN when no estimate was possible
+        (e.g. an empty sample for a very selective query).
+    variance:
+        Estimated variance of the point estimate (before multiplying by the
+        confidence multiplier).
+    hard_lower / hard_upper:
+        Deterministic bounds from precomputed partition aggregates, when the
+        synopsis can provide them (PASS / stratified aggregation); ``-inf`` /
+        ``+inf`` otherwise.
+    tuples_processed:
+        Number of synopsis tuples (samples) touched while answering the
+        query; the paper's effective-sample-size / latency proxy.
+    tuples_skipped:
+        Number of *dataset* tuples whose contribution was resolved from
+        precomputed aggregates or skipped as irrelevant, i.e. never touched
+        via samples.  Used for the skip-rate metric.
+    exact:
+        True when the answer is exact (all relevant partitions fully covered).
+    """
+
+    estimate: float
+    ci_half_width: float = float("nan")
+    variance: float = float("nan")
+    hard_lower: float = -math.inf
+    hard_upper: float = math.inf
+    tuples_processed: int = 0
+    tuples_skipped: int = 0
+    exact: bool = False
+
+    @property
+    def ci_lower(self) -> float:
+        """Lower end of the CLT confidence interval."""
+        if math.isnan(self.ci_half_width):
+            return float("nan")
+        return self.estimate - self.ci_half_width
+
+    @property
+    def ci_upper(self) -> float:
+        """Upper end of the CLT confidence interval."""
+        if math.isnan(self.ci_half_width):
+            return float("nan")
+        return self.estimate + self.ci_half_width
+
+    def relative_error(self, ground_truth: float) -> float:
+        """|estimate - truth| / |truth| (NaN-safe; see metrics module)."""
+        if ground_truth == 0.0:
+            return 0.0 if self.estimate == 0.0 else float("inf")
+        if math.isnan(self.estimate) or math.isnan(ground_truth):
+            return float("nan")
+        return abs(self.estimate - ground_truth) / abs(ground_truth)
+
+    def ci_ratio(self, ground_truth: float) -> float:
+        """Half CI width divided by the ground truth (the paper's CI ratio)."""
+        if ground_truth == 0.0 or math.isnan(self.ci_half_width):
+            return float("nan")
+        return abs(self.ci_half_width) / abs(ground_truth)
+
+    def contains_truth(self, ground_truth: float) -> bool:
+        """True when the ground truth lies inside the CLT confidence interval."""
+        if math.isnan(self.ci_half_width):
+            return False
+        return self.ci_lower <= ground_truth <= self.ci_upper
+
+    def within_hard_bounds(self, ground_truth: float) -> bool:
+        """True when the ground truth lies inside the deterministic bounds."""
+        return self.hard_lower <= ground_truth <= self.hard_upper

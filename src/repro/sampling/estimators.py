@@ -1,0 +1,254 @@
+"""Sampling estimators shared by all synopsis structures.
+
+Section 2.1 of the paper reformulates SUM, COUNT, and AVG queries as averages
+of a transformed attribute ``phi(t)`` over the sample:
+
+* COUNT: ``phi(t) = Predicate(t) * N``
+* SUM:   ``phi(t) = Predicate(t) * N * a``
+* AVG:   ``phi(t) = Predicate(t) * (K / K_pred) * a``
+
+The estimate is ``mean(phi(S))`` and, by the CLT, its variance is
+``var(phi(S)) / K``.  Stratified variants apply the same formulas inside each
+stratum with the stratum's own population size ``N_i`` and sample size
+``K_i``.
+
+This module implements those formulas as small, heavily-tested functions that
+every synopsis (uniform, stratified, AQP++ gap estimation, PASS partial
+partitions) builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.aggregates import AggregateType
+
+__all__ = [
+    "EstimateWithVariance",
+    "finite_population_correction",
+    "uniform_estimate",
+    "stratum_sum_contribution",
+    "stratum_count_contribution",
+    "stratum_mean_estimate",
+]
+
+
+@dataclass(frozen=True)
+class EstimateWithVariance:
+    """A point estimate together with the variance of that estimate.
+
+    ``variance`` is the variance of the *estimator* (already divided by the
+    sample size), so a confidence interval is ``estimate ± lambda *
+    sqrt(variance)``.
+    """
+
+    estimate: float
+    variance: float
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the estimate (sqrt of the variance)."""
+        if math.isnan(self.variance) or self.variance < 0:
+            return float("nan")
+        return math.sqrt(self.variance)
+
+    def scaled(self, factor: float) -> "EstimateWithVariance":
+        """The estimate of ``factor * X``: mean scales by ``factor``, variance by ``factor**2``."""
+        return EstimateWithVariance(self.estimate * factor, self.variance * factor * factor)
+
+    def __add__(self, other: "EstimateWithVariance") -> "EstimateWithVariance":
+        """Sum of two *independent* estimates (variances add)."""
+        return EstimateWithVariance(
+            self.estimate + other.estimate, self.variance + other.variance
+        )
+
+
+ZERO_ESTIMATE = EstimateWithVariance(0.0, 0.0)
+
+
+def finite_population_correction(population_size: int, sample_size: int) -> float:
+    """The finite-population correction factor ``(N - K) / (N - 1)``.
+
+    Applied to the estimator variance when sampling without replacement from a
+    finite population; returns 1.0 for degenerate inputs (``N <= 1``).
+    """
+    if population_size <= 1:
+        return 1.0
+    correction = (population_size - sample_size) / (population_size - 1)
+    return max(0.0, correction)
+
+
+def _sample_variance(values: np.ndarray) -> float:
+    """Population-style variance of the sample values (ddof=0).
+
+    The paper's formulas use the plug-in variance ``var(phi(S))``; with one
+    (or zero) samples the spread cannot be estimated and 0.0 is returned so a
+    degenerate sample yields a zero-width (over-confident but well-defined)
+    interval rather than NaN.
+    """
+    if values.shape[0] <= 1:
+        return 0.0
+    return float(np.var(values))
+
+
+def uniform_estimate(
+    agg: AggregateType,
+    sample_values: np.ndarray,
+    sample_match_mask: np.ndarray,
+    population_size: int,
+    with_fpc: bool = False,
+) -> EstimateWithVariance:
+    """Estimate an aggregate from a uniform sample of the population.
+
+    Parameters
+    ----------
+    agg:
+        SUM, COUNT or AVG.  MIN / MAX cannot be estimated from a sample with
+        CLT guarantees and raise ``ValueError``.
+    sample_values:
+        Values of the aggregation column for the sampled tuples.
+    sample_match_mask:
+        Boolean mask marking which sampled tuples satisfy the predicate.
+    population_size:
+        ``N``, the number of tuples in the population the sample was drawn
+        from.
+    with_fpc:
+        Apply the finite-population correction to the variance.
+    """
+    agg = AggregateType.parse(agg)
+    sample_values = np.asarray(sample_values, dtype=float)
+    sample_match_mask = np.asarray(sample_match_mask, dtype=bool)
+    if sample_values.shape != sample_match_mask.shape:
+        raise ValueError("sample_values and sample_match_mask must have equal shapes")
+    sample_size = sample_values.shape[0]
+
+    if sample_size == 0:
+        if agg in (AggregateType.SUM, AggregateType.COUNT):
+            # No information: report 0 with unknown (NaN) variance.
+            return EstimateWithVariance(0.0, float("nan"))
+        return EstimateWithVariance(float("nan"), float("nan"))
+
+    if agg == AggregateType.COUNT:
+        phi = sample_match_mask.astype(float) * population_size
+    elif agg == AggregateType.SUM:
+        phi = sample_match_mask.astype(float) * sample_values * population_size
+    elif agg == AggregateType.AVG:
+        matched = int(sample_match_mask.sum())
+        if matched == 0:
+            return EstimateWithVariance(float("nan"), float("nan"))
+        phi = (
+            sample_match_mask.astype(float)
+            * sample_values
+            * (sample_size / matched)
+        )
+    else:
+        raise ValueError(f"aggregate {agg.value} cannot be estimated from a sample")
+
+    estimate = float(phi.mean())
+    variance = _sample_variance(phi) / sample_size
+    if with_fpc:
+        variance *= finite_population_correction(population_size, sample_size)
+    return EstimateWithVariance(estimate, variance)
+
+
+def stratum_sum_contribution(
+    sample_values: np.ndarray,
+    sample_match_mask: np.ndarray,
+    stratum_size: int,
+    with_fpc: bool = False,
+) -> EstimateWithVariance:
+    """Estimate a stratum's contribution to a SUM query.
+
+    The contribution of stratum ``i`` is ``N_i * mean(Predicate * a)`` over
+    its sample, with estimator variance ``N_i^2 * var(Predicate * a) / K_i``.
+    Used both by plain stratified sampling and by PASS for partially covered
+    leaves.
+    """
+    sample_values = np.asarray(sample_values, dtype=float)
+    sample_match_mask = np.asarray(sample_match_mask, dtype=bool)
+    sample_size = sample_values.shape[0]
+    if sample_size == 0:
+        # An unsampled, partially-overlapping stratum contributes an unknown
+        # amount; report 0 with NaN variance so callers can surface it.
+        return EstimateWithVariance(0.0, float("nan"))
+    contributions = sample_match_mask.astype(float) * sample_values
+    estimate = float(contributions.mean()) * stratum_size
+    variance = (stratum_size**2) * _sample_variance(contributions) / sample_size
+    if with_fpc:
+        variance *= finite_population_correction(stratum_size, sample_size)
+    return EstimateWithVariance(estimate, variance)
+
+
+def stratum_count_contribution(
+    sample_match_mask: np.ndarray,
+    stratum_size: int,
+    with_fpc: bool = False,
+) -> EstimateWithVariance:
+    """Estimate a stratum's contribution to a COUNT query.
+
+    The contribution is ``N_i * mean(Predicate)`` with variance
+    ``N_i^2 * var(Predicate) / K_i``.
+    """
+    sample_match_mask = np.asarray(sample_match_mask, dtype=bool)
+    sample_size = sample_match_mask.shape[0]
+    if sample_size == 0:
+        return EstimateWithVariance(0.0, float("nan"))
+    indicator = sample_match_mask.astype(float)
+    estimate = float(indicator.mean()) * stratum_size
+    variance = (stratum_size**2) * _sample_variance(indicator) / sample_size
+    if with_fpc:
+        variance *= finite_population_correction(stratum_size, sample_size)
+    return EstimateWithVariance(estimate, variance)
+
+
+def stratum_mean_estimate(
+    sample_values: np.ndarray,
+    sample_match_mask: np.ndarray,
+) -> EstimateWithVariance:
+    """Estimate the mean of the matching tuples within one stratum.
+
+    Used by the stratified-sampling AVG estimator: the per-stratum mean of the
+    tuples that satisfy the predicate, with variance ``var(matched) /
+    K_pred``.  Returns NaN when the stratum sample contains no matching
+    tuples.
+    """
+    sample_values = np.asarray(sample_values, dtype=float)
+    sample_match_mask = np.asarray(sample_match_mask, dtype=bool)
+    matched_values = sample_values[sample_match_mask]
+    matched = matched_values.shape[0]
+    if matched == 0:
+        return EstimateWithVariance(float("nan"), float("nan"))
+    estimate = float(matched_values.mean())
+    variance = _sample_variance(matched_values) / matched
+    return EstimateWithVariance(estimate, variance)
+
+
+def ratio_estimate(
+    numerator: EstimateWithVariance,
+    denominator: EstimateWithVariance,
+) -> EstimateWithVariance:
+    """Delta-method estimate of a ratio ``numerator / denominator``.
+
+    Used for AVG answers assembled from independently-estimated SUM and COUNT
+    parts (e.g. PASS combines exact covered parts with sampled partial
+    parts).  The variance approximation is
+
+    ``Var(R) ≈ (Var(num) + R^2 * Var(den)) / den^2``
+
+    which assumes the numerator and denominator estimates are uncorrelated;
+    the correlated within-stratum refinement is handled by the PASS synopsis
+    itself where the per-stratum residual variance is available.
+    """
+    if denominator.estimate == 0 or math.isnan(denominator.estimate):
+        return EstimateWithVariance(float("nan"), float("nan"))
+    ratio = numerator.estimate / denominator.estimate
+    num_var = numerator.variance
+    den_var = denominator.variance
+    if math.isnan(num_var) or math.isnan(den_var):
+        variance = float("nan")
+    else:
+        variance = (num_var + ratio**2 * den_var) / denominator.estimate**2
+    return EstimateWithVariance(ratio, variance)

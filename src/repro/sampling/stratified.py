@@ -1,0 +1,371 @@
+"""Stratified-sampling AQP synopsis (the ST baseline, Section 2.2).
+
+The table is partitioned into ``B`` mutually exclusive strata defined by
+rectangular boxes over the predicate columns.  Each stratum keeps a uniform
+sample of its own tuples.  Query results are assembled from per-stratum
+estimates combined with the paper's weights:
+
+* SUM / COUNT: weights 1, the per-stratum contributions simply add up.
+* AVG: weight ``N_i / N_q`` for strata with at least one matching sampled
+  tuple (``N_q`` is the total size of all such relevant strata), 0 otherwise.
+
+The confidence interval is ``lambda * sqrt(sum(w_i^2 * V_i))`` where ``V_i``
+is the per-stratum estimator variance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType
+from repro.query.predicate import Box, Interval
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult, LAMBDA_99
+from repro.sampling.estimators import (
+    EstimateWithVariance,
+    stratum_count_contribution,
+    stratum_mean_estimate,
+    stratum_sum_contribution,
+)
+
+__all__ = ["Stratum", "StratifiedSampleSynopsis", "equal_depth_boxes"]
+
+
+@dataclass
+class Stratum:
+    """One stratum: a partition box, its population size, and its sample.
+
+    Attributes
+    ----------
+    box:
+        The rectangular partitioning condition of the stratum.
+    size:
+        ``N_i`` — number of dataset tuples in the stratum.
+    sample_columns:
+        Column name -> values of the sampled tuples of this stratum (always
+        includes the aggregation column and every predicate column).
+    """
+
+    box: Box
+    size: int
+    sample_columns: Dict[str, np.ndarray]
+
+    @property
+    def sample_size(self) -> int:
+        """``K_i`` — number of sampled tuples retained for the stratum."""
+        if not self.sample_columns:
+            return 0
+        return int(next(iter(self.sample_columns.values())).shape[0])
+
+    def sample_values(self, value_column: str) -> np.ndarray:
+        """Aggregation-column values of the stratum's sample."""
+        return np.asarray(self.sample_columns[value_column], dtype=float)
+
+    def match_mask(self, query: AggregateQuery) -> np.ndarray:
+        """Boolean mask of sampled tuples satisfying the query predicate."""
+        if self.sample_size == 0:
+            return np.zeros(0, dtype=bool)
+        predicate = query.predicate
+        if len(predicate) == 0:
+            return np.ones(self.sample_size, dtype=bool)
+        return predicate.mask(self.sample_columns)
+
+    def storage_bytes(self) -> int:
+        """Approximate bytes held by the stratum's sample."""
+        return int(sum(values.nbytes for values in self.sample_columns.values()))
+
+
+def equal_depth_boxes(
+    table: Table, predicate_column: str, n_strata: int
+) -> list[Box]:
+    """Equal-depth (equal-frequency) 1-D partitioning of a predicate column.
+
+    Boundaries are placed so every stratum holds (approximately) the same
+    number of tuples, the "EQ" partitioning of the paper's experiments and the
+    default stratification of the ST baseline.
+    """
+    if n_strata <= 0:
+        raise ValueError("n_strata must be positive")
+    values = np.sort(table.column(predicate_column).astype(float))
+    n = values.shape[0]
+    if n == 0:
+        raise ValueError("cannot stratify an empty table")
+    n_strata = min(n_strata, n)
+    boundaries = sorted(
+        {float(values[min(n - 1, int(round(i * n / n_strata)))]) for i in range(1, n_strata)}
+    )
+    boxes: list[Box] = []
+    low = -math.inf
+    for boundary in boundaries:
+        boxes.append(Box({predicate_column: Interval(low, boundary)}))
+        low = float(np.nextafter(boundary, math.inf))
+    boxes.append(Box({predicate_column: Interval(low, math.inf)}))
+    # Drop empty boxes created by duplicate boundary values.
+    column = table.column(predicate_column)
+    non_empty = [box for box in boxes if box.mask({predicate_column: column}).any()]
+    return non_empty
+
+
+class StratifiedSampleSynopsis:
+    """Stratified sampling over a fixed set of partition boxes.
+
+    Parameters
+    ----------
+    table:
+        Source table.
+    value_column:
+        Aggregation column ``A``.
+    predicate_columns:
+        Predicate columns retained inside each stratum sample.
+    boxes:
+        Mutually exclusive partition boxes covering the table.  Use
+        :func:`equal_depth_boxes` for the paper's default equal-depth strata.
+    sample_size / sample_rate:
+        Total sampling budget ``K`` split evenly across strata (the paper's
+        ``K / B`` allocation).  Exactly one of the two must be given.
+    allocation:
+        ``"equal"`` (paper default, ``K/B`` per stratum) or ``"proportional"``
+        (per-stratum budget proportional to stratum size).
+    with_fpc:
+        Apply the finite-population correction inside each stratum.
+    rng:
+        Numpy generator or seed.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        value_column: str,
+        predicate_columns: Sequence[str],
+        boxes: Sequence[Box],
+        sample_size: int | None = None,
+        sample_rate: float | None = None,
+        allocation: str = "equal",
+        with_fpc: bool = False,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        if (sample_size is None) == (sample_rate is None):
+            raise ValueError("provide exactly one of sample_size or sample_rate")
+        if sample_rate is not None:
+            if not 0.0 < sample_rate <= 1.0:
+                raise ValueError("sample_rate must be in (0, 1]")
+            sample_size = max(1, int(round(sample_rate * table.n_rows)))
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        if not boxes:
+            raise ValueError("at least one stratum box is required")
+        if allocation not in ("equal", "proportional"):
+            raise ValueError("allocation must be 'equal' or 'proportional'")
+
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self._value_column = value_column
+        self._predicate_columns = list(predicate_columns)
+        self._population_size = table.n_rows
+        self._with_fpc = with_fpc
+
+        keep_columns = [value_column] + [
+            column for column in self._predicate_columns if column != value_column
+        ]
+        box_columns = sorted({col for box in boxes for col in box.columns})
+        for column in box_columns:
+            if column not in keep_columns:
+                keep_columns.append(column)
+
+        all_column_data = table.columns(keep_columns)
+        self._strata: list[Stratum] = []
+        sizes = []
+        masks = []
+        for box in boxes:
+            mask = box.mask({col: all_column_data[col] for col in box.columns})
+            masks.append(mask)
+            sizes.append(int(mask.sum()))
+
+        budgets = self._allocate(sample_size, sizes, allocation)
+        for box, mask, size, budget in zip(boxes, masks, sizes, budgets):
+            if size == 0:
+                continue
+            indices = np.flatnonzero(mask)
+            n_draw = min(budget, size)
+            if n_draw > 0:
+                chosen = generator.choice(indices, size=n_draw, replace=False)
+            else:
+                chosen = np.array([], dtype=int)
+            sample_columns = {
+                column: all_column_data[column][chosen].astype(float)
+                for column in keep_columns
+            }
+            self._strata.append(Stratum(box=box, size=size, sample_columns=sample_columns))
+        if not self._strata:
+            raise ValueError("all strata are empty; check the partition boxes")
+
+    @staticmethod
+    def _allocate(total: int, sizes: Sequence[int], allocation: str) -> list[int]:
+        """Split the total sample budget across strata."""
+        non_empty = [size for size in sizes if size > 0]
+        if not non_empty:
+            return [0 for _ in sizes]
+        if allocation == "equal":
+            per_stratum = max(1, total // len(non_empty))
+            return [per_stratum if size > 0 else 0 for size in sizes]
+        population = sum(sizes)
+        budgets = []
+        for size in sizes:
+            if size == 0:
+                budgets.append(0)
+            else:
+                budgets.append(max(1, int(round(total * size / population))))
+        return budgets
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def strata(self) -> list[Stratum]:
+        """The strata (box, size, sample) of the synopsis."""
+        return list(self._strata)
+
+    @property
+    def n_strata(self) -> int:
+        """Number of non-empty strata."""
+        return len(self._strata)
+
+    @property
+    def sample_size(self) -> int:
+        """Total number of sampled tuples across all strata."""
+        return sum(stratum.sample_size for stratum in self._strata)
+
+    @property
+    def population_size(self) -> int:
+        """Number of tuples in the source table."""
+        return self._population_size
+
+    def storage_bytes(self) -> int:
+        """Approximate storage footprint of all stratum samples."""
+        return sum(stratum.storage_bytes() for stratum in self._strata)
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def query(self, query: AggregateQuery, lam: float = LAMBDA_99) -> AQPResult:
+        """Answer an aggregate query from the stratified samples."""
+        if query.value_column != self._value_column:
+            raise ValueError(
+                f"synopsis was built for column {self._value_column!r}, "
+                f"query aggregates {query.value_column!r}"
+            )
+        agg = query.agg
+        if agg in (AggregateType.MIN, AggregateType.MAX):
+            return self._extremum_result(agg, query)
+        if agg == AggregateType.AVG:
+            estimate = self._avg_estimate(query)
+        else:
+            estimate = self._sum_count_estimate(agg, query)
+        half_width = (
+            float("nan")
+            if math.isnan(estimate.variance)
+            else lam * math.sqrt(max(estimate.variance, 0.0))
+        )
+        return AQPResult(
+            estimate=estimate.estimate,
+            ci_half_width=half_width,
+            variance=estimate.variance,
+            tuples_processed=self._tuples_processed(query),
+            tuples_skipped=self._tuples_skipped(query),
+            exact=False,
+        )
+
+    def _relevant_strata(self, query: AggregateQuery) -> list[Stratum]:
+        """Strata whose box overlaps the query predicate region."""
+        predicate = query.predicate
+        if len(predicate) == 0:
+            return list(self._strata)
+        return [
+            stratum
+            for stratum in self._strata
+            if predicate.overlaps_box(stratum.box)
+        ]
+
+    def _tuples_processed(self, query: AggregateQuery) -> int:
+        return sum(stratum.sample_size for stratum in self._relevant_strata(query))
+
+    def _tuples_skipped(self, query: AggregateQuery) -> int:
+        relevant = {id(stratum) for stratum in self._relevant_strata(query)}
+        return sum(
+            stratum.size for stratum in self._strata if id(stratum) not in relevant
+        )
+
+    def _sum_count_estimate(
+        self, agg: AggregateType, query: AggregateQuery
+    ) -> EstimateWithVariance:
+        total = EstimateWithVariance(0.0, 0.0)
+        for stratum in self._relevant_strata(query):
+            match_mask = stratum.match_mask(query)
+            if agg == AggregateType.SUM:
+                contribution = stratum_sum_contribution(
+                    stratum.sample_values(self._value_column),
+                    match_mask,
+                    stratum.size,
+                    with_fpc=self._with_fpc,
+                )
+            else:
+                contribution = stratum_count_contribution(
+                    match_mask, stratum.size, with_fpc=self._with_fpc
+                )
+            if math.isnan(contribution.variance):
+                # Unsampled stratum: contribute nothing but keep the total finite.
+                continue
+            total = total + contribution
+        return total
+
+    def _avg_estimate(self, query: AggregateQuery) -> EstimateWithVariance:
+        relevant: list[tuple[Stratum, EstimateWithVariance]] = []
+        for stratum in self._relevant_strata(query):
+            match_mask = stratum.match_mask(query)
+            if not match_mask.any():
+                continue
+            mean = stratum_mean_estimate(
+                stratum.sample_values(self._value_column), match_mask
+            )
+            relevant.append((stratum, mean))
+        if not relevant:
+            return EstimateWithVariance(float("nan"), float("nan"))
+        total_relevant_size = sum(stratum.size for stratum, _ in relevant)
+        estimate = 0.0
+        variance = 0.0
+        for stratum, mean in relevant:
+            weight = stratum.size / total_relevant_size
+            estimate += weight * mean.estimate
+            variance += (weight**2) * (
+                0.0 if math.isnan(mean.variance) else mean.variance
+            )
+        return EstimateWithVariance(estimate, variance)
+
+    def _extremum_result(self, agg: AggregateType, query: AggregateQuery) -> AQPResult:
+        best = float("nan")
+        for stratum in self._relevant_strata(query):
+            match_mask = stratum.match_mask(query)
+            matched = stratum.sample_values(self._value_column)[match_mask]
+            if matched.shape[0] == 0:
+                continue
+            candidate = float(matched.min() if agg == AggregateType.MIN else matched.max())
+            if math.isnan(best):
+                best = candidate
+            elif agg == AggregateType.MIN:
+                best = min(best, candidate)
+            else:
+                best = max(best, candidate)
+        return AQPResult(
+            estimate=best,
+            ci_half_width=float("nan"),
+            variance=float("nan"),
+            tuples_processed=self._tuples_processed(query),
+            tuples_skipped=self._tuples_skipped(query),
+            exact=False,
+        )

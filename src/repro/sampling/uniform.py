@@ -1,0 +1,172 @@
+"""Uniform-sampling AQP synopsis (the US baseline, Section 2.1).
+
+A :class:`UniformSampleSynopsis` stores a uniform random sample of ``K``
+tuples.  Queries are answered by transforming the sample with the appropriate
+``phi`` function and applying the CLT confidence interval.  This is the
+simplest synopsis in the library and the baseline every other structure is
+measured against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult, LAMBDA_99
+from repro.sampling.estimators import uniform_estimate
+
+__all__ = ["UniformSampleSynopsis"]
+
+
+class UniformSampleSynopsis:
+    """A uniform random sample used as an AQP synopsis.
+
+    Parameters
+    ----------
+    table:
+        Source table (only the sampled rows are retained).
+    value_column:
+        The aggregation column.
+    predicate_columns:
+        Predicate columns retained in the sample so predicates can be
+        evaluated against sampled tuples.
+    sample_size / sample_rate:
+        Exactly one of the two must be provided.
+    with_fpc:
+        Apply the finite-population correction to confidence intervals.
+    rng:
+        Numpy generator or seed controlling the sample draw.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        value_column: str,
+        predicate_columns: Sequence[str],
+        sample_size: int | None = None,
+        sample_rate: float | None = None,
+        with_fpc: bool = False,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        if (sample_size is None) == (sample_rate is None):
+            raise ValueError("provide exactly one of sample_size or sample_rate")
+        if sample_rate is not None:
+            if not 0.0 < sample_rate <= 1.0:
+                raise ValueError("sample_rate must be in (0, 1]")
+            sample_size = max(1, int(round(sample_rate * table.n_rows)))
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+
+        self._value_column = value_column
+        self._predicate_columns = list(predicate_columns)
+        self._population_size = table.n_rows
+        self._with_fpc = with_fpc
+
+        keep_columns = [value_column] + [
+            column for column in self._predicate_columns if column != value_column
+        ]
+        sample_table = table.project(keep_columns).sample(
+            min(sample_size, table.n_rows), generator
+        )
+        self._sample = sample_table
+        self._sample_values = sample_table.column(value_column).astype(float)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sample_size(self) -> int:
+        """Number of tuples retained in the sample."""
+        return self._sample.n_rows
+
+    @property
+    def population_size(self) -> int:
+        """Number of tuples in the table the sample was drawn from."""
+        return self._population_size
+
+    @property
+    def value_column(self) -> str:
+        """The aggregation column name."""
+        return self._value_column
+
+    def storage_bytes(self) -> int:
+        """Approximate storage footprint of the synopsis in bytes."""
+        return self._sample.memory_bytes()
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def query(self, query: AggregateQuery, lam: float = LAMBDA_99) -> AQPResult:
+        """Answer an aggregate query from the sample.
+
+        SUM / COUNT / AVG queries get CLT confidence intervals; MIN / MAX
+        queries return the sample extremum with an unbounded (NaN) interval —
+        a uniform sample cannot bound extrema.
+        """
+        if query.value_column != self._value_column:
+            raise ValueError(
+                f"synopsis was built for column {self._value_column!r}, "
+                f"query aggregates {query.value_column!r}"
+            )
+        match_mask = self._match_mask(query)
+        agg = query.agg
+        if agg in (AggregateType.MIN, AggregateType.MAX):
+            return self._extremum_result(agg, match_mask)
+
+        estimate = uniform_estimate(
+            agg,
+            self._sample_values,
+            match_mask,
+            self._population_size,
+            with_fpc=self._with_fpc,
+        )
+        half_width = (
+            float("nan")
+            if math.isnan(estimate.variance)
+            else lam * math.sqrt(max(estimate.variance, 0.0))
+        )
+        return AQPResult(
+            estimate=estimate.estimate,
+            ci_half_width=half_width,
+            variance=estimate.variance,
+            tuples_processed=self.sample_size,
+            tuples_skipped=0,
+            exact=False,
+        )
+
+    def _match_mask(self, query: AggregateQuery) -> np.ndarray:
+        predicate = query.predicate
+        if len(predicate) == 0:
+            return np.ones(self.sample_size, dtype=bool)
+        missing = [column for column in predicate.columns if column not in self._sample]
+        if missing:
+            raise KeyError(
+                f"predicate uses columns {missing} not retained in the sample; "
+                f"rebuild the synopsis with those predicate columns"
+            )
+        return predicate.mask(self._sample.columns(predicate.columns))
+
+    def _extremum_result(self, agg: AggregateType, match_mask: np.ndarray) -> AQPResult:
+        matched = self._sample_values[match_mask]
+        if matched.shape[0] == 0:
+            estimate = float("nan")
+        elif agg == AggregateType.MIN:
+            estimate = float(matched.min())
+        else:
+            estimate = float(matched.max())
+        return AQPResult(
+            estimate=estimate,
+            ci_half_width=float("nan"),
+            variance=float("nan"),
+            tuples_processed=self.sample_size,
+            tuples_skipped=0,
+            exact=False,
+        )

@@ -1,0 +1,90 @@
+"""Tests for aggregate definitions, exact aggregation, and AQPResult helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.query.aggregates import (
+    ALL_AGGREGATES,
+    SAMPLING_SUPPORTED,
+    AggregateType,
+    exact_aggregate,
+)
+from repro.result import AQPResult, LAMBDA_95, LAMBDA_99
+
+
+class TestAggregateType:
+    def test_parse_from_string_case_insensitive(self):
+        assert AggregateType.parse("sum") == AggregateType.SUM
+        assert AggregateType.parse("Avg") == AggregateType.AVG
+
+    def test_parse_passthrough(self):
+        assert AggregateType.parse(AggregateType.MIN) == AggregateType.MIN
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            AggregateType.parse("median")
+
+    def test_constant_sets(self):
+        assert AggregateType.MIN not in SAMPLING_SUPPORTED
+        assert len(ALL_AGGREGATES) == 5
+
+
+class TestExactAggregate:
+    def test_all_aggregates_on_known_values(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert exact_aggregate(AggregateType.SUM, values) == 10.0
+        assert exact_aggregate(AggregateType.COUNT, values) == 4.0
+        assert exact_aggregate(AggregateType.AVG, values) == 2.5
+        assert exact_aggregate(AggregateType.MIN, values) == 1.0
+        assert exact_aggregate(AggregateType.MAX, values) == 4.0
+
+    def test_empty_input_follows_sql_semantics(self):
+        empty = np.array([])
+        assert exact_aggregate(AggregateType.COUNT, empty) == 0.0
+        assert exact_aggregate(AggregateType.SUM, empty) == 0.0
+        assert math.isnan(exact_aggregate(AggregateType.AVG, empty))
+        assert math.isnan(exact_aggregate(AggregateType.MIN, empty))
+        assert math.isnan(exact_aggregate(AggregateType.MAX, empty))
+
+
+class TestAQPResult:
+    def test_confidence_interval_endpoints(self):
+        result = AQPResult(estimate=100.0, ci_half_width=10.0)
+        assert result.ci_lower == 90.0
+        assert result.ci_upper == 110.0
+        assert result.contains_truth(95.0)
+        assert not result.contains_truth(120.0)
+
+    def test_nan_half_width_gives_nan_bounds(self):
+        result = AQPResult(estimate=100.0)
+        assert math.isnan(result.ci_lower)
+        assert not result.contains_truth(100.0)
+
+    def test_relative_error(self):
+        result = AQPResult(estimate=110.0)
+        assert result.relative_error(100.0) == pytest.approx(0.1)
+        assert AQPResult(estimate=0.0).relative_error(0.0) == 0.0
+        assert math.isinf(AQPResult(estimate=1.0).relative_error(0.0))
+        assert math.isnan(AQPResult(estimate=float("nan")).relative_error(5.0))
+
+    def test_ci_ratio(self):
+        result = AQPResult(estimate=100.0, ci_half_width=5.0)
+        assert result.ci_ratio(50.0) == pytest.approx(0.1)
+        assert math.isnan(result.ci_ratio(0.0))
+
+    def test_hard_bounds(self):
+        result = AQPResult(estimate=10.0, hard_lower=5.0, hard_upper=15.0)
+        assert result.within_hard_bounds(7.0)
+        assert not result.within_hard_bounds(20.0)
+
+    def test_default_hard_bounds_are_unbounded(self):
+        result = AQPResult(estimate=10.0)
+        assert result.within_hard_bounds(1e18)
+
+    def test_lambda_constants(self):
+        assert LAMBDA_95 == pytest.approx(1.96)
+        assert LAMBDA_99 == pytest.approx(2.576)

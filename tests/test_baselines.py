@@ -1,0 +1,194 @@
+"""Tests for the comparison systems: AQP++, VerdictDB-style, DeepDB-style."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.aqp_pp import AQPPlusPlus
+from repro.baselines.deepdb_sim import DeepDBModel
+from repro.baselines.verdictdb_sim import VerdictDBScramble
+from repro.partitioning.equal import equal_depth_partition
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery, ExactEngine
+
+
+class TestAQPPlusPlus:
+    @pytest.fixture(scope="class")
+    def synopsis(self, intel_small):
+        return AQPPlusPlus(
+            intel_small, "light", ["time"], n_partitions=32, sample_rate=0.02, rng=0
+        )
+
+    def test_estimates_close_to_truth(self, synopsis, intel_small):
+        engine = ExactEngine(intel_small)
+        query = AggregateQuery.sum("light", RectPredicate.from_bounds(time=(0.1, 0.8)))
+        result = synopsis.query(query)
+        truth = engine.execute(query)
+        assert result.relative_error(truth) < 0.2
+        assert result.within_hard_bounds(truth)
+
+    def test_aligned_query_is_exact(self, synopsis, intel_small):
+        box = synopsis._boxes[3]
+        query = AggregateQuery.sum("light", RectPredicate({"time": box.interval("time")}))
+        result = synopsis.query(query)
+        truth = ExactEngine(intel_small).execute(query)
+        assert result.exact
+        assert result.estimate == pytest.approx(truth)
+
+    def test_avg_and_count(self, synopsis, intel_small):
+        engine = ExactEngine(intel_small)
+        predicate = RectPredicate.from_bounds(time=(0.2, 0.7))
+        for agg, tol in (("COUNT", 0.1), ("AVG", 0.1)):
+            query = AggregateQuery(agg, "light", predicate)
+            assert synopsis.query(query).relative_error(engine.execute(query)) < tol
+
+    def test_min_max_hard_bounds(self, synopsis, intel_small):
+        engine = ExactEngine(intel_small)
+        query = AggregateQuery("MAX", "light", RectPredicate.from_bounds(time=(0.2, 0.7)))
+        result = synopsis.query(query)
+        assert result.within_hard_bounds(engine.execute(query))
+
+    def test_prebuilt_boxes_are_used(self, intel_small):
+        boxes = equal_depth_partition(intel_small, "time", 10)
+        synopsis = AQPPlusPlus(
+            intel_small, "light", ["time"], n_partitions=99, sample_rate=0.01, boxes=boxes
+        )
+        assert synopsis.n_partitions == len(boxes)
+
+    def test_validation(self, intel_small):
+        with pytest.raises(ValueError):
+            AQPPlusPlus(
+                intel_small, "light", ["time"], sample_rate=0.1, sample_size=10
+            )
+        with pytest.raises(ValueError):
+            AQPPlusPlus(
+                intel_small, "light", ["time"], sample_rate=0.1, partitioner="bogus"
+            )
+
+    def test_wrong_column_rejected(self, synopsis):
+        with pytest.raises(ValueError):
+            synopsis.query(AggregateQuery.sum("time", RectPredicate.everything()))
+
+    def test_multi_dimensional_construction(self, multi_table):
+        synopsis = AQPPlusPlus(
+            multi_table, "value", ["a", "b"], n_partitions=16, sample_rate=0.05, rng=0
+        )
+        engine = ExactEngine(multi_table)
+        query = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(a=(10.0, 80.0), b=(1.0, 9.0))
+        )
+        result = synopsis.query(query)
+        assert result.relative_error(engine.execute(query)) < 0.3
+
+
+class TestVerdictDBScramble:
+    def test_full_scramble_is_exact(self, skewed_table, range_query_factory):
+        scramble = VerdictDBScramble(
+            skewed_table, "value", ["key"], scramble_ratio=1.0, rng=0
+        )
+        engine = ExactEngine(skewed_table)
+        query = range_query_factory("SUM", 10.0, 1700.0)
+        result = scramble.query(query)
+        assert result.exact
+        assert result.estimate == pytest.approx(engine.execute(query))
+
+    def test_partial_scramble_estimates(self, skewed_table, range_query_factory):
+        scramble = VerdictDBScramble(
+            skewed_table, "value", ["key"], scramble_ratio=0.3, rng=0
+        )
+        engine = ExactEngine(skewed_table)
+        for agg in ("SUM", "COUNT", "AVG"):
+            query = range_query_factory(agg, 10.0, 1700.0)
+            result = scramble.query(query)
+            assert result.relative_error(engine.execute(query)) < 0.25
+            assert not math.isnan(result.ci_half_width)
+
+    def test_latency_proxy_is_scramble_scan(self, skewed_table, range_query_factory):
+        scramble = VerdictDBScramble(
+            skewed_table, "value", ["key"], scramble_ratio=0.5, rng=0
+        )
+        result = scramble.query(range_query_factory("SUM", 0.0, 100.0))
+        assert result.tuples_processed == scramble.scramble_size
+
+    def test_validation(self, skewed_table):
+        with pytest.raises(ValueError):
+            VerdictDBScramble(skewed_table, "value", ["key"], scramble_ratio=0.0)
+        with pytest.raises(ValueError):
+            VerdictDBScramble(skewed_table, "value", ["key"], n_blocks=1)
+
+    def test_wrong_column_rejected(self, skewed_table):
+        scramble = VerdictDBScramble(skewed_table, "value", ["key"], scramble_ratio=0.1)
+        with pytest.raises(ValueError):
+            scramble.query(AggregateQuery.sum("key", RectPredicate.everything()))
+
+    def test_storage_scales_with_ratio(self, skewed_table):
+        small = VerdictDBScramble(skewed_table, "value", ["key"], scramble_ratio=0.1)
+        large = VerdictDBScramble(skewed_table, "value", ["key"], scramble_ratio=1.0)
+        assert large.storage_bytes() > 5 * small.storage_bytes()
+
+
+class TestDeepDBModel:
+    @pytest.fixture(scope="class")
+    def model(self, intel_small):
+        return DeepDBModel(
+            intel_small, "light", ["time"], training_ratio=0.3, n_bins=64, rng=0
+        )
+
+    def test_one_dimensional_queries_are_reasonable(self, model, intel_small):
+        engine = ExactEngine(intel_small)
+        predicate = RectPredicate.from_bounds(time=(0.2, 0.7))
+        for agg, tol in (("COUNT", 0.1), ("SUM", 0.2), ("AVG", 0.2)):
+            query = AggregateQuery(agg, "light", predicate)
+            assert model.query(query).relative_error(engine.execute(query)) < tol
+
+    def test_no_data_access_at_query_time(self, model):
+        query = AggregateQuery.count("light", RectPredicate.from_bounds(time=(0.0, 1.0)))
+        result = model.query(query)
+        assert result.tuples_processed == 0
+
+    def test_correlated_multi_dim_queries_degrade(self, nyc_small):
+        """The factorized model loses accuracy on correlated multi-column predicates,
+        mirroring Table 2's DeepDB behaviour on higher-dimensional templates."""
+        engine = ExactEngine(nyc_small)
+        model_1d = DeepDBModel(nyc_small, "trip_distance", ["pickup_time"], training_ratio=0.5, rng=0)
+        model_3d = DeepDBModel(
+            nyc_small,
+            "trip_distance",
+            ["pickup_time", "pickup_date", "dropoff_time"],
+            training_ratio=0.5,
+            rng=0,
+        )
+        query_1d = AggregateQuery.sum(
+            "trip_distance", RectPredicate.from_bounds(pickup_time=(6.0, 20.0))
+        )
+        query_3d = AggregateQuery.sum(
+            "trip_distance",
+            RectPredicate.from_bounds(
+                pickup_time=(6.0, 20.0), pickup_date=(5.0, 25.0), dropoff_time=(6.0, 21.0)
+            ),
+        )
+        err_1d = model_1d.query(query_1d).relative_error(engine.execute(query_1d))
+        err_3d = model_3d.query(query_3d).relative_error(engine.execute(query_3d))
+        assert err_3d > err_1d
+
+    def test_min_max_unsupported(self, model):
+        result = model.query(
+            AggregateQuery("MAX", "light", RectPredicate.from_bounds(time=(0.0, 1.0)))
+        )
+        assert math.isnan(result.estimate)
+
+    def test_validation(self, intel_small):
+        with pytest.raises(ValueError):
+            DeepDBModel(intel_small, "light", ["time"], training_ratio=0.0)
+        with pytest.raises(ValueError):
+            DeepDBModel(intel_small, "light", ["time"], n_bins=1)
+
+    def test_wrong_column_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.query(AggregateQuery.sum("time", RectPredicate.everything()))
+
+    def test_storage_is_tiny(self, model, intel_small):
+        assert model.storage_bytes() < intel_small.memory_bytes() / 100

@@ -1,0 +1,166 @@
+"""Tests for the shared sampling estimators (phi transforms, variances)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.aggregates import AggregateType
+from repro.sampling.estimators import (
+    EstimateWithVariance,
+    finite_population_correction,
+    ratio_estimate,
+    stratum_count_contribution,
+    stratum_mean_estimate,
+    stratum_sum_contribution,
+    uniform_estimate,
+)
+
+
+class TestEstimateWithVariance:
+    def test_std_error(self):
+        assert EstimateWithVariance(1.0, 4.0).std_error == 2.0
+        assert math.isnan(EstimateWithVariance(1.0, float("nan")).std_error)
+
+    def test_scaled(self):
+        scaled = EstimateWithVariance(2.0, 3.0).scaled(2.0)
+        assert scaled.estimate == 4.0
+        assert scaled.variance == 12.0
+
+    def test_addition_of_independent_estimates(self):
+        total = EstimateWithVariance(1.0, 2.0) + EstimateWithVariance(3.0, 4.0)
+        assert total.estimate == 4.0
+        assert total.variance == 6.0
+
+
+class TestFPC:
+    def test_full_sample_has_zero_correction(self):
+        assert finite_population_correction(100, 100) == pytest.approx(0.0)
+
+    def test_small_sample_close_to_one(self):
+        assert finite_population_correction(10_000, 10) == pytest.approx(1.0, abs=0.01)
+
+    def test_degenerate_population(self):
+        assert finite_population_correction(1, 1) == 1.0
+
+
+class TestUniformEstimate:
+    def test_full_sample_recovers_exact_answers(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        mask = np.array([True, True, False, True])
+        n = 4
+        sum_est = uniform_estimate(AggregateType.SUM, values, mask, n)
+        count_est = uniform_estimate(AggregateType.COUNT, values, mask, n)
+        avg_est = uniform_estimate(AggregateType.AVG, values, mask, n)
+        assert sum_est.estimate == pytest.approx(7.0)
+        assert count_est.estimate == pytest.approx(3.0)
+        assert avg_est.estimate == pytest.approx(7.0 / 3.0)
+
+    def test_empty_sample(self):
+        empty = np.array([])
+        result = uniform_estimate(AggregateType.SUM, empty, empty.astype(bool), 100)
+        assert result.estimate == 0.0
+        assert math.isnan(result.variance)
+        avg = uniform_estimate(AggregateType.AVG, empty, empty.astype(bool), 100)
+        assert math.isnan(avg.estimate)
+
+    def test_avg_with_no_matches_is_nan(self):
+        values = np.array([1.0, 2.0])
+        mask = np.array([False, False])
+        result = uniform_estimate(AggregateType.AVG, values, mask, 10)
+        assert math.isnan(result.estimate)
+
+    def test_min_max_rejected(self):
+        values = np.array([1.0])
+        mask = np.array([True])
+        with pytest.raises(ValueError):
+            uniform_estimate(AggregateType.MIN, values, mask, 10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_estimate(
+                AggregateType.SUM, np.array([1.0, 2.0]), np.array([True]), 10
+            )
+
+    def test_sum_estimate_is_unbiased_on_average(self, rng):
+        """Monte-Carlo check of unbiasedness of the SUM estimator."""
+        population = rng.lognormal(0.0, 1.0, size=2_000)
+        predicate = population > np.median(population)
+        truth = population[predicate].sum()
+        estimates = []
+        for _ in range(300):
+            idx = rng.choice(population.shape[0], size=200, replace=False)
+            est = uniform_estimate(
+                AggregateType.SUM, population[idx], predicate[idx], population.shape[0]
+            )
+            estimates.append(est.estimate)
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_fpc_reduces_variance(self):
+        values = np.arange(1.0, 51.0)
+        mask = np.ones(50, dtype=bool)
+        without = uniform_estimate(AggregateType.SUM, values, mask, 60, with_fpc=False)
+        with_fpc = uniform_estimate(AggregateType.SUM, values, mask, 60, with_fpc=True)
+        assert with_fpc.variance < without.variance
+
+
+class TestStratumEstimators:
+    def test_sum_contribution_full_sample(self):
+        values = np.array([2.0, 4.0, 6.0])
+        mask = np.array([True, False, True])
+        result = stratum_sum_contribution(values, mask, stratum_size=3)
+        assert result.estimate == pytest.approx(8.0)
+
+    def test_count_contribution_scales_with_size(self):
+        mask = np.array([True, True, False, False])
+        result = stratum_count_contribution(mask, stratum_size=100)
+        assert result.estimate == pytest.approx(50.0)
+        assert result.variance > 0.0
+
+    def test_empty_stratum_sample(self):
+        result = stratum_sum_contribution(np.array([]), np.array([], dtype=bool), 50)
+        assert result.estimate == 0.0
+        assert math.isnan(result.variance)
+
+    def test_mean_estimate(self):
+        values = np.array([10.0, 20.0, 30.0])
+        mask = np.array([True, True, False])
+        result = stratum_mean_estimate(values, mask)
+        assert result.estimate == pytest.approx(15.0)
+        no_match = stratum_mean_estimate(values, np.zeros(3, dtype=bool))
+        assert math.isnan(no_match.estimate)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=2, max_size=50),
+        st.integers(min_value=50, max_value=10_000),
+    )
+    @settings(max_examples=80)
+    def test_variances_are_non_negative(self, values, stratum_size):
+        values = np.asarray(values)
+        mask = values > np.median(values)
+        sum_result = stratum_sum_contribution(values, mask, stratum_size)
+        count_result = stratum_count_contribution(mask, stratum_size)
+        assert sum_result.variance >= 0.0
+        assert count_result.variance >= 0.0
+
+
+class TestRatioEstimate:
+    def test_simple_ratio(self):
+        ratio = ratio_estimate(EstimateWithVariance(10.0, 1.0), EstimateWithVariance(5.0, 0.0))
+        assert ratio.estimate == pytest.approx(2.0)
+        assert ratio.variance == pytest.approx(1.0 / 25.0)
+
+    def test_zero_denominator_is_nan(self):
+        ratio = ratio_estimate(EstimateWithVariance(10.0, 1.0), EstimateWithVariance(0.0, 0.0))
+        assert math.isnan(ratio.estimate)
+
+    def test_nan_variance_propagates(self):
+        ratio = ratio_estimate(
+            EstimateWithVariance(10.0, float("nan")), EstimateWithVariance(5.0, 1.0)
+        )
+        assert ratio.estimate == pytest.approx(2.0)
+        assert math.isnan(ratio.variance)

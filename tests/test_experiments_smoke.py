@@ -1,0 +1,131 @@
+"""Smoke tests: every paper experiment runs end-to-end at a tiny scale.
+
+These do not check absolute numbers (the benchmark harness and EXPERIMENTS.md
+do that at a larger scale); they check that each experiment function produces
+a well-formed result with the sections and columns its figure/table needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.experiments import (
+    ablation_opt_sample_size,
+    ablation_partitioners,
+    ablation_sample_allocation,
+    ablation_zero_variance_rule,
+    figure3_error_vs_partitions,
+    figure4_error_vs_sample_rate,
+    figure5_ci_vs_sample_rate,
+    figure6_adp_vs_eq_adversarial,
+    figure7_adp_vs_eq_real,
+    figure8_multidim,
+    figure9_workload_shift,
+    table1_accuracy,
+    table2_end_to_end,
+    table3_preprocessing_cost,
+)
+
+TINY = dict(n_rows=4_000, n_queries=12)
+
+
+def finite_cells(result) -> int:
+    count = 0
+    for section in result.sections:
+        for row in section.rows:
+            for cell in row[1:]:
+                if isinstance(cell, float) and math.isfinite(cell):
+                    count += 1
+    return count
+
+
+class TestPaperExperiments:
+    def test_table1(self):
+        result = table1_accuracy(datasets=("intel",), n_partitions=8, **TINY)
+        assert len(result.sections) == 4  # cost + COUNT + SUM + AVG
+        assert finite_cells(result) > 0
+
+    def test_figure3(self):
+        result = figure3_error_vs_partitions(
+            datasets=("intel",), partition_counts=(4, 8), **TINY
+        )
+        section = result.sections[0]
+        assert section.headers == ("Partitions", "PASS", "US", "ST", "AQP++")
+        assert len(section.rows) == 2
+
+    def test_figure4_and_5(self):
+        result4 = figure4_error_vs_sample_rate(
+            datasets=("intel",), sample_rates=(0.2, 0.5), n_partitions=8, **TINY
+        )
+        result5 = figure5_ci_vs_sample_rate(
+            datasets=("intel",), sample_rates=(0.2, 0.5), n_partitions=8, **TINY
+        )
+        assert len(result4.sections[0].rows) == 2
+        assert len(result5.sections[0].rows) == 2
+
+    def test_figure6(self):
+        result = figure6_adp_vs_eq_adversarial(partition_counts=(4, 8), **TINY)
+        titles = [section.title for section in result.sections]
+        assert "Random queries" in titles and "Challenging queries" in titles
+
+    def test_figure7(self):
+        result = figure7_adp_vs_eq_real(
+            datasets=("intel",), partition_counts=(4, 8), **TINY
+        )
+        assert len(result.sections) == 1
+        assert len(result.sections[0].rows) == 2
+
+    def test_figure8(self):
+        result = figure8_multidim(n_leaves=16, max_dimensions=2, **TINY)
+        rows = result.sections[0].rows
+        assert [row[0] for row in rows] == ["1D", "2D"]
+        # Skip rate column present and within [0, 1].
+        assert all(0.0 <= row[-1] <= 1.0 for row in rows)
+
+    def test_figure9(self):
+        result = figure9_workload_shift(
+            n_leaves=16, built_dimensions=2, max_dimensions=3, **TINY
+        )
+        rows = result.sections[0].rows
+        assert [row[0] for row in rows] == ["1D", "2D", "3D"]
+
+    def test_table2(self):
+        result = table2_end_to_end(n_partitions=8, kd_leaves=16, max_dimensions=2, **TINY)
+        cost = result.section("Mean cost")
+        error = result.section("Median relative error")
+        assert len(cost.rows) == 7  # 3 PASS + 2 VerdictDB + 2 DeepDB
+        assert len(error.rows) == 7
+        # Every system was evaluated on 3 datasets + nyc-2D.
+        assert len(error.headers) == 1 + 4
+
+    def test_table3(self):
+        result = table3_preprocessing_cost(partition_counts=(4, 8), **TINY)
+        rows = result.sections[0].rows
+        assert [row[0] for row in rows] == [4, 8]
+        assert all(row[1] > 0 for row in rows)  # build cost recorded
+
+
+class TestAblations:
+    def test_partitioners(self):
+        result = ablation_partitioners(partitioners=("adp", "equal"), n_partitions=8, **TINY)
+        assert {row[0] for row in result.sections[0].rows} == {"adp", "equal"}
+
+    def test_zero_variance_rule(self):
+        result = ablation_zero_variance_rule(n_partitions=8, **TINY)
+        rows = result.sections[0].rows
+        on_row = next(row for row in rows if "ON" in row[0])
+        off_row = next(row for row in rows if "OFF" in row[0])
+        # The rule can only reduce the number of samples touched.
+        assert on_row[3] <= off_row[3]
+
+    def test_sample_allocation(self):
+        result = ablation_sample_allocation(n_partitions=8, **TINY)
+        assert {row[0] for row in result.sections[0].rows} == {"proportional", "equal"}
+
+    def test_opt_sample_size(self):
+        result = ablation_opt_sample_size(
+            opt_sample_sizes=(100, 200), n_partitions=8, **TINY
+        )
+        assert [row[0] for row in result.sections[0].rows] == [100, 200]

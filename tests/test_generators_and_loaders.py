@@ -1,0 +1,108 @@
+"""Tests for the surrogate dataset generators and the name-based loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    adversarial,
+    instacart_like,
+    intel_wireless_like,
+    nyc_taxi_like,
+    uniform_random,
+)
+from repro.data.loaders import DATASET_LOADERS, load_dataset
+
+
+class TestGenerators:
+    def test_uniform_random_schema(self):
+        table = uniform_random(n_rows=100, n_predicate_columns=2)
+        assert table.n_rows == 100
+        assert {"c0", "c1", "value"} <= set(table.column_names)
+
+    def test_uniform_random_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            uniform_random(n_rows=0)
+
+    def test_intel_like_structure(self):
+        table = intel_wireless_like(n_rows=5_000, seed=7)
+        assert table.n_rows == 5_000
+        assert {"time", "light", "sensor_id"} <= set(table.column_names)
+        # The aggregation column is strictly positive (paper's assumption).
+        assert table.column("light").min() > 0.0
+        # Times are sorted (a sensor trace).
+        assert np.all(np.diff(table.column("time")) >= 0)
+
+    def test_intel_like_partition_variance_below_global(self):
+        """Stratifying on time must reduce variance — the property PASS exploits."""
+        table = intel_wireless_like(n_rows=20_000, seed=7)
+        time = table.column("time")
+        light = table.column("light")
+        global_var = float(np.var(light))
+        edges = np.quantile(time, np.linspace(0, 1, 33))
+        local_vars = []
+        for low, high in zip(edges[:-1], edges[1:]):
+            mask = (time >= low) & (time <= high)
+            if mask.sum() > 1:
+                local_vars.append(float(np.var(light[mask])))
+        assert np.mean(local_vars) < 0.8 * global_var
+
+    def test_instacart_like_structure(self):
+        table = instacart_like(n_rows=5_000, seed=13)
+        reordered = table.column("reordered")
+        assert set(np.unique(reordered)) <= {0.0, 1.0}
+        assert 0.05 < reordered.mean() < 0.95
+
+    def test_nyc_like_structure(self):
+        table = nyc_taxi_like(n_rows=5_000, seed=23)
+        assert {"pickup_time", "pickup_date", "pu_location_id", "trip_distance"} <= set(
+            table.column_names
+        )
+        distances = table.column("trip_distance")
+        assert distances.min() > 0
+        # Heavy tail: the max is far above the median.
+        assert distances.max() > 5 * np.median(distances)
+
+    def test_adversarial_structure(self):
+        table = adversarial(n_rows=8_000, zero_fraction=0.875, seed=41)
+        value = table.column("value")
+        n_zero = int(round(8_000 * 0.875))
+        assert np.all(value[:n_zero] == 0.0)
+        assert np.all(value[n_zero:] > 0.0)
+        # Keys are unique and sorted.
+        keys = table.column("key")
+        assert len(np.unique(keys)) == 8_000
+
+    def test_adversarial_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            adversarial(n_rows=10, zero_fraction=1.5)
+
+    def test_generators_are_deterministic(self):
+        a = intel_wireless_like(n_rows=1_000, seed=5)
+        b = intel_wireless_like(n_rows=1_000, seed=5)
+        assert np.allclose(a.column("light"), b.column("light"))
+
+    def test_generators_vary_with_seed(self):
+        a = intel_wireless_like(n_rows=1_000, seed=5)
+        b = intel_wireless_like(n_rows=1_000, seed=6)
+        assert not np.allclose(a.column("light"), b.column("light"))
+
+
+class TestLoaders:
+    @pytest.mark.parametrize("name", sorted(DATASET_LOADERS))
+    def test_load_each_dataset(self, name):
+        spec = load_dataset(name, n_rows=2_000)
+        assert spec.table.n_rows == 2_000
+        assert spec.value_column in spec.table
+        for column in spec.predicate_columns:
+            assert column in spec.table
+        assert spec.default_predicate_column == spec.predicate_columns[0]
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="known datasets"):
+            load_dataset("does-not-exist")
+
+    def test_nyc_has_five_predicate_columns(self):
+        spec = load_dataset("nyc", n_rows=1_000)
+        assert len(spec.predicate_columns) == 5

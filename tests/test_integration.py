@@ -1,0 +1,203 @@
+"""End-to-end integration tests tying the whole system together.
+
+These check the paper's qualitative claims at a small scale:
+
+* PASS is more accurate than uniform sampling on structured data for the same
+  per-query sample budget;
+* the hybrid estimate (exact covered parts + sampled partial parts) is
+  consistent with the pure stratified-sampling estimate it generalizes;
+* the deterministic hard bounds always contain the truth;
+* the public package API exposes the documented entry points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AggregateQuery,
+    ExactEngine,
+    PASSConfig,
+    RectPredicate,
+    StratifiedSampleSynopsis,
+    UniformSampleSynopsis,
+    build_pass,
+    load_dataset,
+)
+from repro.evaluation.metrics import evaluate_workload, nan_median
+from repro.query.workload import random_range_queries
+
+
+@pytest.fixture(scope="module")
+def intel_spec():
+    return load_dataset("intel", n_rows=30_000)
+
+
+@pytest.fixture(scope="module")
+def intel_workload(intel_spec):
+    return random_range_queries(
+        intel_spec.table,
+        intel_spec.value_column,
+        [intel_spec.default_predicate_column],
+        n_queries=60,
+        agg="SUM",
+        rng=11,
+        min_fraction=0.05,
+        max_fraction=0.5,
+    )
+
+
+class TestPublicAPI:
+    def test_package_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+        assert repro.__version__
+
+    def test_quickstart_flow(self, intel_spec):
+        synopsis = build_pass(
+            intel_spec.table,
+            intel_spec.value_column,
+            [intel_spec.default_predicate_column],
+            PASSConfig(n_partitions=16, sample_rate=0.01, opt_sample_size=400),
+        )
+        query = AggregateQuery.sum(
+            intel_spec.value_column, RectPredicate.from_bounds(time=(0.2, 0.8))
+        )
+        result = synopsis.query(query)
+        truth = ExactEngine(intel_spec.table).execute(query)
+        assert result.relative_error(truth) < 0.1
+        assert result.within_hard_bounds(truth)
+
+
+class TestPaperClaims:
+    def test_pass_beats_uniform_sampling_on_structured_data(
+        self, intel_spec, intel_workload
+    ):
+        """The headline claim of Table 1 at reduced scale."""
+        engine = ExactEngine(intel_spec.table)
+        truths = [engine.execute(q) for q in intel_workload.queries]
+
+        pass_synopsis = build_pass(
+            intel_spec.table,
+            intel_spec.value_column,
+            [intel_spec.default_predicate_column],
+            PASSConfig(n_partitions=32, sample_rate=0.005, opt_sample_size=500, seed=0),
+        )
+        uniform = UniformSampleSynopsis(
+            intel_spec.table,
+            intel_spec.value_column,
+            [intel_spec.default_predicate_column],
+            sample_rate=0.005,
+            rng=0,
+        )
+        pass_metrics = evaluate_workload(
+            pass_synopsis, intel_workload.queries, engine, truths
+        )
+        uniform_metrics = evaluate_workload(
+            uniform, intel_workload.queries, engine, truths
+        )
+        assert (
+            pass_metrics.median_relative_error
+            < 0.5 * uniform_metrics.median_relative_error
+        )
+
+    def test_pass_not_worse_than_stratified_sampling(self, intel_spec, intel_workload):
+        engine = ExactEngine(intel_spec.table)
+        truths = [engine.execute(q) for q in intel_workload.queries]
+        from repro.sampling.stratified import equal_depth_boxes
+
+        stratified = StratifiedSampleSynopsis(
+            intel_spec.table,
+            intel_spec.value_column,
+            [intel_spec.default_predicate_column],
+            equal_depth_boxes(intel_spec.table, intel_spec.default_predicate_column, 32),
+            sample_rate=0.005,
+            rng=0,
+        )
+        pass_synopsis = build_pass(
+            intel_spec.table,
+            intel_spec.value_column,
+            [intel_spec.default_predicate_column],
+            PASSConfig(n_partitions=32, sample_rate=0.005, opt_sample_size=500, seed=0),
+        )
+        st_metrics = evaluate_workload(stratified, intel_workload.queries, engine, truths)
+        pass_metrics = evaluate_workload(
+            pass_synopsis, intel_workload.queries, engine, truths
+        )
+        assert pass_metrics.median_relative_error <= st_metrics.median_relative_error * 1.1
+
+    def test_hard_bounds_contain_truth_for_every_query(self, intel_spec, intel_workload):
+        engine = ExactEngine(intel_spec.table)
+        synopsis = build_pass(
+            intel_spec.table,
+            intel_spec.value_column,
+            [intel_spec.default_predicate_column],
+            PASSConfig(n_partitions=16, sample_rate=0.005, opt_sample_size=400, seed=1),
+        )
+        for query in intel_workload.queries:
+            truth = engine.execute(query)
+            result = synopsis.query(query)
+            assert result.hard_lower - 1e-6 <= truth <= result.hard_upper + 1e-6
+
+    def test_ci_coverage_is_near_nominal(self, intel_spec, intel_workload):
+        """99% CLT intervals should cover the truth for the vast majority of queries."""
+        engine = ExactEngine(intel_spec.table)
+        truths = [engine.execute(q) for q in intel_workload.queries]
+        synopsis = build_pass(
+            intel_spec.table,
+            intel_spec.value_column,
+            [intel_spec.default_predicate_column],
+            PASSConfig(n_partitions=32, sample_rate=0.01, opt_sample_size=500, seed=2),
+        )
+        metrics = evaluate_workload(synopsis, intel_workload.queries, engine, truths)
+        assert metrics.ci_coverage >= 0.85
+
+    def test_more_partitions_help_on_adversarial_challenging_queries(self):
+        """Figure 6's qualitative trend: ADP error shrinks as k grows."""
+        spec = load_dataset("adversarial", n_rows=20_000)
+        tail_start = float(np.quantile(spec.table.column("key"), 0.875))
+        tail = spec.table.select(spec.table.column("key") >= tail_start)
+        workload = random_range_queries(
+            tail, "value", ["key"], n_queries=40, rng=3, min_fraction=0.1, max_fraction=0.8
+        )
+        engine = ExactEngine(spec.table)
+        truths = [engine.execute(q) for q in workload.queries]
+        errors = []
+        for k in (4, 32):
+            synopsis = build_pass(
+                spec.table,
+                "value",
+                ["key"],
+                PASSConfig(n_partitions=k, sample_rate=0.005, opt_sample_size=600, seed=0),
+            )
+            metrics = evaluate_workload(synopsis, workload.queries, engine, truths)
+            errors.append(metrics.median_relative_error)
+        assert errors[1] <= errors[0]
+
+    def test_bss_storage_budgets_trade_accuracy_for_space(self, intel_spec, intel_workload):
+        """Table 1 / Table 2: more BSS storage gives equal or better accuracy."""
+        engine = ExactEngine(intel_spec.table)
+        truths = [engine.execute(q) for q in intel_workload.queries]
+        errors = {}
+        storages = {}
+        for multiplier in (1.0, 10.0):
+            synopsis = build_pass(
+                intel_spec.table,
+                intel_spec.value_column,
+                [intel_spec.default_predicate_column],
+                PASSConfig(
+                    n_partitions=32,
+                    sample_rate=0.005,
+                    mode="bss",
+                    bss_multiplier=multiplier,
+                    opt_sample_size=500,
+                    seed=0,
+                ),
+            )
+            metrics = evaluate_workload(synopsis, intel_workload.queries, engine, truths)
+            errors[multiplier] = metrics.median_relative_error
+            storages[multiplier] = synopsis.storage_bytes()
+        assert storages[10.0] > storages[1.0]
+        assert errors[10.0] <= errors[1.0] * 1.2

@@ -1,0 +1,107 @@
+"""Tests for the multi-dimensional k-d tree partitioning (Section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.partitioning.kdtree import kd_partition
+
+
+def leaf_sizes(table, columns, boxes) -> list[int]:
+    data = {column: table.column(column) for column in columns}
+    return [int(box.mask({c: data[c] for c in box.columns}).sum()) for box in boxes]
+
+
+class TestKDPartition:
+    def test_boxes_are_disjoint_and_cover_everything(self, multi_table):
+        result = kd_partition(
+            multi_table, "value", ["a", "b"], n_leaves=16, opt_sample_size=1500, rng=0
+        )
+        sizes = leaf_sizes(multi_table, ["a", "b"], result.boxes)
+        assert sum(sizes) == multi_table.n_rows
+        for i, box_a in enumerate(result.boxes):
+            for box_b in result.boxes[i + 1 :]:
+                assert not box_a.overlaps_box(box_b)
+
+    def test_reaches_requested_leaf_count(self, multi_table):
+        result = kd_partition(
+            multi_table, "value", ["a", "b", "c"], n_leaves=32, opt_sample_size=1500, rng=0
+        )
+        assert result.n_partitions >= 32
+
+    def test_depth_spread_is_bounded(self, multi_table):
+        result = kd_partition(
+            multi_table,
+            "value",
+            ["a", "b"],
+            n_leaves=32,
+            policy="max_variance",
+            max_depth_spread=2,
+            opt_sample_size=1500,
+            rng=0,
+        )
+        assert max(result.leaf_depths) - min(result.leaf_depths) <= 2
+
+    def test_breadth_first_policy_is_balanced(self, multi_table):
+        result = kd_partition(
+            multi_table,
+            "value",
+            ["a", "b"],
+            n_leaves=16,
+            policy="breadth_first",
+            opt_sample_size=1500,
+            rng=0,
+        )
+        assert max(result.leaf_depths) - min(result.leaf_depths) <= 1
+
+    def test_max_variance_policy_targets_high_variance_region(self, rng):
+        """The greedy expansion must refine the region where the value varies."""
+        from repro.data.table import Table
+
+        n = 4000
+        a = rng.uniform(0, 100, size=n)
+        b = rng.uniform(0, 100, size=n)
+        value = np.where(a > 80, np.abs(rng.normal(100, 40, size=n)), 1.0)
+        table = Table({"a": a, "b": b, "value": value})
+        result = kd_partition(
+            table, "value", ["a", "b"], n_leaves=16, policy="max_variance",
+            opt_sample_size=2000, rng=0,
+        )
+        hot = sum(1 for box in result.boxes if box.interval("a").low >= 75.0)
+        cold = result.n_partitions - hot
+        sizes = leaf_sizes(table, ["a", "b"], result.boxes)
+        hot_rows = int((a > 80).sum())
+        # The hot 20% of the a-axis should receive a disproportionate share of
+        # the leaves relative to its row count.
+        assert hot / result.n_partitions > 0.8 * hot_rows / n
+
+    def test_single_dimension_works(self, skewed_table):
+        result = kd_partition(
+            skewed_table, "value", ["key"], n_leaves=8, opt_sample_size=800, rng=0
+        )
+        sizes = leaf_sizes(skewed_table, ["key"], result.boxes)
+        assert sum(sizes) == skewed_table.n_rows
+
+    def test_constant_column_cannot_be_split_forever(self):
+        from repro.data.table import Table
+
+        table = Table(
+            {"a": np.ones(100), "value": np.arange(100, dtype=float)}
+        )
+        result = kd_partition(table, "value", ["a"], n_leaves=8, rng=0)
+        # The predicate column is constant, so only one leaf is possible.
+        assert result.n_partitions == 1
+
+    def test_invalid_arguments(self, multi_table):
+        with pytest.raises(ValueError):
+            kd_partition(multi_table, "value", ["a"], n_leaves=0)
+        with pytest.raises(ValueError):
+            kd_partition(multi_table, "value", [], n_leaves=4)
+        with pytest.raises(ValueError):
+            kd_partition(multi_table, "value", ["a"], n_leaves=4, policy="bogus")
+
+    def test_deterministic_given_seed(self, multi_table):
+        a = kd_partition(multi_table, "value", ["a", "b"], n_leaves=8, rng=3)
+        b = kd_partition(multi_table, "value", ["a", "b"], n_leaves=8, rng=3)
+        assert a.boxes == b.boxes

@@ -1,0 +1,147 @@
+"""Tests for the evaluation metrics, the comparison harness, and reporting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_pass
+from repro.core.config import PASSConfig
+from repro.data.loaders import DatasetSpec
+from repro.evaluation.harness import run_comparison
+from repro.evaluation.metrics import (
+    QueryRecord,
+    WorkloadMetrics,
+    ci_ratio,
+    evaluate_workload,
+    nan_mean,
+    nan_median,
+    relative_error,
+)
+from repro.evaluation.reporting import ExperimentResult, Section, fmt, format_table
+from repro.query.query import AggregateQuery, ExactEngine
+from repro.query.workload import random_range_queries
+from repro.result import AQPResult
+from repro.sampling.uniform import UniformSampleSynopsis
+
+
+class TestScalarMetrics:
+    def test_relative_error_conventions(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_error(5.0, 0.0))
+        assert math.isnan(relative_error(float("nan"), 5.0))
+
+    def test_ci_ratio(self):
+        assert ci_ratio(5.0, 50.0) == pytest.approx(0.1)
+        assert math.isnan(ci_ratio(float("nan"), 50.0))
+        assert math.isnan(ci_ratio(5.0, 0.0))
+
+    def test_nan_aware_summaries(self):
+        assert nan_median([1.0, float("nan"), 3.0, float("inf")]) == 2.0
+        assert math.isnan(nan_median([float("nan")]))
+        assert nan_mean([1.0, 3.0, float("nan")]) == 2.0
+
+
+class TestWorkloadMetrics:
+    def make_record(self, estimate, truth, half_width=1.0, skipped=0, processed=10):
+        query = AggregateQuery.sum("value", __import__("repro.query.predicate", fromlist=["RectPredicate"]).RectPredicate.everything())
+        result = AQPResult(
+            estimate=estimate,
+            ci_half_width=half_width,
+            tuples_processed=processed,
+            tuples_skipped=skipped,
+        )
+        return QueryRecord(query=query, truth=truth, result=result, latency_seconds=0.001)
+
+    def test_summary_from_records(self):
+        records = [self.make_record(102.0, 100.0), self.make_record(95.0, 100.0)]
+        metrics = WorkloadMetrics.from_records(records)
+        assert metrics.n_queries == 2
+        assert metrics.median_relative_error == pytest.approx(0.035)
+        assert metrics.mean_latency_ms == pytest.approx(1.0)
+        assert 0.0 <= metrics.ci_coverage <= 1.0
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMetrics.from_records([])
+
+    def test_skip_rate_per_record(self):
+        record = self.make_record(1.0, 1.0, skipped=90, processed=10)
+        assert record.skip_rate == pytest.approx(0.9)
+
+
+class TestEvaluateWorkloadAndHarness:
+    @pytest.fixture
+    def setup(self, skewed_table):
+        workload = random_range_queries(
+            skewed_table, "value", ["key"], n_queries=20, rng=2
+        )
+        engine = ExactEngine(skewed_table)
+        return skewed_table, workload, engine
+
+    def test_evaluate_workload_with_and_without_truths(self, setup):
+        table, workload, engine = setup
+        synopsis = UniformSampleSynopsis(table, "value", ["key"], sample_rate=0.3, rng=0)
+        metrics = evaluate_workload(synopsis, workload.queries, engine)
+        assert metrics.n_queries == 20
+        truths = [engine.execute(q) for q in workload.queries]
+        metrics_cached = evaluate_workload(synopsis, workload.queries, engine, truths)
+        assert metrics_cached.n_queries == 20
+
+    def test_truth_length_mismatch_rejected(self, setup):
+        table, workload, engine = setup
+        synopsis = UniformSampleSynopsis(table, "value", ["key"], sample_rate=0.3, rng=0)
+        with pytest.raises(ValueError):
+            evaluate_workload(synopsis, workload.queries, engine, ground_truth=[1.0])
+
+    def test_run_comparison_builds_all_synopses(self, setup):
+        table, workload, _ = setup
+        spec = DatasetSpec(table=table, value_column="value", predicate_columns=("key",))
+        run = run_comparison(
+            spec,
+            workload,
+            {
+                "US": lambda s: UniformSampleSynopsis(
+                    s.table, s.value_column, s.predicate_columns, sample_rate=0.2, rng=0
+                ),
+                "PASS": lambda s: build_pass(
+                    s.table,
+                    s.value_column,
+                    s.predicate_columns,
+                    PASSConfig(n_partitions=8, sample_rate=0.1, opt_sample_size=200),
+                ),
+            },
+        )
+        assert {e.name for e in run.evaluations} == {"US", "PASS"}
+        pass_eval = run.evaluation("PASS")
+        assert pass_eval.build_seconds > 0
+        assert pass_eval.storage_mb > 0
+        with pytest.raises(KeyError):
+            run.evaluation("missing")
+
+
+class TestReporting:
+    def test_fmt(self):
+        assert fmt(float("nan")) == "-"
+        assert fmt(0.123456) == "0.1235"
+        assert fmt(1e-9) == "1.00e-09"
+        assert fmt("text") == "text"
+        assert fmt(3) == "3"
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "metric"), [("x", 1.0), ("longer", 2.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_experiment_result_rendering_and_lookup(self):
+        section = Section(title="S", headers=("h1", "h2"), rows=((1, 2.0),))
+        result = ExperimentResult(name="Exp", description="desc", sections=(section,))
+        text = result.to_text()
+        assert "Exp" in text and "h1" in text
+        assert result.section("S") is section
+        with pytest.raises(KeyError):
+            result.section("missing")

@@ -1,0 +1,133 @@
+"""Tests for PartitionStats (mergeable aggregates) and PrefixSums."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.partition import PartitionStats, compute_partition_stats
+from repro.aggregation.prefix import PrefixSums
+from repro.query.aggregates import AggregateType
+
+value_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=0, max_size=60
+)
+
+
+class TestPartitionStats:
+    def test_from_values(self):
+        stats = PartitionStats.from_values(np.array([1.0, 2.0, 3.0]))
+        assert stats.sum == 6.0
+        assert stats.count == 3
+        assert stats.min == 1.0
+        assert stats.max == 3.0
+        assert stats.avg == 2.0
+
+    def test_empty_is_merge_identity(self):
+        stats = PartitionStats.from_values(np.array([5.0, 7.0]))
+        merged = stats.merge(PartitionStats.empty())
+        assert merged == stats
+        assert PartitionStats.empty().is_empty
+        assert math.isnan(PartitionStats.empty().avg)
+
+    def test_zero_variance_detection(self):
+        constant = PartitionStats.from_values(np.array([4.0, 4.0, 4.0]))
+        varied = PartitionStats.from_values(np.array([4.0, 5.0]))
+        assert constant.has_zero_variance
+        assert not varied.has_zero_variance
+        assert not PartitionStats.empty().has_zero_variance
+
+    def test_aggregate_dispatch(self):
+        stats = PartitionStats.from_values(np.array([1.0, 3.0]))
+        assert stats.aggregate(AggregateType.SUM) == 4.0
+        assert stats.aggregate(AggregateType.COUNT) == 2.0
+        assert stats.aggregate(AggregateType.AVG) == 2.0
+        assert stats.aggregate(AggregateType.MIN) == 1.0
+        assert stats.aggregate(AggregateType.MAX) == 3.0
+
+    def test_aggregate_of_empty_partition(self):
+        empty = PartitionStats.empty()
+        assert empty.aggregate(AggregateType.SUM) == 0.0
+        assert empty.aggregate(AggregateType.COUNT) == 0.0
+        assert math.isnan(empty.aggregate(AggregateType.MIN))
+
+    def test_add_and_remove_value(self):
+        stats = PartitionStats.from_values(np.array([1.0, 2.0]))
+        grown = stats.add_value(10.0)
+        assert grown.count == 3
+        assert grown.max == 10.0
+        shrunk = grown.remove_value(10.0)
+        assert shrunk.count == 2
+        assert shrunk.sum == pytest.approx(3.0)
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionStats.empty().remove_value(1.0)
+
+    def test_remove_last_value_gives_empty(self):
+        stats = PartitionStats.from_values(np.array([2.0]))
+        assert stats.remove_value(2.0).is_empty
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=100)
+    def test_merge_equals_stats_of_concatenation(self, left, right):
+        """Mergeability: merge(stats(A), stats(B)) == stats(A ++ B)."""
+        merged = PartitionStats.from_values(np.array(left)).merge(
+            PartitionStats.from_values(np.array(right))
+        )
+        direct = PartitionStats.from_values(np.array(left + right))
+        assert merged.count == direct.count
+        assert merged.sum == pytest.approx(direct.sum)
+        if direct.count:
+            assert merged.min == direct.min
+            assert merged.max == direct.max
+
+    def test_compute_partition_stats(self):
+        values = np.arange(10.0)
+        masks = [values < 5, values >= 5]
+        stats = compute_partition_stats(values, masks)
+        assert stats[0].count == 5
+        assert stats[1].sum == pytest.approx(values[values >= 5].sum())
+
+
+class TestPrefixSums:
+    def test_range_queries_match_numpy(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        prefix = PrefixSums.from_values(values)
+        assert prefix.range_sum(1, 3) == 9.0
+        assert prefix.range_sum_sq(0, 2) == 14.0
+        assert prefix.range_count(2, 4) == 3
+        assert prefix.range_mean(0, 4) == 3.0
+        assert prefix.range_variance(0, 4) == pytest.approx(np.var(values))
+
+    def test_invalid_ranges_rejected(self):
+        prefix = PrefixSums.from_values(np.array([1.0, 2.0]))
+        with pytest.raises(IndexError):
+            prefix.range_sum(-1, 0)
+        with pytest.raises(IndexError):
+            prefix.range_sum(0, 5)
+        with pytest.raises(IndexError):
+            prefix.range_sum(1, 0)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixSums.from_values(np.zeros((2, 2)))
+
+    @given(
+        st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=100)
+    def test_random_ranges_match_direct_computation(self, values, data):
+        values = np.asarray(values)
+        prefix = PrefixSums.from_values(values)
+        start = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+        end = data.draw(st.integers(min_value=start, max_value=len(values) - 1))
+        segment = values[start : end + 1]
+        assert prefix.range_sum(start, end) == pytest.approx(segment.sum(), abs=1e-6)
+        assert prefix.range_sum_sq(start, end) == pytest.approx((segment**2).sum(), rel=1e-9, abs=1e-6)
+        assert prefix.range_variance(start, end) == pytest.approx(np.var(segment), abs=1e-6)

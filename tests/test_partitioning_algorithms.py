@@ -1,0 +1,204 @@
+"""Tests for the 1-D partitioners (DP, equal-depth, hill climbing) and boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.partitioning.boundaries import (
+    boundaries_from_ranks,
+    boxes_from_boundaries,
+    partition_masks,
+)
+from repro.partitioning.dp import (
+    approximate_dp_partition,
+    naive_dp_partition,
+    optimal_count_partition,
+)
+from repro.partitioning.equal import equal_depth_boundaries, equal_depth_partition
+from repro.partitioning.hill_climbing import hill_climbing_partition
+from repro.partitioning.max_variance import MaxVarianceOracle
+
+
+def partition_sizes(table: Table, column: str, boxes) -> list[int]:
+    values = table.column(column)
+    return [int(box.mask({column: values}).sum()) for box in boxes]
+
+
+class TestBoundaries:
+    def test_boxes_from_boundaries_partition_the_line(self):
+        boxes = boxes_from_boundaries("x", [1.0, 5.0])
+        assert len(boxes) == 3
+        values = np.array([-10.0, 0.5, 1.0, 3.0, 5.0, 100.0])
+        masks = partition_masks(values, boxes, "x")
+        counts = np.sum(masks, axis=0)
+        # Every value belongs to exactly one box.
+        assert np.all(counts.sum(axis=0) if counts.ndim else counts == 1)
+        total = sum(int(mask.sum()) for mask in masks)
+        assert total == values.shape[0]
+
+    def test_duplicate_boundaries_deduplicated(self):
+        boxes = boxes_from_boundaries("x", [2.0, 2.0, 2.0])
+        assert len(boxes) == 2
+
+    def test_boundaries_from_ranks(self):
+        sorted_values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert boundaries_from_ranks(sorted_values, [1]) == [2.0]
+        with pytest.raises(IndexError):
+            boundaries_from_ranks(sorted_values, [9])
+
+
+class TestEqualDepth:
+    def test_equal_sizes(self, skewed_table):
+        boxes = equal_depth_partition(skewed_table, "key", 8)
+        sizes = partition_sizes(skewed_table, "key", boxes)
+        assert sum(sizes) == skewed_table.n_rows
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_boundaries_count(self, skewed_table):
+        boundaries = equal_depth_boundaries(skewed_table.column("key"), 8)
+        assert len(boundaries) == 7
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            equal_depth_boundaries(np.array([]), 4)
+        with pytest.raises(ValueError):
+            equal_depth_boundaries(np.array([1.0]), 0)
+
+
+class TestOptimalCountPartition:
+    def test_equal_count_buckets(self, skewed_table):
+        result = optimal_count_partition(skewed_table, "key", 10)
+        sizes = partition_sizes(skewed_table, "key", result.boxes)
+        assert max(sizes) - min(sizes) <= 2
+        assert result.objective > 0
+
+
+class TestNaiveDP:
+    def test_tiny_exact_partitioning_isolates_outlier(self):
+        """A single huge-variance region should get its own partition."""
+        key = np.arange(20.0)
+        value = np.array([1.0] * 15 + [50.0, 60.0, 55.0, 52.0, 58.0])
+        table = Table({"key": key, "value": value})
+        result = naive_dp_partition(table, "value", "key", 2, agg="SUM")
+        assert result.n_partitions == 2
+        sizes = partition_sizes(table, "key", result.boxes)
+        # The split should isolate (most of) the noisy tail from the flat head.
+        assert min(sizes) <= 6
+
+    def test_objective_decreases_with_more_partitions(self):
+        rng = np.random.default_rng(3)
+        key = np.arange(60.0)
+        value = np.abs(rng.normal(20, 10, size=60))
+        table = Table({"key": key, "value": value})
+        objectives = [
+            naive_dp_partition(table, "value", "key", k, agg="SUM").objective
+            for k in (1, 2, 4)
+        ]
+        assert objectives[0] >= objectives[1] >= objectives[2]
+
+
+class TestApproximateDP:
+    def test_boxes_partition_every_row(self, skewed_table):
+        result = approximate_dp_partition(
+            skewed_table, "value", "key", 16, opt_sample_size=400
+        )
+        sizes = partition_sizes(skewed_table, "key", result.boxes)
+        assert sum(sizes) == skewed_table.n_rows
+
+    def test_adversarial_data_concentrates_partitions_in_tail(self, adversarial_small):
+        result = approximate_dp_partition(
+            adversarial_small, "value", "key", 16, opt_sample_size=800, rng=0
+        )
+        sizes = partition_sizes(adversarial_small, "key", result.boxes)
+        # One partition should hold (almost all of) the zero region, so it is
+        # far larger than the rest, which subdivide the high-variance tail.
+        assert max(sizes) > 0.6 * adversarial_small.n_rows
+        assert len(sizes) >= 8
+
+    def test_count_template_short_circuits_to_equal(self, skewed_table):
+        result = approximate_dp_partition(skewed_table, "value", "key", 8, agg="COUNT")
+        sizes = partition_sizes(skewed_table, "key", result.boxes)
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_avg_template_runs(self, skewed_table):
+        result = approximate_dp_partition(
+            skewed_table, "value", "key", 8, agg="AVG", opt_sample_size=400, delta=0.05
+        )
+        assert result.n_partitions >= 2
+
+    def test_requested_partitions_upper_bound(self, skewed_table):
+        result = approximate_dp_partition(
+            skewed_table, "value", "key", 12, opt_sample_size=300
+        )
+        assert result.n_partitions <= 12
+
+    def test_sample_size_parameters_are_exclusive(self, skewed_table):
+        with pytest.raises(ValueError):
+            approximate_dp_partition(
+                skewed_table, "value", "key", 4, opt_sample_size=10, opt_sample_rate=0.1
+            )
+        with pytest.raises(ValueError):
+            approximate_dp_partition(
+                skewed_table, "value", "key", 4, opt_sample_rate=1.5
+            )
+
+    def test_deterministic_given_seed(self, skewed_table):
+        a = approximate_dp_partition(
+            skewed_table, "value", "key", 8, opt_sample_size=300, rng=5
+        )
+        b = approximate_dp_partition(
+            skewed_table, "value", "key", 8, opt_sample_size=300, rng=5
+        )
+        assert a.boundaries == b.boundaries
+
+    def test_adp_objective_comparable_to_equal_depth(self, adversarial_small):
+        """The optimized partitioning's worst bucket should beat equal-depth's."""
+        adp = approximate_dp_partition(
+            adversarial_small, "value", "key", 16, opt_sample_size=800, rng=0
+        )
+        # Score both partitionings with the same oracle over the same sample.
+        rng = np.random.default_rng(0)
+        idx = rng.choice(adversarial_small.n_rows, size=800, replace=False)
+        keys = adversarial_small.column("key")[idx]
+        values = adversarial_small.column("value")[idx]
+        order = np.argsort(keys)
+        keys, values = keys[order], values[order]
+        oracle = MaxVarianceOracle(values, agg="SUM")
+
+        def worst(boundaries):
+            edges = np.searchsorted(keys, np.asarray(boundaries), side="right") - 1
+            edges = [-1] + sorted(int(e) for e in edges) + [len(keys) - 1]
+            worst_value = 0.0
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                if lo + 1 <= hi:
+                    worst_value = max(worst_value, oracle.max_variance(lo + 1, hi))
+            return worst_value
+
+        eq_boundaries = equal_depth_boundaries(adversarial_small.column("key"), 16)
+        assert worst(adp.boundaries) <= worst(eq_boundaries) * 1.05
+
+
+class TestHillClimbing:
+    def test_produces_valid_partitioning(self, skewed_table):
+        result = hill_climbing_partition(
+            skewed_table, "value", "key", 8, opt_sample_size=400, rng=1
+        )
+        sizes = partition_sizes(skewed_table, "key", result.boxes)
+        assert sum(sizes) == skewed_table.n_rows
+        assert result.n_partitions <= 8
+
+    def test_objective_not_worse_than_equal_start(self, skewed_table):
+        """Hill climbing starts from equal-depth breaks and only accepts improvements."""
+        result = hill_climbing_partition(
+            skewed_table, "value", "key", 8, opt_sample_size=400, max_iterations=0, rng=1
+        )
+        improved = hill_climbing_partition(
+            skewed_table, "value", "key", 8, opt_sample_size=400, max_iterations=400, rng=1
+        )
+        assert improved.objective <= result.objective + 1e-9
+
+    def test_invalid_partition_count(self, skewed_table):
+        with pytest.raises(ValueError):
+            hill_climbing_partition(skewed_table, "value", "key", 0)

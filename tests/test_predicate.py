@@ -1,0 +1,195 @@
+"""Unit and property-based tests for Interval / Box / RectPredicate geometry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.predicate import Box, Interval, RectPredicate, Relation
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw) -> Interval:
+    low = draw(finite_floats)
+    high = draw(finite_floats)
+    low, high = min(low, high), max(low, high)
+    return Interval(low, high)
+
+
+class TestInterval:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_nan_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_constructors(self):
+        assert Interval.unbounded().contains_value(1e300)
+        assert Interval.at_least(5.0).contains_value(7.0)
+        assert not Interval.at_least(5.0).contains_value(4.0)
+        assert Interval.at_most(5.0).contains_value(-1e9)
+        assert Interval.point(3.0).contains_value(3.0)
+        assert not Interval.point(3.0).contains_value(3.5)
+
+    def test_width(self):
+        assert Interval(1.0, 4.0).width == 3.0
+
+    def test_containment_and_overlap(self):
+        outer = Interval(0.0, 10.0)
+        inner = Interval(2.0, 3.0)
+        assert outer.contains_interval(inner)
+        assert not inner.contains_interval(outer)
+        assert outer.overlaps(inner)
+        assert not Interval(0.0, 1.0).overlaps(Interval(2.0, 3.0))
+
+    def test_intersection(self):
+        assert Interval(0.0, 5.0).intersect(Interval(3.0, 8.0)) == Interval(3.0, 5.0)
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_mask(self):
+        values = np.array([0.0, 1.0, 2.0, 3.0])
+        mask = Interval(1.0, 2.0).mask(values)
+        assert list(mask) == [False, True, True, False]
+
+    @given(intervals(), intervals())
+    @settings(max_examples=100)
+    def test_overlap_is_symmetric(self, a: Interval, b: Interval):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals())
+    @settings(max_examples=100)
+    def test_intersection_contained_in_both(self, a: Interval, b: Interval):
+        intersection = a.intersect(b)
+        if intersection is None:
+            assert not a.overlaps(b)
+        else:
+            assert a.contains_interval(intersection)
+            assert b.contains_interval(intersection)
+
+    @given(intervals(), finite_floats)
+    @settings(max_examples=100)
+    def test_containment_consistent_with_mask(self, interval: Interval, value: float):
+        assert interval.contains_value(value) == bool(interval.mask(np.array([value]))[0])
+
+
+class TestBox:
+    def test_unbounded_box_contains_everything(self):
+        box = Box.unbounded(["x", "y"])
+        other = Box({"x": Interval(0, 1), "y": Interval(-5, 5)})
+        assert box.contains_box(other)
+
+    def test_contains_box_partial_dimensions(self):
+        big = Box({"x": Interval(0, 10)})
+        small = Box({"x": Interval(2, 3), "y": Interval(0, 1)})
+        assert big.contains_box(small)
+        assert not small.contains_box(big)
+
+    def test_overlap_and_intersection(self):
+        a = Box({"x": Interval(0, 5), "y": Interval(0, 5)})
+        b = Box({"x": Interval(4, 8), "y": Interval(1, 2)})
+        assert a.overlaps_box(b)
+        inter = a.intersect(b)
+        assert inter is not None
+        assert inter.interval("x") == Interval(4, 5)
+        c = Box({"x": Interval(6, 8)})
+        assert a.intersect(c) is None
+
+    def test_split_produces_disjoint_children(self):
+        box = Box({"x": Interval(0.0, 10.0)})
+        left, right = box.split("x", 4.0)
+        assert left.interval("x").high == 4.0
+        assert right.interval("x").low > 4.0
+        assert not left.overlaps_box(right)
+
+    def test_split_outside_interval_rejected(self):
+        box = Box({"x": Interval(0.0, 10.0)})
+        with pytest.raises(ValueError):
+            box.split("x", 20.0)
+
+    def test_box_equality_and_hash(self):
+        a = Box({"x": Interval(0, 1)})
+        b = Box({"x": Interval(0, 1)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_mask_conjunction(self):
+        box = Box({"x": Interval(0, 1), "y": Interval(10, 20)})
+        mask = box.mask({"x": np.array([0.5, 0.5, 2.0]), "y": np.array([15.0, 25.0, 15.0])})
+        assert list(mask) == [True, False, False]
+
+    def test_mask_missing_column_raises(self):
+        box = Box({"x": Interval(0, 1)})
+        with pytest.raises(KeyError):
+            box.mask({"y": np.array([1.0])})
+
+
+class TestRectPredicate:
+    def test_from_bounds_and_everything(self):
+        predicate = RectPredicate.from_bounds(x=(0.0, 1.0))
+        assert predicate.interval("x") == Interval(0.0, 1.0)
+        assert len(RectPredicate.everything()) == 0
+
+    def test_relation_cover(self):
+        predicate = RectPredicate.from_bounds(x=(0.0, 10.0))
+        box = Box({"x": Interval(2.0, 3.0)})
+        assert predicate.relation_to_box(box) == Relation.COVER
+        assert predicate.covers_box(box)
+
+    def test_relation_disjoint(self):
+        predicate = RectPredicate.from_bounds(x=(0.0, 1.0))
+        box = Box({"x": Interval(2.0, 3.0)})
+        assert predicate.relation_to_box(box) == Relation.DISJOINT
+        assert not predicate.overlaps_box(box)
+
+    def test_relation_partial(self):
+        predicate = RectPredicate.from_bounds(x=(0.0, 2.5))
+        box = Box({"x": Interval(2.0, 3.0)})
+        assert predicate.relation_to_box(box) == Relation.PARTIAL
+
+    def test_relation_on_unconstrained_box_column(self):
+        # The box does not constrain y; the predicate does, so the box can
+        # only be partial (some of its y-extent falls outside the predicate).
+        predicate = RectPredicate.from_bounds(y=(0.0, 1.0))
+        box = Box({"x": Interval(0.0, 1.0)})
+        assert predicate.relation_to_box(box) == Relation.PARTIAL
+
+    def test_as_box(self):
+        predicate = RectPredicate.from_bounds(x=(0.0, 1.0))
+        box = predicate.as_box(["x", "y"])
+        assert box.interval("y") == Interval.unbounded()
+
+    @given(intervals(), intervals())
+    @settings(max_examples=150)
+    def test_relation_consistent_with_tuple_membership(self, p: Interval, b: Interval):
+        """COVER/DISJOINT relations agree with point-level membership."""
+        predicate = RectPredicate({"x": p})
+        box = Box({"x": b})
+        relation = predicate.relation_to_box(box)
+        probes = np.linspace(b.low, b.high, num=7)
+        inside = [p.contains_value(v) for v in probes]
+        if relation == Relation.COVER:
+            assert all(inside)
+        elif relation == Relation.DISJOINT:
+            assert not any(inside)
+
+    def test_everything_relation_is_cover(self):
+        predicate = RectPredicate.everything()
+        box = Box({"x": Interval(0.0, 1.0)})
+        assert predicate.relation_to_box(box) == Relation.COVER
+
+    def test_mask_no_constraints_requires_columns(self):
+        predicate = RectPredicate.everything()
+        with pytest.raises(ValueError):
+            predicate.mask({})
+        mask = predicate.mask({"x": np.array([1.0, 2.0])})
+        assert mask.all()

@@ -1,0 +1,123 @@
+"""Tests for AggregateQuery, the exact engine, and the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType
+from repro.query.predicate import Interval, RectPredicate
+from repro.query.query import AggregateQuery, ExactEngine
+from repro.query.workload import (
+    challenging_queries,
+    max_variance_window,
+    random_range_queries,
+    template_queries,
+)
+
+
+class TestAggregateQuery:
+    def test_convenience_constructors(self):
+        predicate = RectPredicate.from_bounds(key=(0.0, 5.0))
+        assert AggregateQuery.sum("value", predicate).agg == AggregateType.SUM
+        assert AggregateQuery.count("value", predicate).agg == AggregateType.COUNT
+        assert AggregateQuery.avg("value", predicate).agg == AggregateType.AVG
+
+    def test_string_aggregate_is_parsed(self):
+        query = AggregateQuery("max", "value", RectPredicate.everything())
+        assert query.agg == AggregateType.MAX
+
+    def test_with_aggregate_returns_new_query(self):
+        query = AggregateQuery.sum("value", RectPredicate.everything())
+        other = query.with_aggregate("count")
+        assert other.agg == AggregateType.COUNT
+        assert query.agg == AggregateType.SUM
+
+    def test_predicate_columns(self):
+        query = AggregateQuery.sum("value", RectPredicate.from_bounds(a=(0, 1), b=(2, 3)))
+        assert set(query.predicate_columns) == {"a", "b"}
+
+
+class TestExactEngine:
+    def test_results_match_numpy(self, tiny_table, range_query_factory):
+        engine = ExactEngine(tiny_table)
+        query = range_query_factory("SUM", 2.0, 6.0)
+        mask = (tiny_table.column("key") >= 2.0) & (tiny_table.column("key") <= 6.0)
+        assert engine.execute(query) == tiny_table.column("value")[mask].sum()
+        assert engine.execute(query.with_aggregate("count")) == mask.sum()
+        assert engine.execute(query.with_aggregate("avg")) == pytest.approx(
+            tiny_table.column("value")[mask].mean()
+        )
+        assert engine.execute(query.with_aggregate("min")) == 3.0
+        assert engine.execute(query.with_aggregate("max")) == 7.0
+
+    def test_unconstrained_query_covers_everything(self, tiny_table):
+        engine = ExactEngine(tiny_table)
+        query = AggregateQuery.count("value", RectPredicate.everything())
+        assert engine.execute(query) == tiny_table.n_rows
+
+    def test_selectivity(self, tiny_table, range_query_factory):
+        engine = ExactEngine(tiny_table)
+        query = range_query_factory("SUM", 0.0, 4.0)
+        assert engine.selectivity(query) == pytest.approx(0.5)
+
+    def test_execute_many(self, tiny_table, range_query_factory):
+        engine = ExactEngine(tiny_table)
+        queries = [range_query_factory("SUM", 0.0, 4.0), range_query_factory("SUM", 5.0, 9.0)]
+        assert engine.execute_many(queries) == [15.0, 40.0]
+
+
+class TestWorkloads:
+    def test_random_range_queries_overlap_data(self, skewed_table):
+        workload = random_range_queries(
+            skewed_table, "value", ["key"], n_queries=50, rng=3
+        )
+        engine = ExactEngine(skewed_table)
+        assert len(workload) == 50
+        counts = [engine.execute(q.with_aggregate("count")) for q in workload]
+        assert min(counts) > 0
+
+    def test_random_range_queries_deterministic(self, skewed_table):
+        a = random_range_queries(skewed_table, "value", ["key"], n_queries=5, rng=3)
+        b = random_range_queries(skewed_table, "value", ["key"], n_queries=5, rng=3)
+        assert a.queries == b.queries
+
+    def test_random_range_queries_validation(self, skewed_table):
+        with pytest.raises(ValueError):
+            random_range_queries(skewed_table, "value", ["key"], n_queries=0)
+        with pytest.raises(ValueError):
+            random_range_queries(skewed_table, "value", [], n_queries=5)
+
+    def test_with_aggregate_retargets_all_queries(self, skewed_table):
+        workload = random_range_queries(skewed_table, "value", ["key"], n_queries=5, rng=1)
+        counts = workload.with_aggregate("count")
+        assert all(q.agg == AggregateType.COUNT for q in counts)
+
+    def test_max_variance_window_finds_tail(self, skewed_table):
+        window = max_variance_window(skewed_table, "value", "key", window_fraction=0.1)
+        # The high-variance region of the skewed table is the final 20% of keys.
+        assert window.low >= 0.75 * skewed_table.n_rows
+
+    def test_challenging_queries_live_in_window(self, skewed_table):
+        workload = challenging_queries(
+            skewed_table, "value", "key", n_queries=20, rng=4, window_fraction=0.1
+        )
+        window = max_variance_window(skewed_table, "value", "key", window_fraction=0.1)
+        for query in workload:
+            interval = query.predicate.interval("key")
+            assert interval.low >= window.low - 1e-9
+            assert interval.high <= window.high + 1e-9
+
+    def test_template_queries_constrain_first_dimensions(self, multi_table):
+        workload = template_queries(
+            multi_table, "value", ["a", "b", "c"], n_dimensions=2, n_queries=10, rng=5
+        )
+        for query in workload:
+            assert set(query.predicate_columns) == {"a", "b"}
+
+    def test_template_queries_dimension_validation(self, multi_table):
+        with pytest.raises(ValueError):
+            template_queries(
+                multi_table, "value", ["a", "b"], n_dimensions=3, n_queries=5
+            )

@@ -1,0 +1,98 @@
+"""Tests for reservoir sampling (Vitter's Algorithm R)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.reservoir import ReservoirSample
+
+
+class TestReservoirBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+    def test_keeps_everything_below_capacity(self):
+        reservoir = ReservoirSample(10, rng=0)
+        for i in range(5):
+            reservoir.offer({"x": float(i)})
+        assert len(reservoir) == 5
+        assert reservoir.seen == 5
+
+    def test_never_exceeds_capacity(self):
+        reservoir = ReservoirSample(8, rng=0)
+        for i in range(1_000):
+            reservoir.offer({"x": float(i)})
+        assert len(reservoir) == 8
+        assert reservoir.seen == 1_000
+
+    def test_offer_returns_evicted_row_when_replacing(self):
+        reservoir = ReservoirSample(1, rng=0)
+        reservoir.offer({"x": 0.0})
+        evictions = sum(
+            1 for i in range(1, 200) if reservoir.offer({"x": float(i)}) is not None
+        )
+        # With capacity 1 the expected number of acceptances is H_200 - 1 ~ 4.9;
+        # any positive count shows replacement happens and returns the victim.
+        assert evictions > 0
+
+    def test_rows_returns_copies(self):
+        reservoir = ReservoirSample(2, rng=0)
+        reservoir.offer({"x": 1.0})
+        rows = reservoir.rows
+        rows[0]["x"] = 99.0
+        assert reservoir.rows[0]["x"] == 1.0
+
+    def test_column_and_as_columns(self):
+        reservoir = ReservoirSample(3, rng=0)
+        for i in range(3):
+            reservoir.offer({"x": float(i), "y": float(10 + i)})
+        assert list(reservoir.column("x")) == [0.0, 1.0, 2.0]
+        columns = reservoir.as_columns(["x", "y"])
+        assert set(columns) == {"x", "y"}
+
+    def test_discard_removes_matching_row(self):
+        reservoir = ReservoirSample(3, rng=0)
+        reservoir.offer({"x": 1.0})
+        reservoir.offer({"x": 2.0})
+        assert reservoir.discard({"x": 1.0})
+        assert not reservoir.discard({"x": 42.0})
+        assert len(reservoir) == 1
+
+    def test_rebase_seen_validation(self):
+        reservoir = ReservoirSample(3, rng=0)
+        reservoir.offer({"x": 1.0})
+        reservoir.rebase_seen(500)
+        assert reservoir.seen == 500
+        with pytest.raises(ValueError):
+            reservoir.rebase_seen(0)
+
+
+class TestReservoirUniformity:
+    def test_inclusion_probability_is_approximately_uniform(self):
+        """Every stream element should be retained with probability ~ capacity/n."""
+        capacity, stream_length, trials = 10, 100, 400
+        counts = np.zeros(stream_length)
+        for trial in range(trials):
+            reservoir = ReservoirSample(capacity, rng=trial)
+            for i in range(stream_length):
+                reservoir.offer({"x": float(i)})
+            for row in reservoir.rows:
+                counts[int(row["x"])] += 1
+        frequencies = counts / trials
+        expected = capacity / stream_length
+        # Early and late stream elements must be retained at similar rates.
+        assert abs(frequencies[:20].mean() - expected) < 0.05
+        assert abs(frequencies[-20:].mean() - expected) < 0.05
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=50)
+    def test_size_invariant(self, capacity, n_items):
+        reservoir = ReservoirSample(capacity, rng=7)
+        for i in range(n_items):
+            reservoir.offer({"x": float(i)})
+        assert len(reservoir) == min(capacity, n_items)
+        assert reservoir.seen == n_items

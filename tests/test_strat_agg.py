@@ -1,0 +1,155 @@
+"""Tests for stratified aggregation and deterministic hard bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.partition import PartitionStats
+from repro.aggregation.strat_agg import (
+    HardBounds,
+    StratifiedAggregationSynopsis,
+    hard_bounds,
+)
+from repro.partitioning.equal import equal_depth_partition
+from repro.query.aggregates import AggregateType
+from repro.query.query import AggregateQuery, ExactEngine
+from repro.query.predicate import RectPredicate
+
+
+class TestHardBoundsFormulas:
+    def test_sum_bounds(self):
+        covered = [PartitionStats.from_values(np.array([1.0, 2.0]))]
+        partial = [PartitionStats.from_values(np.array([10.0]))]
+        bounds = hard_bounds(AggregateType.SUM, covered, partial)
+        assert bounds.lower == 3.0
+        assert bounds.upper == 13.0
+        assert bounds.width == 10.0
+        assert bounds.midpoint == 8.0
+
+    def test_count_bounds(self):
+        covered = [PartitionStats.from_values(np.array([1.0, 2.0, 3.0]))]
+        partial = [PartitionStats.from_values(np.array([10.0, 20.0]))]
+        bounds = hard_bounds(AggregateType.COUNT, covered, partial)
+        assert bounds.lower == 3.0
+        assert bounds.upper == 5.0
+
+    def test_avg_bounds(self):
+        covered = [PartitionStats.from_values(np.array([4.0, 6.0]))]  # avg 5
+        partial = [PartitionStats.from_values(np.array([1.0, 20.0]))]
+        bounds = hard_bounds(AggregateType.AVG, covered, partial)
+        assert bounds.lower == 1.0
+        assert bounds.upper == 20.0
+
+    def test_avg_bounds_exact_when_no_partial(self):
+        covered = [PartitionStats.from_values(np.array([4.0, 6.0]))]
+        bounds = hard_bounds(AggregateType.AVG, covered, [])
+        assert bounds.lower == bounds.upper == 5.0
+
+    def test_avg_bounds_partial_only(self):
+        partial = [PartitionStats.from_values(np.array([2.0, 9.0]))]
+        bounds = hard_bounds(AggregateType.AVG, [], partial)
+        assert bounds.lower == 2.0
+        assert bounds.upper == 9.0
+
+    def test_min_max_bounds(self):
+        covered = [PartitionStats.from_values(np.array([3.0, 7.0]))]
+        partial = [PartitionStats.from_values(np.array([1.0, 12.0]))]
+        max_bounds = hard_bounds(AggregateType.MAX, covered, partial)
+        assert max_bounds.lower == 7.0
+        assert max_bounds.upper == 12.0
+        min_bounds = hard_bounds(AggregateType.MIN, covered, partial)
+        assert min_bounds.upper == 3.0
+        assert min_bounds.lower == 1.0
+
+    def test_empty_inputs_give_nan_bounds(self):
+        bounds = hard_bounds(AggregateType.AVG, [], [])
+        assert math.isnan(bounds.lower)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=30),
+        st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=0, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=120)
+    def test_truth_always_within_bounds(self, covered_values, partial_values, data):
+        """For any split of the partial tuples into matching / not matching,
+        the true aggregate lies inside the deterministic bounds."""
+        covered_values = np.asarray(covered_values)
+        partial_values = np.asarray(partial_values)
+        covered = [PartitionStats.from_values(covered_values)]
+        partial = (
+            [PartitionStats.from_values(partial_values)] if partial_values.size else []
+        )
+        if partial_values.size:
+            n_match = data.draw(st.integers(min_value=0, max_value=partial_values.size))
+            matched_partial = partial_values[:n_match]
+        else:
+            matched_partial = np.array([])
+        matched = np.concatenate([covered_values, matched_partial])
+
+        for agg in (AggregateType.SUM, AggregateType.COUNT, AggregateType.AVG):
+            bounds = hard_bounds(agg, covered, partial)
+            if agg == AggregateType.SUM:
+                truth = matched.sum()
+            elif agg == AggregateType.COUNT:
+                truth = float(matched.size)
+            else:
+                truth = matched.mean() if matched.size else float("nan")
+            if math.isnan(truth):
+                continue
+            assert bounds.lower - 1e-6 <= truth <= bounds.upper + 1e-6
+
+
+class TestHardBoundsDataclass:
+    def test_contains_and_midpoint_with_infinite_bounds(self):
+        bounds = HardBounds(lower=-math.inf, upper=5.0)
+        assert bounds.contains(-1e9)
+        assert math.isnan(bounds.midpoint)
+
+
+class TestStratifiedAggregationSynopsis:
+    @pytest.fixture
+    def synopsis(self, skewed_table):
+        boxes = equal_depth_partition(skewed_table, "key", 16)
+        return StratifiedAggregationSynopsis(skewed_table, "value", boxes)
+
+    def test_aligned_query_is_exact(self, synopsis, skewed_table):
+        # A query spanning whole partitions exactly: use a partition boundary.
+        box = synopsis.boxes[3]
+        predicate = RectPredicate({"key": box.interval("key")})
+        query = AggregateQuery.sum("value", predicate)
+        result = synopsis.query(query)
+        truth = ExactEngine(skewed_table).execute(query)
+        assert result.exact
+        assert result.estimate == pytest.approx(truth)
+        assert result.ci_half_width == 0.0
+
+    def test_partial_query_bounds_contain_truth(self, synopsis, skewed_table, range_query_factory):
+        engine = ExactEngine(skewed_table)
+        for agg in ("SUM", "COUNT", "AVG"):
+            query = range_query_factory(agg, 123.0, 1833.0)
+            result = synopsis.query(query)
+            truth = engine.execute(query)
+            assert result.within_hard_bounds(truth)
+            assert not result.exact
+
+    def test_skip_accounting(self, synopsis, range_query_factory):
+        result = synopsis.query(range_query_factory("SUM", 0.0, 400.0))
+        assert result.tuples_skipped > 0
+        assert result.tuples_processed == 0
+
+    def test_storage_is_small(self, synopsis, skewed_table):
+        assert synopsis.storage_bytes() < skewed_table.memory_bytes() / 10
+
+    def test_wrong_column_rejected(self, synopsis):
+        with pytest.raises(ValueError):
+            synopsis.query(AggregateQuery.sum("key", RectPredicate.everything()))
+
+    def test_requires_boxes(self, skewed_table):
+        with pytest.raises(ValueError):
+            StratifiedAggregationSynopsis(skewed_table, "value", [])

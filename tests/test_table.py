@@ -1,0 +1,128 @@
+"""Unit tests for the numpy-backed Table substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table import Column, Table
+
+
+class TestColumn:
+    def test_rejects_two_dimensional_values(self):
+        with pytest.raises(ValueError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_rejects_non_numeric_values(self):
+        with pytest.raises(TypeError):
+            Column("x", np.array(["a", "b"]))
+
+    def test_min_max_and_len(self):
+        column = Column("x", np.array([3.0, 1.0, 2.0]))
+        assert len(column) == 3
+        assert column.min() == 1.0
+        assert column.max() == 3.0
+
+    def test_empty_column_bounds_are_nan(self):
+        column = Column("x", np.array([], dtype=float))
+        assert np.isnan(column.min())
+        assert np.isnan(column.max())
+
+
+class TestTableConstruction:
+    def test_from_columns_and_row_count(self):
+        table = Table.from_columns(a=[1, 2, 3], b=[4.0, 5.0, 6.0])
+        assert table.n_rows == 3
+        assert set(table.column_names) == {"a", "b"}
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2, 3], "b": [1, 2]})
+
+    def test_from_records(self):
+        table = Table.from_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert table.n_rows == 2
+        assert list(table.column("a")) == [1, 3]
+
+    def test_from_records_empty(self):
+        table = Table.from_records([])
+        assert table.n_rows == 0
+
+    def test_rejects_two_dimensional_columns(self):
+        with pytest.raises(ValueError):
+            Table({"a": np.zeros((3, 2))})
+
+    def test_unknown_column_raises_with_available_names(self):
+        table = Table.from_columns(a=[1.0])
+        with pytest.raises(KeyError, match="available columns"):
+            table.column("missing")
+
+
+class TestTableOperations:
+    def test_select_by_mask(self, tiny_table):
+        selected = tiny_table.select(tiny_table.column("value") > 5.0)
+        assert selected.n_rows == 5
+        assert selected.column("value").min() == 6.0
+
+    def test_select_requires_boolean_mask(self, tiny_table):
+        with pytest.raises(TypeError):
+            tiny_table.select(np.arange(10))
+
+    def test_select_requires_matching_length(self, tiny_table):
+        with pytest.raises(ValueError):
+            tiny_table.select(np.ones(3, dtype=bool))
+
+    def test_take_preserves_order(self, tiny_table):
+        taken = tiny_table.take(np.array([3, 1, 0]))
+        assert list(taken.column("key")) == [3.0, 1.0, 0.0]
+
+    def test_project_restricts_columns(self, tiny_table):
+        projected = tiny_table.project(["value"])
+        assert projected.column_names == ["value"]
+
+    def test_sort_by_orders_rows(self, rng):
+        table = Table({"k": rng.permutation(50).astype(float), "v": np.arange(50.0)})
+        ordered = table.sort_by("k")
+        assert np.all(np.diff(ordered.column("k")) >= 0)
+
+    def test_sample_without_replacement_is_subset(self, tiny_table, rng):
+        sample = tiny_table.sample(5, rng)
+        assert sample.n_rows == 5
+        assert set(sample.column("key")).issubset(set(tiny_table.column("key")))
+
+    def test_sample_clamps_to_table_size(self, tiny_table, rng):
+        sample = tiny_table.sample(100, rng)
+        assert sample.n_rows == tiny_table.n_rows
+
+    def test_sample_negative_rejected(self, tiny_table, rng):
+        with pytest.raises(ValueError):
+            tiny_table.sample(-1, rng)
+
+    def test_head(self, tiny_table):
+        assert tiny_table.head(3).n_rows == 3
+
+    def test_concat_same_schema(self, tiny_table):
+        doubled = tiny_table.concat(tiny_table)
+        assert doubled.n_rows == 2 * tiny_table.n_rows
+
+    def test_concat_different_schema_rejected(self, tiny_table):
+        other = Table.from_columns(x=[1.0])
+        with pytest.raises(ValueError):
+            tiny_table.concat(other)
+
+    def test_column_bounds(self, tiny_table):
+        assert tiny_table.column_bounds("value") == (1.0, 10.0)
+
+    def test_memory_bytes_positive(self, tiny_table):
+        assert tiny_table.memory_bytes() > 0
+
+    def test_to_records_round_trip(self, tiny_table):
+        records = tiny_table.to_records()
+        rebuilt = Table.from_records(records)
+        assert rebuilt.n_rows == tiny_table.n_rows
+        assert np.allclose(rebuilt.column("value"), tiny_table.column("value"))
+
+    def test_contains_and_iter(self, tiny_table):
+        assert "value" in tiny_table
+        assert "missing" not in tiny_table
+        assert set(iter(tiny_table)) == {"key", "value"}

@@ -1,0 +1,206 @@
+"""Tests for the uniform-sampling and stratified-sampling synopses."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType
+from repro.query.predicate import Box, Interval, RectPredicate
+from repro.query.query import AggregateQuery, ExactEngine
+from repro.sampling.stratified import (
+    StratifiedSampleSynopsis,
+    Stratum,
+    equal_depth_boxes,
+)
+from repro.sampling.uniform import UniformSampleSynopsis
+
+
+class TestUniformSampleSynopsis:
+    def test_full_sample_is_exact_for_sum_count(self, skewed_table, range_query_factory):
+        synopsis = UniformSampleSynopsis(
+            skewed_table, "value", ["key"], sample_rate=1.0, rng=0
+        )
+        engine = ExactEngine(skewed_table)
+        query = range_query_factory("SUM", 100.0, 1500.0)
+        assert synopsis.query(query).estimate == pytest.approx(engine.execute(query))
+        count = query.with_aggregate("count")
+        assert synopsis.query(count).estimate == pytest.approx(engine.execute(count))
+
+    def test_constructor_validation(self, skewed_table):
+        with pytest.raises(ValueError):
+            UniformSampleSynopsis(skewed_table, "value", ["key"])
+        with pytest.raises(ValueError):
+            UniformSampleSynopsis(
+                skewed_table, "value", ["key"], sample_rate=0.1, sample_size=10
+            )
+        with pytest.raises(ValueError):
+            UniformSampleSynopsis(skewed_table, "value", ["key"], sample_rate=2.0)
+
+    def test_estimates_within_a_few_sigma(self, skewed_table, range_query_factory):
+        synopsis = UniformSampleSynopsis(
+            skewed_table, "value", ["key"], sample_rate=0.2, rng=1
+        )
+        engine = ExactEngine(skewed_table)
+        query = range_query_factory("SUM", 0.0, 1900.0)
+        result = synopsis.query(query)
+        truth = engine.execute(query)
+        assert abs(result.estimate - truth) <= 5 * (result.ci_half_width / 2.576 + 1e-9)
+
+    def test_wrong_value_column_rejected(self, skewed_table, range_query_factory):
+        synopsis = UniformSampleSynopsis(
+            skewed_table, "value", ["key"], sample_size=50, rng=0
+        )
+        query = AggregateQuery.sum("key", RectPredicate.everything())
+        with pytest.raises(ValueError):
+            synopsis.query(query)
+
+    def test_missing_predicate_column_raises(self, skewed_table):
+        synopsis = UniformSampleSynopsis(
+            skewed_table, "value", ["key"], sample_size=50, rng=0
+        )
+        query = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(unknown=(0.0, 1.0))
+        )
+        with pytest.raises(KeyError):
+            synopsis.query(query)
+
+    def test_min_max_reported_without_interval(self, skewed_table, range_query_factory):
+        synopsis = UniformSampleSynopsis(
+            skewed_table, "value", ["key"], sample_rate=0.5, rng=0
+        )
+        result = synopsis.query(range_query_factory("MAX", 0.0, 2000.0))
+        assert result.estimate > 0
+        assert math.isnan(result.ci_half_width)
+
+    def test_storage_and_sizes(self, skewed_table):
+        synopsis = UniformSampleSynopsis(
+            skewed_table, "value", ["key"], sample_size=100, rng=0
+        )
+        assert synopsis.sample_size == 100
+        assert synopsis.population_size == skewed_table.n_rows
+        assert synopsis.storage_bytes() > 0
+
+
+class TestEqualDepthBoxes:
+    def test_boxes_partition_all_rows(self, skewed_table):
+        boxes = equal_depth_boxes(skewed_table, "key", 8)
+        key = skewed_table.column("key")
+        total = sum(int(box.mask({"key": key}).sum()) for box in boxes)
+        assert total == skewed_table.n_rows
+        # Boxes are pairwise disjoint.
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not a.overlaps_box(b)
+
+    def test_roughly_equal_sizes(self, skewed_table):
+        boxes = equal_depth_boxes(skewed_table, "key", 8)
+        key = skewed_table.column("key")
+        sizes = [int(box.mask({"key": key}).sum()) for box in boxes]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_duplicate_heavy_column(self):
+        table = Table({"key": np.repeat([1.0, 2.0], 50), "value": np.arange(100.0)})
+        boxes = equal_depth_boxes(table, "key", 10)
+        key = table.column("key")
+        total = sum(int(box.mask({"key": key}).sum()) for box in boxes)
+        assert total == 100
+        assert len(boxes) <= 10
+
+    def test_invalid_strata_count(self, skewed_table):
+        with pytest.raises(ValueError):
+            equal_depth_boxes(skewed_table, "key", 0)
+
+
+class TestStratifiedSampleSynopsis:
+    @pytest.fixture
+    def synopsis(self, skewed_table):
+        boxes = equal_depth_boxes(skewed_table, "key", 10)
+        return StratifiedSampleSynopsis(
+            skewed_table, "value", ["key"], boxes, sample_rate=0.2, rng=2
+        )
+
+    def test_strata_cover_population(self, synopsis, skewed_table):
+        assert sum(s.size for s in synopsis.strata) == skewed_table.n_rows
+        assert synopsis.n_strata == 10
+
+    def test_sum_estimate_close_to_truth(self, synopsis, skewed_table, range_query_factory):
+        engine = ExactEngine(skewed_table)
+        query = range_query_factory("SUM", 0.0, 1900.0)
+        result = synopsis.query(query)
+        truth = engine.execute(query)
+        assert result.relative_error(truth) < 0.25
+
+    def test_avg_weighted_combination(self, synopsis, skewed_table, range_query_factory):
+        engine = ExactEngine(skewed_table)
+        query = range_query_factory("AVG", 1500.0, 1999.0)
+        result = synopsis.query(query)
+        truth = engine.execute(query)
+        assert result.relative_error(truth) < 0.35
+
+    def test_count_estimate(self, synopsis, skewed_table, range_query_factory):
+        engine = ExactEngine(skewed_table)
+        query = range_query_factory("COUNT", 100.0, 700.0)
+        result = synopsis.query(query)
+        assert result.relative_error(engine.execute(query)) < 0.25
+
+    def test_irrelevant_strata_are_skipped(self, synopsis, range_query_factory):
+        narrow = range_query_factory("SUM", 0.0, 10.0)
+        result = synopsis.query(narrow)
+        assert result.tuples_skipped > 0
+        assert result.tuples_processed < synopsis.sample_size
+
+    def test_min_max_from_samples(self, synopsis, range_query_factory):
+        result = synopsis.query(range_query_factory("MIN", 0.0, 1999.0))
+        assert result.estimate >= 0.0
+
+    def test_validation_errors(self, skewed_table):
+        boxes = equal_depth_boxes(skewed_table, "key", 4)
+        with pytest.raises(ValueError):
+            StratifiedSampleSynopsis(skewed_table, "value", ["key"], boxes)
+        with pytest.raises(ValueError):
+            StratifiedSampleSynopsis(
+                skewed_table, "value", ["key"], [], sample_rate=0.1
+            )
+        with pytest.raises(ValueError):
+            StratifiedSampleSynopsis(
+                skewed_table, "value", ["key"], boxes, sample_rate=0.1, allocation="bogus"
+            )
+
+    def test_proportional_allocation_tracks_sizes(self, skewed_table):
+        boxes = equal_depth_boxes(skewed_table, "key", 4)
+        synopsis = StratifiedSampleSynopsis(
+            skewed_table,
+            "value",
+            ["key"],
+            boxes,
+            sample_size=200,
+            allocation="proportional",
+            rng=0,
+        )
+        sizes = [s.sample_size for s in synopsis.strata]
+        assert max(sizes) - min(sizes) <= 5
+
+    def test_wrong_value_column_rejected(self, synopsis):
+        query = AggregateQuery.sum("key", RectPredicate.everything())
+        with pytest.raises(ValueError):
+            synopsis.query(query)
+
+
+class TestStratum:
+    def test_match_mask_and_values(self):
+        stratum = Stratum(
+            box=Box({"key": Interval(0.0, 10.0)}),
+            size=100,
+            sample_columns={
+                "value": np.array([1.0, 2.0, 3.0]),
+                "key": np.array([1.0, 5.0, 9.0]),
+            },
+        )
+        query = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(4.0, 10.0)))
+        assert list(stratum.match_mask(query)) == [False, True, True]
+        assert stratum.sample_size == 3
+        assert stratum.storage_bytes() > 0

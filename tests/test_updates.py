@@ -1,0 +1,110 @@
+"""Tests for dynamic updates (insertions / deletions) of a PASS synopsis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PASSConfig
+from repro.core.updates import DynamicPASS
+from repro.data.table import Table
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery, ExactEngine
+
+
+@pytest.fixture
+def dynamic_setup():
+    """A small table plus a DynamicPASS built over it."""
+    rng = np.random.default_rng(9)
+    n = 2000
+    table = Table(
+        {
+            "key": np.arange(n, dtype=float),
+            "value": np.abs(rng.normal(50.0, 10.0, size=n)),
+        },
+        name="dynamic",
+    )
+    config = PASSConfig(
+        n_partitions=8, sample_rate=0.1, partitioner="equal", seed=0
+    )
+    dynamic = DynamicPASS(table, "value", ["key"], config=config, rng=1)
+    return table, dynamic
+
+
+class TestInsertions:
+    def test_insert_updates_counts_and_sums(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        before_count = dynamic.population_size
+        before_sum = dynamic.synopsis.tree.root.stats.sum
+        dynamic.insert({"key": 100.5, "value": 42.0})
+        assert dynamic.population_size == before_count + 1
+        assert dynamic.synopsis.tree.root.stats.sum == pytest.approx(before_sum + 42.0)
+        assert dynamic.updates_since_build == 1
+
+    def test_insert_updates_every_node_on_the_path(self, dynamic_setup):
+        _, dynamic = dynamic_setup
+        leaf = dynamic.synopsis.tree.leaf_for_point({"key": 100.5})
+        path = dynamic.synopsis.tree.path_to_leaf(leaf)
+        before = [node.stats.count for node in path]
+        dynamic.insert({"key": 100.5, "value": 10.0})
+        after = [node.stats.count for node in path]
+        assert all(b + 1 == a for b, a in zip(before, after))
+
+    def test_inserted_extremum_widens_hard_bounds(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        dynamic.insert({"key": 250.0, "value": 10_000.0})
+        query = AggregateQuery(
+            "MAX", "value", RectPredicate.from_bounds(key=(0.0, 500.0))
+        )
+        result = dynamic.query(query)
+        assert result.hard_upper >= 10_000.0
+
+    def test_query_after_inserts_tracks_exact_answer(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        new_rows = [{"key": 123.3 + i, "value": 77.0} for i in range(50)]
+        for row in new_rows:
+            dynamic.insert(row)
+        query = AggregateQuery.count("value", RectPredicate.from_bounds(key=(0.0, 1999.0)))
+        result = dynamic.query(query)
+        # COUNT over the whole key range: 2000 original + 50 inserted.
+        updated = Table(
+            {
+                "key": np.concatenate([table.column("key"), [r["key"] for r in new_rows]]),
+                "value": np.concatenate([table.column("value"), [r["value"] for r in new_rows]]),
+            }
+        )
+        truth = ExactEngine(updated).execute(query)
+        assert result.relative_error(truth) < 0.1
+
+    def test_insert_requires_predicate_columns(self, dynamic_setup):
+        _, dynamic = dynamic_setup
+        with pytest.raises(KeyError):
+            dynamic.insert({"value": 1.0})
+
+
+class TestDeletions:
+    def test_delete_updates_counts(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        row = {"key": float(table.column("key")[10]), "value": float(table.column("value")[10])}
+        before = dynamic.population_size
+        dynamic.delete(row)
+        assert dynamic.population_size == before - 1
+
+    def test_delete_then_insert_round_trip(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        row = {"key": 5.0, "value": float(table.column("value")[5])}
+        before_sum = dynamic.synopsis.tree.root.stats.sum
+        dynamic.delete(row)
+        dynamic.insert(row)
+        assert dynamic.synopsis.tree.root.stats.sum == pytest.approx(before_sum)
+        assert dynamic.updates_since_build == 2
+
+
+class TestRebuild:
+    def test_rebuild_resets_update_counter(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        dynamic.insert({"key": 1.5, "value": 3.0})
+        assert dynamic.updates_since_build == 1
+        dynamic.rebuild(table)
+        assert dynamic.updates_since_build == 0
+        assert dynamic.population_size == table.n_rows

@@ -1,0 +1,189 @@
+"""Tests for the variance formulas and the max-variance-query oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning.max_variance import (
+    MaxVarianceOracle,
+    SparseTable,
+    brute_force_max_variance,
+)
+from repro.partitioning.variance import (
+    avg_query_variance,
+    core_variance_term,
+    count_query_variance,
+    query_variance,
+    sampled_avg_error_variance,
+    sampled_sum_error_variance,
+    sum_query_variance,
+)
+from repro.query.aggregates import AggregateType
+
+positive_values = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=4, max_size=80
+)
+
+
+class TestVarianceFormulas:
+    def test_core_term_matches_scaled_population_variance(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        core = core_variance_term(4, values.sum(), (values**2).sum())
+        assert core == pytest.approx(16 * np.var(values))
+
+    def test_core_term_clamped_at_zero(self):
+        # Floating-point cancellation cannot push the term negative.
+        assert core_variance_term(2, 2.0, 1.9999999) >= 0.0
+
+    def test_sum_variance_zero_for_constant_values(self):
+        values = np.full(10, 7.0)
+        assert sum_query_variance(10, values.sum(), (values**2).sum()) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_count_variance_maximised_at_half(self):
+        full = count_query_variance(100, 50)
+        assert full >= count_query_variance(100, 10)
+        assert full >= count_query_variance(100, 90)
+
+    def test_avg_variance_is_sum_variance_scaled_by_query_size(self):
+        values = np.array([1.0, 5.0, 9.0, 13.0])
+        q_sum, q_sum_sq = values.sum(), (values**2).sum()
+        assert avg_query_variance(10, 4, q_sum, q_sum_sq) == pytest.approx(
+            sum_query_variance(10, q_sum, q_sum_sq) / 16.0
+        )
+
+    def test_dispatch(self):
+        assert query_variance(AggregateType.SUM, 10, 5, 10.0, 30.0) == sum_query_variance(
+            10, 10.0, 30.0
+        )
+        assert query_variance(AggregateType.COUNT, 10, 5, 0, 0) == count_query_variance(10, 5)
+        with pytest.raises(ValueError):
+            query_variance(AggregateType.MIN, 10, 5, 0, 0)
+
+    def test_degenerate_inputs_return_zero(self):
+        assert sum_query_variance(0, 0.0, 0.0) == 0.0
+        assert avg_query_variance(5, 0, 0.0, 0.0) == 0.0
+        assert sampled_sum_error_variance(100, 0, 0.0, 0.0) == 0.0
+        assert sampled_avg_error_variance(0, 0, 0.0, 0.0) == 0.0
+
+    def test_sampled_sum_error_scales_with_population(self):
+        small = sampled_sum_error_variance(100, 10, 50.0, 300.0)
+        large = sampled_sum_error_variance(1_000, 10, 50.0, 300.0)
+        assert large == pytest.approx(100 * small)
+
+    @given(positive_values)
+    @settings(max_examples=80)
+    def test_monotonicity_in_partition_size(self, values):
+        """Adding irrelevant tuples to a partition cannot decrease V_i(q) (Sec 4.3)."""
+        values = np.asarray(values)
+        q_sum = float(values.sum())
+        q_sum_sq = float((values**2).sum())
+        n = len(values)
+        assert sum_query_variance(n + 5, q_sum, q_sum_sq) >= sum_query_variance(
+            n, q_sum, q_sum_sq
+        ) - 1e-9
+        assert avg_query_variance(n + 5, n, q_sum, q_sum_sq) >= avg_query_variance(
+            n, n, q_sum, q_sum_sq
+        ) - 1e-9
+
+
+class TestSparseTable:
+    def test_matches_numpy_max(self, rng):
+        values = rng.normal(size=257)
+        table = SparseTable(values)
+        for _ in range(50):
+            start = int(rng.integers(0, 257))
+            end = int(rng.integers(start, 257))
+            assert table.query(start, end) == pytest.approx(values[start : end + 1].max())
+
+    def test_argmax(self, rng):
+        values = rng.permutation(64).astype(float)
+        table = SparseTable(values)
+        assert values[table.argmax(10, 40)] == values[10:41].max()
+
+    def test_invalid_range(self):
+        table = SparseTable(np.array([1.0, 2.0]))
+        with pytest.raises(IndexError):
+            table.query(1, 0)
+        with pytest.raises(IndexError):
+            table.query(0, 5)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            SparseTable(np.zeros((2, 2)))
+
+
+class TestMaxVarianceOracle:
+    def test_exact_mode_matches_brute_force(self, rng):
+        values = np.abs(rng.normal(10, 5, size=30))
+        oracle = MaxVarianceOracle(values, agg="SUM", exact=True)
+        assert oracle.max_variance(0, 29) == brute_force_max_variance(values, "SUM")
+
+    def test_sum_median_split_is_constant_factor(self, rng):
+        """Appendix A.3: the median-split answer is within 4x of the true max."""
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            values = np.abs(local.lognormal(1.0, 0.8, size=60))
+            fast = MaxVarianceOracle(values, agg="SUM", exact=False)
+            exact = brute_force_max_variance(values, "SUM")
+            approx = fast.max_variance(0, 59)
+            assert approx <= exact + 1e-6
+            assert approx >= exact / 4.0 - 1e-6
+
+    def test_count_closed_form(self):
+        values = np.ones(40)
+        oracle = MaxVarianceOracle(values, agg="COUNT")
+        # Worst COUNT query covers half the items: V = (n*X - X^2)/n with X=n/2.
+        assert oracle.max_variance(0, 39) == pytest.approx(10.0)
+
+    def test_avg_window_requires_enough_samples(self, rng):
+        values = np.abs(rng.normal(10, 3, size=100))
+        oracle = MaxVarianceOracle(values, agg="AVG", delta=0.2)
+        # Ranges shorter than 2 * delta * m are scored as zero variance.
+        assert oracle.max_variance(0, 20) == 0.0
+        assert oracle.max_variance(0, 99) > 0.0
+
+    def test_avg_window_lower_bounds_exact_maximum(self, rng):
+        values = np.concatenate([np.full(50, 5.0), np.abs(rng.normal(100, 30, size=50))])
+        delta = 0.1
+        fast = MaxVarianceOracle(values, agg="AVG", delta=delta, exact=False)
+        exact = MaxVarianceOracle(values, agg="AVG", delta=delta, exact=True)
+        approx_value = fast.max_variance(0, 99)
+        exact_value = exact.max_variance(0, 99)
+        assert approx_value <= exact_value + 1e-6
+        assert approx_value >= exact_value / 8.0
+
+    def test_approximate_monotonicity_in_range_growth(self, rng):
+        """Growing a partition increases the max variance up to the 4x approximation.
+
+        The exact maximum is monotone (Section 4.3); the median-split
+        approximation stays within a factor 4 of it, so consecutive values can
+        only drop by at most that factor.
+        """
+        values = np.abs(rng.lognormal(1.0, 0.7, size=200))
+        oracle = MaxVarianceOracle(values, agg="SUM")
+        previous = 0.0
+        for end in range(20, 200, 20):
+            current = oracle.max_variance(0, end)
+            assert current >= previous / 4.0 - 1e-9
+            previous = current
+
+    def test_max_variance_query_returns_valid_range(self, rng):
+        values = np.abs(rng.normal(10, 3, size=120))
+        oracle = MaxVarianceOracle(values, agg="AVG", delta=0.1)
+        start, end = oracle.max_variance_query(10, 110)
+        assert 10 <= start <= end <= 110
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MaxVarianceOracle(np.ones(5), agg="MIN")
+        with pytest.raises(ValueError):
+            MaxVarianceOracle(np.ones(5), agg="SUM", delta=0.0)
+
+    def test_empty_range_is_zero(self):
+        oracle = MaxVarianceOracle(np.ones(5), agg="SUM")
+        assert oracle.max_variance(3, 2) == 0.0
