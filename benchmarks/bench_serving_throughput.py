@@ -1,0 +1,124 @@
+"""Serving-layer throughput: batch vs sequential, cold vs warm cache.
+
+These benchmarks measure what a deployment sizes against: queries/second
+through the :class:`~repro.serving.engine.ServingEngine` front end.  Four
+paths are compared on the same workload:
+
+* sequential execution with the result cache disabled (the baseline — one
+  MCF lookup plus per-leaf mask evaluation per query);
+* batch execution with the cache disabled (vectorized mask evaluation);
+* sequential execution against a warm cache;
+* batch execution against a warm cache (the production fast path).
+
+``test_warm_batch_vs_sequential_uncached_speedup`` asserts the serving
+layer's headline property: warm-cache batch throughput at least 5x the
+sequential uncached path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_pass
+from repro.core.config import PASSConfig
+from repro.data.loaders import DatasetSpec, load_dataset
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+from repro.serving.catalog import SynopsisCatalog
+from repro.serving.engine import ServingEngine
+
+N_ROWS = 60_000
+N_QUERIES = 300
+
+
+@pytest.fixture(scope="module")
+def intel_spec() -> DatasetSpec:
+    return load_dataset("intel", N_ROWS)
+
+
+@pytest.fixture(scope="module")
+def catalog(intel_spec) -> SynopsisCatalog:
+    synopsis = build_pass(
+        intel_spec.table,
+        intel_spec.value_column,
+        [intel_spec.default_predicate_column],
+        PASSConfig(n_partitions=64, sample_rate=0.005, opt_sample_size=1000, seed=0),
+    )
+    catalog = SynopsisCatalog()
+    catalog.register("intel_light", synopsis, table_name=intel_spec.table.name)
+    catalog.register_table(intel_spec.table)
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def workload(intel_spec) -> list[AggregateQuery]:
+    rng = np.random.default_rng(0)
+    times = intel_spec.table.column(intel_spec.default_predicate_column)
+    low, high = float(times.min()), float(times.max())
+    queries = []
+    for _ in range(N_QUERIES // 3):
+        a, b = sorted(rng.uniform(low, high, size=2))
+        predicate = RectPredicate.from_bounds(time=(float(a), float(b)))
+        for agg in ("SUM", "COUNT", "AVG"):
+            queries.append(AggregateQuery(agg, intel_spec.value_column, predicate))
+    return queries
+
+
+def test_sequential_uncached_throughput(benchmark, catalog, workload):
+    engine = ServingEngine(catalog, cache_size=0)
+
+    def run():
+        for query in workload:
+            engine.execute(query)
+
+    benchmark(run)
+
+
+def test_batch_uncached_throughput(benchmark, catalog, workload):
+    engine = ServingEngine(catalog, cache_size=0)
+    benchmark(engine.execute_batch, workload)
+
+
+def test_sequential_warm_cache_throughput(benchmark, catalog, workload):
+    engine = ServingEngine(catalog)
+    for query in workload:
+        engine.execute(query)
+
+    def run():
+        for query in workload:
+            engine.execute(query)
+
+    benchmark(run)
+
+
+def test_batch_warm_cache_throughput(benchmark, catalog, workload):
+    engine = ServingEngine(catalog)
+    engine.execute_batch(workload)
+    benchmark(engine.execute_batch, workload)
+
+
+def test_warm_batch_vs_sequential_uncached_speedup(catalog, workload):
+    """Warm-cache batch serving must beat sequential uncached by >= 5x."""
+    uncached = ServingEngine(catalog, cache_size=0)
+    start = time.perf_counter()
+    for query in workload:
+        uncached.execute(query)
+    sequential_seconds = time.perf_counter() - start
+
+    warm = ServingEngine(catalog)
+    warm.execute_batch(workload)  # warm the cache
+    start = time.perf_counter()
+    warm.execute_batch(workload)
+    warm_seconds = time.perf_counter() - start
+
+    sequential_qps = len(workload) / sequential_seconds
+    warm_qps = len(workload) / max(warm_seconds, 1e-9)
+    speedup = warm_qps / sequential_qps
+    print(
+        f"\nsequential uncached: {sequential_qps:,.0f} q/s | "
+        f"warm-cache batch: {warm_qps:,.0f} q/s | speedup: {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, f"warm batch path only {speedup:.1f}x faster"

@@ -16,7 +16,9 @@ Sampling (Nearly) Optimally for Approximate Query Processing" end to end:
 * the comparison systems — AQP++, a VerdictDB-style scramble, a DeepDB-style
   factorized model — (:mod:`repro.baselines`);
 * the evaluation harness regenerating every table and figure of the paper's
-  experiment section (:mod:`repro.evaluation`).
+  experiment section (:mod:`repro.evaluation`);
+* the serving layer — synopsis catalog with query routing, persistence, and a
+  concurrent caching query engine (:mod:`repro.serving`).
 
 Quickstart
 ----------
@@ -43,6 +45,14 @@ from repro.query.query import AggregateQuery, ExactEngine
 from repro.result import AQPResult, LAMBDA_95, LAMBDA_99
 from repro.sampling.stratified import StratifiedSampleSynopsis
 from repro.sampling.uniform import UniformSampleSynopsis
+from repro.serving.catalog import SynopsisCatalog
+from repro.serving.engine import ServingEngine
+from repro.serving.persistence import (
+    load_catalog,
+    load_synopsis,
+    save_catalog,
+    save_synopsis,
+)
 
 __version__ = "1.0.0"
 
@@ -65,5 +75,11 @@ __all__ = [
     "LAMBDA_99",
     "StratifiedSampleSynopsis",
     "UniformSampleSynopsis",
+    "SynopsisCatalog",
+    "ServingEngine",
+    "save_synopsis",
+    "load_synopsis",
+    "save_catalog",
+    "load_catalog",
     "__version__",
 ]

@@ -18,13 +18,19 @@ Query processing follows Section 3.3 exactly:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.aggregation.partition import PartitionStats
 from repro.aggregation.strat_agg import hard_bounds
-from repro.core.tree import MCFResult, PartitionNode, PartitionTree
+from repro.core.tree import (
+    MCFResult,
+    PartitionNode,
+    PartitionTree,
+    boxes_from_arrays,
+    boxes_to_arrays,
+)
 from repro.query.aggregates import AggregateType
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult, LAMBDA_99
@@ -82,7 +88,6 @@ class PASSSynopsis:
         self._lam = lam
         self._zero_variance_rule = zero_variance_rule
         self._with_fpc = with_fpc
-        self._population_size = tree.root.stats.count
         self.build_seconds = build_seconds
 
     # ------------------------------------------------------------------
@@ -110,8 +115,12 @@ class PASSSynopsis:
 
     @property
     def population_size(self) -> int:
-        """Number of tuples summarized by the synopsis."""
-        return self._population_size
+        """Number of tuples summarized by the synopsis.
+
+        Read from the root statistics so it stays correct while
+        :class:`~repro.core.updates.DynamicPASS` maintains the tree in place.
+        """
+        return self._tree.root.stats.count
 
     @property
     def sample_size(self) -> int:
@@ -130,6 +139,92 @@ class PASSSynopsis:
         self._leaf_samples[leaf_index] = stratum
 
     # ------------------------------------------------------------------
+    # Persistence (array export / import)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Export the synopsis as flat numpy arrays plus a JSON-safe header.
+
+        The arrays carry the partition tree, the stratum boxes/sizes, and the
+        per-leaf sample columns (concatenated, with an offsets array); the
+        header carries the scalar configuration.  The round trip through
+        :meth:`from_arrays` is exact: a reloaded synopsis returns bit-identical
+        estimates.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in self._tree.to_arrays().items():
+            arrays[f"tree/{key}"] = value
+
+        strata = self._leaf_samples
+        sample_columns = list(strata[0].sample_columns) if strata else []
+        for stratum in strata:
+            if list(stratum.sample_columns) != sample_columns:
+                raise ValueError("leaf samples must share the same column set")
+        lengths = [stratum.sample_size for stratum in strata]
+        arrays["strata/sizes"] = np.array([s.size for s in strata], dtype=np.int64)
+        arrays["strata/offsets"] = np.concatenate(
+            [[0], np.cumsum(lengths)]
+        ).astype(np.int64)
+        for key, value in boxes_to_arrays([s.box for s in strata]).items():
+            arrays[f"strata/box_{key}"] = value
+        for column in sample_columns:
+            parts = [np.asarray(s.sample_columns[column], dtype=float) for s in strata]
+            arrays[f"samples/{column}"] = (
+                np.concatenate(parts) if parts else np.zeros(0, dtype=float)
+            )
+
+        header = {
+            "format": 1,
+            "value_column": self._value_column,
+            "lam": self._lam,
+            "zero_variance_rule": self._zero_variance_rule,
+            "with_fpc": self._with_fpc,
+            "build_seconds": self.build_seconds,
+            "sample_columns": sample_columns,
+        }
+        return arrays, header
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], header: dict
+    ) -> "PASSSynopsis":
+        """Rebuild a synopsis exported with :meth:`to_arrays`."""
+        tree = PartitionTree.from_arrays(
+            {key[len("tree/"):]: value for key, value in arrays.items() if key.startswith("tree/")}
+        )
+        boxes = boxes_from_arrays(
+            {
+                key[len("strata/box_"):]: value
+                for key, value in arrays.items()
+                if key.startswith("strata/box_")
+            }
+        )
+        sizes = np.asarray(arrays["strata/sizes"], dtype=np.int64)
+        offsets = np.asarray(arrays["strata/offsets"], dtype=np.int64)
+        sample_columns = list(header["sample_columns"])
+        strata = []
+        for i, box in enumerate(boxes):
+            start, stop = int(offsets[i]), int(offsets[i + 1])
+            strata.append(
+                Stratum(
+                    box=box,
+                    size=int(sizes[i]),
+                    sample_columns={
+                        column: np.asarray(arrays[f"samples/{column}"][start:stop], dtype=float)
+                        for column in sample_columns
+                    },
+                )
+            )
+        return cls(
+            tree=tree,
+            leaf_samples=strata,
+            value_column=str(header["value_column"]),
+            lam=float(header["lam"]),
+            zero_variance_rule=bool(header["zero_variance_rule"]),
+            with_fpc=bool(header["with_fpc"]),
+            build_seconds=float(header["build_seconds"]),
+        )
+
+    # ------------------------------------------------------------------
     # Query processing (Section 3.3)
     # ------------------------------------------------------------------
     def lookup(self, query: AggregateQuery) -> MCFResult:
@@ -141,15 +236,39 @@ class PASSSynopsis:
             query.predicate, zero_variance_rule=use_zero_variance
         )
 
-    def query(self, query: AggregateQuery, lam: float | None = None) -> AQPResult:
-        """Answer an aggregate query from the synopsis."""
+    def query(
+        self,
+        query: AggregateQuery,
+        lam: float | None = None,
+        match_masks: Mapping[int, np.ndarray] | None = None,
+        frontier: MCFResult | None = None,
+    ) -> AQPResult:
+        """Answer an aggregate query from the synopsis.
+
+        Parameters
+        ----------
+        query / lam:
+            The query and an optional confidence-multiplier override.
+        match_masks:
+            Optional precomputed sample match masks keyed by leaf index, as
+            produced by a batch executor that evaluated the predicate against
+            many queries at once (see
+            :meth:`repro.serving.engine.ServingEngine.execute_batch`).  When a
+            leaf's mask is present it is used verbatim instead of re-running
+            the predicate over the leaf's sample, so results are identical by
+            construction.
+        frontier:
+            Optional precomputed MCF result for this query (must come from
+            :meth:`lookup` on this synopsis); skips the index lookup.
+        """
         if query.value_column != self._value_column:
             raise ValueError(
                 f"synopsis was built for column {self._value_column!r}, "
                 f"query aggregates {query.value_column!r}"
             )
         lam = self._lam if lam is None else lam
-        frontier = self.lookup(query)
+        if frontier is None:
+            frontier = self.lookup(query)
         covered_stats = [node.stats for node in frontier.covered]
         partial_nodes = list(frontier.partial)
         partial_stats = [node.stats for node in partial_nodes]
@@ -159,17 +278,17 @@ class PASSSynopsis:
             self._leaf_samples[node.leaf_index].sample_size for node in partial_nodes
         )
         partial_population = sum(node.size for node in partial_nodes)
-        skipped = self._population_size - partial_population
+        skipped = self.population_size - partial_population
 
         agg = query.agg
         if agg in (AggregateType.MIN, AggregateType.MAX):
             return self._extremum_answer(
-                agg, query, frontier, bounds, processed, skipped
+                agg, query, frontier, bounds, processed, skipped, match_masks
             )
         if agg == AggregateType.AVG:
-            estimate = self._avg_estimate(query, frontier)
+            estimate = self._avg_estimate(query, frontier, match_masks)
         else:
-            estimate = self._sum_count_estimate(agg, query, frontier)
+            estimate = self._sum_count_estimate(agg, query, frontier, match_masks)
 
         exact = frontier.is_exact
         if exact:
@@ -194,11 +313,11 @@ class PASSSynopsis:
 
     def skip_rate(self, query: AggregateQuery) -> float:
         """Fraction of dataset tuples whose contribution never touches samples."""
-        if self._population_size == 0:
+        if self.population_size == 0:
             return 1.0
         frontier = self.lookup(query)
         partial_population = sum(node.size for node in frontier.partial)
-        return 1.0 - partial_population / self._population_size
+        return 1.0 - partial_population / self.population_size
 
     # ------------------------------------------------------------------
     # Estimation pieces
@@ -210,15 +329,29 @@ class PASSSynopsis:
             return sum(node.stats.sum for node in covered)
         return float(sum(node.stats.count for node in covered))
 
+    def _leaf_match_mask(
+        self,
+        node: PartitionNode,
+        query: AggregateQuery,
+        match_masks: Mapping[int, np.ndarray] | None,
+    ) -> np.ndarray:
+        if match_masks is not None and node.leaf_index in match_masks:
+            return match_masks[node.leaf_index]
+        return self._leaf_samples[node.leaf_index].match_mask(query)
+
     def _partial_contribution(
-        self, agg: AggregateType, query: AggregateQuery, node: PartitionNode
+        self,
+        agg: AggregateType,
+        query: AggregateQuery,
+        node: PartitionNode,
+        match_masks: Mapping[int, np.ndarray] | None = None,
     ) -> EstimateWithVariance:
         if node.size == 0:
             # An empty partition (possible for k-d leaves over sparse regions)
             # contributes exactly nothing.
             return EstimateWithVariance(0.0, 0.0)
         stratum = self._leaf_samples[node.leaf_index]
-        match_mask = stratum.match_mask(query)
+        match_mask = self._leaf_match_mask(node, query, match_masks)
         if agg == AggregateType.SUM:
             return stratum_sum_contribution(
                 stratum.sample_values(self._value_column),
@@ -231,12 +364,16 @@ class PASSSynopsis:
         )
 
     def _sum_count_estimate(
-        self, agg: AggregateType, query: AggregateQuery, frontier: MCFResult
+        self,
+        agg: AggregateType,
+        query: AggregateQuery,
+        frontier: MCFResult,
+        match_masks: Mapping[int, np.ndarray] | None = None,
     ) -> EstimateWithVariance:
         exact_part = self._covered_sum_count(agg, frontier.covered)
         total = EstimateWithVariance(exact_part, 0.0)
         for node in frontier.partial:
-            contribution = self._partial_contribution(agg, query, node)
+            contribution = self._partial_contribution(agg, query, node, match_masks)
             if math.isnan(contribution.variance):
                 # A partial leaf without samples: its contribution is unknown;
                 # fall back to half of its hard-bound width as a conservative
@@ -251,11 +388,18 @@ class PASSSynopsis:
         return total
 
     def _avg_estimate(
-        self, query: AggregateQuery, frontier: MCFResult
+        self,
+        query: AggregateQuery,
+        frontier: MCFResult,
+        match_masks: Mapping[int, np.ndarray] | None = None,
     ) -> EstimateWithVariance:
         """AVG as the ratio of the SUM and COUNT estimates (delta method)."""
-        numerator = self._sum_count_estimate(AggregateType.SUM, query, frontier)
-        denominator = self._sum_count_estimate(AggregateType.COUNT, query, frontier)
+        numerator = self._sum_count_estimate(
+            AggregateType.SUM, query, frontier, match_masks
+        )
+        denominator = self._sum_count_estimate(
+            AggregateType.COUNT, query, frontier, match_masks
+        )
         if denominator.estimate == 0:
             return EstimateWithVariance(float("nan"), float("nan"))
         if frontier.is_exact:
@@ -272,6 +416,7 @@ class PASSSynopsis:
         bounds,
         processed: int,
         skipped: int,
+        match_masks: Mapping[int, np.ndarray] | None = None,
     ) -> AQPResult:
         """MIN / MAX: exact over covered nodes, sample-refined over partial leaves."""
         candidates: list[float] = []
@@ -281,7 +426,7 @@ class PASSSynopsis:
                 candidates.append(value)
         for node in frontier.partial:
             stratum = self._leaf_samples[node.leaf_index]
-            match_mask = stratum.match_mask(query)
+            match_mask = self._leaf_match_mask(node, query, match_masks)
             matched = stratum.sample_values(self._value_column)[match_mask]
             if matched.shape[0]:
                 candidates.append(

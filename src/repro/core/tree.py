@@ -24,7 +24,58 @@ import numpy as np
 from repro.aggregation.partition import PartitionStats
 from repro.query.predicate import Box, Interval, RectPredicate, Relation
 
-__all__ = ["PartitionNode", "PartitionTree", "MCFResult"]
+__all__ = [
+    "PartitionNode",
+    "PartitionTree",
+    "MCFResult",
+    "boxes_to_arrays",
+    "boxes_from_arrays",
+]
+
+
+def boxes_to_arrays(boxes: Sequence[Box]) -> dict[str, np.ndarray]:
+    """Encode a list of boxes as flat numpy arrays (for npz persistence).
+
+    The encoding records which columns each box constrains (boxes are named
+    interval mappings, and membership matters: ``leaf_for_point`` only tests
+    columns present in a box), so the round trip through
+    :func:`boxes_from_arrays` reproduces each box exactly.
+    """
+    columns = sorted({column for box in boxes for column in box.columns})
+    n = len(boxes)
+    low = np.zeros((n, len(columns)), dtype=float)
+    high = np.zeros((n, len(columns)), dtype=float)
+    present = np.zeros((n, len(columns)), dtype=bool)
+    for i, box in enumerate(boxes):
+        for j, column in enumerate(columns):
+            if column in box:
+                interval = box.interval(column)
+                present[i, j] = True
+                low[i, j] = interval.low
+                high[i, j] = interval.high
+    return {
+        "columns": np.array(columns, dtype=str),
+        "low": low,
+        "high": high,
+        "present": present,
+    }
+
+
+def boxes_from_arrays(arrays: dict[str, np.ndarray]) -> list[Box]:
+    """Inverse of :func:`boxes_to_arrays`."""
+    columns = [str(column) for column in arrays["columns"]]
+    low = np.asarray(arrays["low"], dtype=float)
+    high = np.asarray(arrays["high"], dtype=float)
+    present = np.asarray(arrays["present"], dtype=bool)
+    boxes: list[Box] = []
+    for i in range(low.shape[0]):
+        intervals = {
+            column: Interval(float(low[i, j]), float(high[i, j]))
+            for j, column in enumerate(columns)
+            if present[i, j]
+        }
+        boxes.append(Box(intervals))
+    return boxes
 
 
 @dataclass
@@ -235,6 +286,78 @@ class PartitionTree:
             2 * 8 for _ in self._root.box.columns
         )
         return self.n_nodes * (per_node + per_box)
+
+    # ------------------------------------------------------------------
+    # Persistence (array export / import)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Export the full tree structure as flat numpy arrays.
+
+        Nodes are laid out in pre-order; each node records its child count,
+        its leaf index (-1 for internal nodes), its four aggregate statistics,
+        and its box.  The encoding is exact — statistics round-trip bit for
+        bit — so a reloaded synopsis answers queries identically.
+        """
+        nodes = list(self._root.iter_subtree())
+        arrays = {
+            "n_children": np.array([len(node.children) for node in nodes], dtype=np.int64),
+            "leaf_index": np.array(
+                [-1 if node.leaf_index is None else node.leaf_index for node in nodes],
+                dtype=np.int64,
+            ),
+            "sum": np.array([node.stats.sum for node in nodes], dtype=float),
+            "count": np.array([node.stats.count for node in nodes], dtype=np.int64),
+            "min": np.array([node.stats.min for node in nodes], dtype=float),
+            "max": np.array([node.stats.max for node in nodes], dtype=float),
+        }
+        for key, value in boxes_to_arrays([node.box for node in nodes]).items():
+            arrays[f"box_{key}"] = value
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "PartitionTree":
+        """Rebuild a tree previously exported with :meth:`to_arrays`."""
+        n_children = np.asarray(arrays["n_children"], dtype=np.int64)
+        leaf_index = np.asarray(arrays["leaf_index"], dtype=np.int64)
+        sums = np.asarray(arrays["sum"], dtype=float)
+        counts = np.asarray(arrays["count"], dtype=np.int64)
+        mins = np.asarray(arrays["min"], dtype=float)
+        maxs = np.asarray(arrays["max"], dtype=float)
+        boxes = boxes_from_arrays(
+            {key[len("box_"):]: value for key, value in arrays.items() if key.startswith("box_")}
+        )
+        if not len(n_children):
+            raise ValueError("cannot rebuild a tree from empty arrays")
+
+        cursor = 0
+
+        def build() -> PartitionNode:
+            nonlocal cursor
+            index = cursor
+            cursor += 1
+            node = PartitionNode(
+                box=boxes[index],
+                stats=PartitionStats(
+                    sum=float(sums[index]),
+                    count=int(counts[index]),
+                    min=float(mins[index]),
+                    max=float(maxs[index]),
+                ),
+                leaf_index=None if leaf_index[index] < 0 else int(leaf_index[index]),
+            )
+            node.children = [build() for _ in range(int(n_children[index]))]
+            return node
+
+        root = build()
+        if cursor != len(n_children):
+            raise ValueError("tree arrays are inconsistent: trailing nodes")
+        leaf_nodes = [node for node in root.iter_subtree() if node.leaf_index is not None]
+        leaves: list[PartitionNode] = [None] * len(leaf_nodes)  # type: ignore[list-item]
+        for node in leaf_nodes:
+            if not 0 <= node.leaf_index < len(leaf_nodes) or leaves[node.leaf_index] is not None:
+                raise ValueError("tree arrays are inconsistent: bad leaf indices")
+            leaves[node.leaf_index] = node
+        return cls(root=root, leaves=leaves)
 
     # ------------------------------------------------------------------
     # MCF

@@ -9,13 +9,28 @@ Insertions and deletions are handled without rebuilding the structure:
   stays a uniform sample of the leaf's (growing) population.
 
 After many updates the partitioning may drift away from the optimum the
-builder found; :meth:`DynamicPASS.updates_since_build` lets callers decide
-when to trigger a re-optimization (the paper leaves the split/merge variant
-as future work).
+builder found; :meth:`DynamicPASS.updates_since_build` and the normalized
+:attr:`DynamicPASS.staleness` ratio let callers decide when to trigger a
+re-optimization (the paper leaves the split/merge variant as future work).
+
+Known limitation — stale MIN / MAX after deletions
+--------------------------------------------------
+Deleting a tuple cannot tighten the MIN / MAX statistics of the nodes on its
+root-to-leaf path without rescanning the raw data, so those bounds are kept
+*conservative*: they remain valid (the true extremum is always inside them)
+but may become loose.  Concretely, after deleting the current minimum or
+maximum of a partition, MIN / MAX query estimates and the hard bounds derived
+from node statistics can be wider than a fresh build would produce.  The
+first deletion that can cause this emits a :class:`StaleExtremaWarning`, and
+:attr:`DynamicPASS.minmax_possibly_stale` reports the condition;
+:meth:`DynamicPASS.rebuild` clears it.  SUM / COUNT / AVG statistics are
+maintained exactly and are never affected.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -30,7 +45,11 @@ from repro.result import AQPResult
 from repro.sampling.reservoir import ReservoirSample
 from repro.sampling.stratified import Stratum
 
-__all__ = ["DynamicPASS"]
+__all__ = ["DynamicPASS", "StaleExtremaWarning"]
+
+
+class StaleExtremaWarning(UserWarning):
+    """Warns that deletions may have left MIN / MAX node statistics loose."""
 
 
 class DynamicPASS:
@@ -86,6 +105,8 @@ class DynamicPASS:
             reservoir.rebase_seen(max(stratum.size, len(reservoir)))
             self._reservoirs.append(reservoir)
         self._updates_since_build = 0
+        self._build_population = self.population_size
+        self._minmax_possibly_stale = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -104,6 +125,22 @@ class DynamicPASS:
     def population_size(self) -> int:
         """Current number of tuples summarized."""
         return self._synopsis.tree.root.stats.count
+
+    @property
+    def staleness(self) -> float:
+        """Updates applied since the last build, normalized by the build size.
+
+        ``updates_since_build / max(1, build population)`` — a rough drift
+        measure: 0.0 right after a (re)build, 1.0 once as many updates have
+        been applied as there were tuples at build time.  Serving layers use
+        it to decide when a synopsis is due for re-optimization.
+        """
+        return self._updates_since_build / max(1, self._build_population)
+
+    @property
+    def minmax_possibly_stale(self) -> bool:
+        """True when deletions may have left MIN / MAX node stats loose."""
+        return self._minmax_possibly_stale
 
     # ------------------------------------------------------------------
     # Updates
@@ -129,6 +166,17 @@ class DynamicPASS:
         value = float(row[self._value_column])
         if leaf.stats.count == 0:
             raise ValueError("cannot delete from an empty partition")
+        if value <= leaf.stats.min or value >= leaf.stats.max:
+            # The deleted tuple may have been the partition's extremum; the
+            # MIN / MAX bounds on the whole path are now only conservative.
+            if not self._minmax_possibly_stale:
+                warnings.warn(
+                    "deleted a partition extremum: MIN/MAX node statistics are "
+                    "now conservative (valid but possibly loose) until rebuild()",
+                    StaleExtremaWarning,
+                    stacklevel=2,
+                )
+            self._minmax_possibly_stale = True
         for node in self._synopsis.tree.path_to_leaf(leaf):
             node.stats = node.stats.remove_value(value)
         reservoir = self._reservoirs[leaf.leaf_index]
@@ -148,6 +196,89 @@ class DynamicPASS:
             self._predicate_columns,
             config=self._config,
         )
+
+    # ------------------------------------------------------------------
+    # Persistence (array export / import)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Export synopsis, reservoirs, and update counters as flat arrays.
+
+        The reservoir *contents* round-trip exactly (so a reloaded instance
+        answers queries identically); the reservoir RNG state is not
+        persisted, so post-reload insertions make different (but equally
+        valid) eviction choices.
+        """
+        arrays, header = self._synopsis.to_arrays()
+        lengths = [len(reservoir) for reservoir in self._reservoirs]
+        arrays["reservoir/offsets"] = np.concatenate([[0], np.cumsum(lengths)]).astype(
+            np.int64
+        )
+        arrays["reservoir/seen"] = np.array(
+            [reservoir.seen for reservoir in self._reservoirs], dtype=np.int64
+        )
+        arrays["reservoir/capacity"] = np.array(
+            [reservoir.capacity for reservoir in self._reservoirs], dtype=np.int64
+        )
+        for column in self._sample_columns:
+            parts = [reservoir.column(column) for reservoir in self._reservoirs]
+            arrays[f"reservoir/column/{column}"] = (
+                np.concatenate(parts) if parts else np.zeros(0, dtype=float)
+            )
+        config = dataclasses.asdict(self._config)
+        config["agg_template"] = self._config.agg_template.value
+        header.update(
+            {
+                "kind": "dynamic",
+                "predicate_columns": list(self._predicate_columns),
+                "config": config,
+                "updates_since_build": self._updates_since_build,
+                "build_population": self._build_population,
+                "minmax_possibly_stale": self._minmax_possibly_stale,
+            }
+        )
+        return arrays, header
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        header: Mapping,
+        rng: np.random.Generator | int | None = 0,
+    ) -> "DynamicPASS":
+        """Rebuild an instance exported with :meth:`to_arrays` (no re-build)."""
+        synopsis = PASSSynopsis.from_arrays(dict(arrays), dict(header))
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        instance = cls.__new__(cls)
+        instance._value_column = str(header["value_column"])
+        instance._predicate_columns = list(header["predicate_columns"])
+        instance._config = PASSConfig(**header["config"])
+        instance._synopsis = synopsis
+        instance._sample_columns = list(header["sample_columns"])
+        offsets = np.asarray(arrays["reservoir/offsets"], dtype=np.int64)
+        seen = np.asarray(arrays["reservoir/seen"], dtype=np.int64)
+        capacity = np.asarray(arrays["reservoir/capacity"], dtype=np.int64)
+        columns = {
+            column: np.asarray(arrays[f"reservoir/column/{column}"], dtype=float)
+            for column in instance._sample_columns
+        }
+        instance._reservoirs = []
+        for i in range(len(seen)):
+            reservoir = ReservoirSample(int(capacity[i]), rng=generator)
+            for row_index in range(int(offsets[i]), int(offsets[i + 1])):
+                reservoir.offer(
+                    {
+                        column: float(values[row_index])
+                        for column, values in columns.items()
+                    }
+                )
+            reservoir.rebase_seen(max(int(seen[i]), len(reservoir)))
+            instance._reservoirs.append(reservoir)
+        instance._updates_since_build = int(header["updates_since_build"])
+        instance._build_population = int(header["build_population"])
+        instance._minmax_possibly_stale = bool(header["minmax_possibly_stale"])
+        return instance
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,6 +1,11 @@
 """Evaluation: metrics, the comparison harness, and per-figure experiments."""
 
-from repro.evaluation.harness import ComparisonRun, SynopsisEvaluation, run_comparison
+from repro.evaluation.harness import (
+    ComparisonRun,
+    SynopsisEvaluation,
+    evaluate_served_workload,
+    run_comparison,
+)
 from repro.evaluation.metrics import (
     QueryRecord,
     WorkloadMetrics,
@@ -15,6 +20,7 @@ __all__ = [
     "ComparisonRun",
     "SynopsisEvaluation",
     "run_comparison",
+    "evaluate_served_workload",
     "QueryRecord",
     "WorkloadMetrics",
     "ci_ratio",

@@ -14,11 +14,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Sequence
 
 from repro.data.loaders import DatasetSpec, load_dataset
-from repro.evaluation.metrics import WorkloadMetrics, evaluate_workload
+from repro.evaluation.metrics import QueryRecord, WorkloadMetrics, evaluate_workload
 from repro.query.query import AggregateQuery, ExactEngine
 from repro.query.workload import WorkloadSpec
 
-__all__ = ["SynopsisEvaluation", "ComparisonRun", "run_comparison", "ground_truths"]
+__all__ = [
+    "SynopsisEvaluation",
+    "ComparisonRun",
+    "run_comparison",
+    "ground_truths",
+    "evaluate_served_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,60 @@ def ground_truths(
 ) -> list[float]:
     """Exact answers for a workload (computed once, shared across synopses)."""
     return [engine.execute(query) for query in queries]
+
+
+def evaluate_served_workload(
+    serving_engine,
+    queries: Iterable[AggregateQuery],
+    engine: ExactEngine,
+    ground_truth: Sequence[float] | None = None,
+    table: str | None = None,
+    batch: bool = False,
+) -> WorkloadMetrics:
+    """Evaluate a workload through a serving engine (served-mode path).
+
+    The synopsis-direct path (:func:`~repro.evaluation.metrics.evaluate_workload`)
+    measures a synopsis in isolation; this path measures what a client of the
+    serving layer observes — routing, result caching, and (optionally) batch
+    execution included.  Cache hits therefore show up as near-zero latencies
+    on repeated queries.
+
+    Parameters
+    ----------
+    serving_engine:
+        A :class:`repro.serving.engine.ServingEngine`.
+    queries / engine / ground_truth:
+        As in :func:`~repro.evaluation.metrics.evaluate_workload`.
+    table:
+        Optional table name forwarded to the serving engine's router.
+    batch:
+        Execute the whole workload through ``execute_batch`` (per-query
+        latency is then the batch average) instead of query by query.
+    """
+    queries = list(queries)
+    if ground_truth is None:
+        ground_truth = ground_truths(engine, queries)
+    if len(ground_truth) != len(queries):
+        raise ValueError("ground_truth length must match the number of queries")
+    if batch:
+        start = time.perf_counter()
+        results = serving_engine.execute_batch(queries, table=table)
+        per_query = (time.perf_counter() - start) / max(1, len(queries))
+        latencies = [per_query] * len(queries)
+    else:
+        results = []
+        latencies = []
+        for query in queries:
+            start = time.perf_counter()
+            results.append(serving_engine.execute(query, table=table))
+            latencies.append(time.perf_counter() - start)
+    records = [
+        QueryRecord(query=query, truth=truth, result=result, latency_seconds=latency)
+        for query, truth, result, latency in zip(
+            queries, ground_truth, results, latencies
+        )
+    ]
+    return WorkloadMetrics.from_records(records)
 
 
 def run_comparison(

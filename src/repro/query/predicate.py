@@ -250,15 +250,36 @@ class RectPredicate(_IntervalMapping):
     columns are unconstrained.  The relation of a predicate to a partition box
     (cover / partial / disjoint) is the geometric primitive used by stratified
     aggregation (Section 2.3) and the MCF algorithm (Section 3.2).
+
+    Equality and hashing use the *canonical form* of the predicate: an
+    explicitly unbounded interval constrains nothing, so
+    ``RectPredicate({"x": Interval.unbounded()})`` equals
+    ``RectPredicate.everything()``, column order never matters, and integer
+    bounds equal their float counterparts.  This makes predicates (and the
+    queries built from them) safe keys for result caches.
     """
+
+    def canonical_key(self) -> tuple[tuple[str, float, float], ...]:
+        """The predicate's constraints as a canonical, hashable tuple.
+
+        Unbounded intervals are dropped (they constrain nothing), columns are
+        sorted, and bounds are coerced to float, so two predicates that match
+        exactly the same tuples map to the same key regardless of how they
+        were spelled.
+        """
+        return tuple(
+            (column, float(interval.low), float(interval.high))
+            for column, interval in sorted(self._intervals.items())
+            if not (interval.low == -math.inf and interval.high == math.inf)
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RectPredicate):
             return NotImplemented
-        return self._intervals == other._intervals
+        return self.canonical_key() == other.canonical_key()
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self._intervals.items(), key=lambda kv: kv[0])))
+        return hash(self.canonical_key())
 
     @classmethod
     def from_bounds(cls, **bounds: tuple[float, float]) -> "RectPredicate":

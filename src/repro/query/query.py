@@ -66,6 +66,18 @@ class AggregateQuery:
         """A copy of this query computing a different aggregate."""
         return replace(self, agg=AggregateType.parse(agg))
 
+    def cache_key(self) -> tuple:
+        """A canonical, hashable identity for result caching.
+
+        Two queries that compute the same aggregate of the same column over
+        the same region get the same key, regardless of predicate spelling
+        (column order, int vs float bounds, explicit unbounded intervals).
+        The frozen dataclass hash/equality already delegate to the canonical
+        :meth:`RectPredicate.canonical_key`, so ``cache_key()`` is simply the
+        explicit tuple form for callers that want to key external stores.
+        """
+        return (self.agg.value, self.value_column, self.predicate.canonical_key())
+
     @property
     def predicate_columns(self) -> list[str]:
         """The columns the predicate constrains."""

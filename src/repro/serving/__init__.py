@@ -1,0 +1,35 @@
+"""Serving layer: synopsis catalog, persistence, and the concurrent query engine.
+
+This subsystem turns the one-shot PASS library into a query-serving engine in
+the style of production AQP systems: build synopses offline, persist them,
+register them in a :class:`SynopsisCatalog`, and serve traffic through a
+:class:`ServingEngine` that routes queries, caches results, executes batches
+with vectorized mask evaluation, and applies dynamic updates under a
+reader-writer lock.
+"""
+
+from repro.serving.catalog import CatalogEntry, SynopsisCatalog
+from repro.serving.engine import ServingEngine
+from repro.serving.locks import ReadWriteLock
+from repro.serving.persistence import (
+    FORMAT_VERSION,
+    load_catalog,
+    load_synopsis,
+    save_catalog,
+    save_synopsis,
+)
+from repro.serving.stats import ServingStats, StatsSnapshot
+
+__all__ = [
+    "CatalogEntry",
+    "SynopsisCatalog",
+    "ServingEngine",
+    "ReadWriteLock",
+    "FORMAT_VERSION",
+    "save_synopsis",
+    "load_synopsis",
+    "save_catalog",
+    "load_catalog",
+    "ServingStats",
+    "StatsSnapshot",
+]

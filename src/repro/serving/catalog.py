@@ -1,0 +1,203 @@
+"""The synopsis catalog: named synopses plus query routing.
+
+Production AQP engines (VerdictDB being the canonical example) separate the
+*synopsis store* from query execution: synopses are built once, registered
+under a name with the metadata needed to decide which queries they can
+answer, and a planner routes each incoming query to the best-matching
+synopsis — falling back to the exact engine when nothing matches.  This
+module is that store and planner for PASS synopses.
+
+A registered synopsis can answer a query when it aggregates the query's value
+column and its partitioning columns cover every column the query predicate
+constrains.  Among the candidates the planner prefers the tightest fit
+(fewest partitioning columns beyond what the query needs — extra dimensions
+dilute the partition budget) and, tie-breaking, the synopsis with more leaf
+partitions (finer partitions skip more data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.updates import DynamicPASS
+from repro.data.table import Table
+from repro.query.query import AggregateQuery, ExactEngine
+
+__all__ = ["CatalogEntry", "SynopsisCatalog"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One registered synopsis and its routing metadata.
+
+    Attributes
+    ----------
+    name:
+        Unique catalog name of the synopsis.
+    synopsis:
+        The registered :class:`PASSSynopsis` or :class:`DynamicPASS`.
+    table_name:
+        Name of the table the synopsis summarizes.
+    value_column:
+        The aggregation column the synopsis answers queries about.
+    predicate_columns:
+        The columns the synopsis partitions on, i.e. the predicate columns it
+        can route on.
+    """
+
+    name: str
+    synopsis: PASSSynopsis | DynamicPASS
+    table_name: str
+    value_column: str
+    predicate_columns: tuple[str, ...]
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the entry accepts streaming updates."""
+        return isinstance(self.synopsis, DynamicPASS)
+
+    @property
+    def pass_synopsis(self) -> PASSSynopsis:
+        """The underlying static synopsis (unwrapping :class:`DynamicPASS`)."""
+        if isinstance(self.synopsis, DynamicPASS):
+            return self.synopsis.synopsis
+        return self.synopsis
+
+    @property
+    def staleness(self) -> float:
+        """Update drift of the entry (0.0 for static synopses)."""
+        if isinstance(self.synopsis, DynamicPASS):
+            return self.synopsis.staleness
+        return 0.0
+
+    def can_answer(self, query: AggregateQuery, table_name: str | None = None) -> bool:
+        """True when the entry can answer the query (column-wise)."""
+        if table_name is not None and table_name != self.table_name:
+            return False
+        if query.value_column != self.value_column:
+            return False
+        constrained = {column for column, _, _ in query.predicate.canonical_key()}
+        return constrained <= set(self.predicate_columns)
+
+
+class SynopsisCatalog:
+    """A registry of named synopses with planner-style query routing.
+
+    Synopses are registered under unique names together with the (table,
+    value column, predicate columns) they serve; tables may be registered
+    alongside to provide an exact-scan fallback for queries no synopsis can
+    answer.  The catalog itself is a passive store — thread safety and result
+    caching live in :class:`repro.serving.engine.ServingEngine`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CatalogEntry] = {}
+        self._exact_engines: dict[str, ExactEngine] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        synopsis: PASSSynopsis | DynamicPASS,
+        table_name: str = "table",
+        predicate_columns: Sequence[str] | None = None,
+    ) -> CatalogEntry:
+        """Register a synopsis under a unique name.
+
+        ``predicate_columns`` defaults to the columns of the partition tree's
+        root box (the columns the synopsis was partitioned on); the value
+        column is always read from the synopsis itself.
+        """
+        if name in self._entries:
+            raise ValueError(f"synopsis {name!r} is already registered")
+        inner = synopsis.synopsis if isinstance(synopsis, DynamicPASS) else synopsis
+        if not isinstance(inner, PASSSynopsis):
+            raise TypeError(
+                f"expected a PASSSynopsis or DynamicPASS, got {type(synopsis)!r}"
+            )
+        if predicate_columns is None:
+            predicate_columns = tuple(sorted(inner.tree.root.box.columns))
+        entry = CatalogEntry(
+            name=name,
+            synopsis=synopsis,
+            table_name=table_name,
+            value_column=inner.value_column,
+            predicate_columns=tuple(predicate_columns),
+        )
+        self._entries[name] = entry
+        return entry
+
+    def register_table(self, table: Table, name: str | None = None) -> ExactEngine:
+        """Register a table as the exact-scan fallback for its queries."""
+        table_name = name or table.name
+        engine = ExactEngine(table)
+        self._exact_engines[table_name] = engine
+        return engine
+
+    def unregister(self, name: str) -> None:
+        """Remove a synopsis from the catalog."""
+        if name not in self._entries:
+            raise KeyError(f"no synopsis named {name!r}")
+        del self._entries[name]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        """Names of the registered synopses, in registration order."""
+        return list(self._entries)
+
+    def get(self, name: str) -> CatalogEntry:
+        """Look up an entry by name."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self._entries) or "<none>"
+            raise KeyError(f"no synopsis named {name!r}; registered: {known}") from None
+
+    def entries(self) -> list[CatalogEntry]:
+        """All registered entries, in registration order."""
+        return list(self._entries.values())
+
+    def exact_engine(self, table_name: str | None = None) -> ExactEngine | None:
+        """The fallback engine for a table (or the sole registered table)."""
+        if table_name is not None:
+            return self._exact_engines.get(table_name)
+        if len(self._exact_engines) == 1:
+            return next(iter(self._exact_engines.values()))
+        return None
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def route(
+        self, query: AggregateQuery, table_name: str | None = None
+    ) -> CatalogEntry | None:
+        """The best-matching synopsis for a query, or None.
+
+        Candidates must aggregate the query's value column and partition on a
+        superset of the constrained predicate columns.  The best candidate is
+        the tightest fit: fewest surplus partitioning columns, then the most
+        leaf partitions, then registration order.
+        """
+        constrained = {column for column, _, _ in query.predicate.canonical_key()}
+        best: CatalogEntry | None = None
+        best_score: tuple[int, int] | None = None
+        for entry in self._entries.values():
+            if not entry.can_answer(query, table_name):
+                continue
+            surplus = len(set(entry.predicate_columns) - constrained)
+            score = (-surplus, entry.pass_synopsis.n_partitions)
+            if best_score is None or score > best_score:
+                best, best_score = entry, score
+        return best

@@ -1,0 +1,395 @@
+"""The query-serving engine: concurrent reads, result caching, batch execution.
+
+:class:`ServingEngine` turns a :class:`~repro.serving.catalog.SynopsisCatalog`
+into something that can serve query traffic:
+
+* **Concurrency** — queries run under the shared side of a reader-writer
+  lock, so any number of threads answer queries together; dynamic updates
+  take the exclusive side (PASS updates mutate tree statistics and leaf
+  samples in place, which is unsafe to interleave with reads).
+* **Result caching** — answers are memoized in an LRU cache keyed on the
+  canonical query form (:meth:`AggregateQuery.cache_key`), so repeated
+  queries — the common case in dashboard traffic — skip the synopsis
+  entirely.  Updates invalidate exactly the cached results whose predicate
+  region overlaps the updated partition.
+* **Batch execution** — :meth:`execute_batch` deduplicates the batch,
+  groups cache misses by routed synopsis, and evaluates the sample match
+  masks of all queries touching a leaf in one vectorized pass, then feeds
+  the precomputed masks through the regular estimator path so batched
+  results are identical to sequential ones by construction.
+
+Cached results are invalidated at estimate granularity: after an update, a
+cached result for a region the update did not touch keeps its original
+``tuples_skipped`` telemetry even though the population grew.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.tree import MCFResult
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult
+from repro.serving.catalog import CatalogEntry, SynopsisCatalog
+from repro.serving.locks import ReadWriteLock
+from repro.serving.stats import ServingStats, StatsSnapshot
+
+__all__ = ["ServingEngine"]
+
+#: Stats key used for queries answered by the exact-scan fallback.
+EXACT_FALLBACK = "__exact__"
+
+
+class ServingEngine:
+    """Thread-safe serving front end over a synopsis catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The synopsis catalog to serve from.  The engine takes ownership of
+        synchronization: while it is serving, apply updates through
+        :meth:`insert` / :meth:`delete`, not directly on the synopses.
+    cache_size:
+        Maximum number of memoized query results (0 disables caching).
+    latency_window:
+        Per-synopsis number of latency observations retained for the
+        telemetry percentiles.
+    """
+
+    def __init__(
+        self,
+        catalog: SynopsisCatalog,
+        cache_size: int = 4096,
+        latency_window: int | None = None,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if latency_window is not None and latency_window <= 0:
+            raise ValueError("latency_window must be positive")
+        self._catalog = catalog
+        self._lock = ReadWriteLock()
+        self._cache_size = cache_size
+        # key -> (synopsis name or EXACT_FALLBACK, query, result)
+        self._cache: OrderedDict[tuple, tuple[str, AggregateQuery, AQPResult]] = (
+            OrderedDict()
+        )
+        self._cache_lock = threading.Lock()
+        self._stats: dict[str, ServingStats] = {}
+        self._stats_lock = threading.Lock()
+        self._latency_window = latency_window
+
+    @property
+    def catalog(self) -> SynopsisCatalog:
+        """The catalog being served."""
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def execute(self, query: AggregateQuery, table: str | None = None) -> AQPResult:
+        """Answer one query: cache, then best synopsis, then exact fallback.
+
+        Raises ``LookupError`` when no synopsis matches and no fallback table
+        is registered.
+        """
+        key = self._cache_key(query, table)
+        cached = self._cache_get(key)
+        if cached is not None:
+            served_by, _, result = cached
+            self._stats_for(served_by).record_hit()
+            return result
+        with self._lock.read_locked():
+            start = time.perf_counter()
+            served_by, result = self._execute_uncached(query, table)
+            latency = time.perf_counter() - start
+            # Cache while still holding the read lock: a concurrent update
+            # waits for the write lock until we are done, so its invalidation
+            # is guaranteed to see (and drop) this entry — caching after
+            # release could race the invalidation and pin a stale result.
+            self._cache_put(key, (served_by, query, result))
+        self._stats_for(served_by).record_miss(latency)
+        return result
+
+    def execute_batch(
+        self, queries: Sequence[AggregateQuery], table: str | None = None
+    ) -> list[AQPResult]:
+        """Answer a batch of queries; results align with the input order.
+
+        Duplicate queries (by canonical key) are answered once, cache misses
+        are grouped per routed synopsis, and each group's sample match masks
+        are computed in one vectorized pass over every touched leaf.  Batched
+        results are identical to :meth:`execute` run per query.
+        """
+        queries = list(queries)
+        results: list[AQPResult | None] = [None] * len(queries)
+
+        # Resolve duplicates and cache hits first.
+        unique: dict[tuple, list[int]] = {}
+        for position, query in enumerate(queries):
+            unique.setdefault(self._cache_key(query, table), []).append(position)
+        misses: list[tuple[tuple, AggregateQuery]] = []
+        for key, positions in unique.items():
+            cached = self._cache_get(key)
+            if cached is not None:
+                served_by, _, result = cached
+                stats = self._stats_for(served_by)
+                for position in positions:
+                    results[position] = result
+                    stats.record_hit()
+            else:
+                misses.append((key, queries[positions[0]]))
+
+        if misses:
+            with self._lock.read_locked():
+                start = time.perf_counter()
+                answers = self._execute_misses(misses, table)
+                elapsed = time.perf_counter() - start
+                # Cache under the read lock so a pending update's invalidation
+                # cannot slip between computing and caching (see execute()).
+                for (key, query), (served_by, result) in zip(misses, answers):
+                    self._cache_put(key, (served_by, query, result))
+            per_query = elapsed / len(misses)
+            for (key, query), (served_by, result) in zip(misses, answers):
+                self._stats_for(served_by).record_miss(per_query)
+                for position in unique[key]:
+                    results[position] = result
+        return results  # type: ignore[return-value]
+
+    def _execute_uncached(
+        self, query: AggregateQuery, table: str | None
+    ) -> tuple[str, AQPResult]:
+        """Route and answer one query (caller holds the read lock)."""
+        entry = self._catalog.route(query, table)
+        if entry is not None:
+            return entry.name, entry.pass_synopsis.query(query)
+        return EXACT_FALLBACK, self._exact_result(query, table)
+
+    def _execute_misses(
+        self, misses: Sequence[tuple[tuple, AggregateQuery]], table: str | None
+    ) -> list[tuple[str, AQPResult]]:
+        """Answer the deduplicated cache misses, batching per synopsis."""
+        answers: list[tuple[str, AQPResult] | None] = [None] * len(misses)
+        by_entry: dict[str, list[int]] = {}
+        entries: dict[str, CatalogEntry] = {}
+        for index, (_, query) in enumerate(misses):
+            entry = self._catalog.route(query, table)
+            if entry is None:
+                answers[index] = (EXACT_FALLBACK, self._exact_result(query, table))
+            else:
+                by_entry.setdefault(entry.name, []).append(index)
+                entries[entry.name] = entry
+        for name, indices in by_entry.items():
+            synopsis = entries[name].pass_synopsis
+            batch = [misses[index][1] for index in indices]
+            for index, result in zip(indices, self._batch_answer(synopsis, batch)):
+                answers[index] = (name, result)
+        return answers  # type: ignore[return-value]
+
+    def _batch_answer(
+        self, synopsis: PASSSynopsis, queries: Sequence[AggregateQuery]
+    ) -> list[AQPResult]:
+        """Answer several queries against one synopsis with shared mask work."""
+        frontiers = [synopsis.lookup(query) for query in queries]
+        masks = _batch_leaf_masks(synopsis, queries, frontiers)
+        return [
+            synopsis.query(query, match_masks=mask, frontier=frontier)
+            for query, mask, frontier in zip(queries, masks, frontiers)
+        ]
+
+    def _exact_result(self, query: AggregateQuery, table: str | None) -> AQPResult:
+        engine = self._catalog.exact_engine(table)
+        if engine is None:
+            raise LookupError(
+                f"no synopsis matches {query!r} and no fallback table is registered"
+            )
+        value = engine.execute(query)
+        return AQPResult(
+            estimate=value,
+            ci_half_width=0.0,
+            variance=0.0,
+            hard_lower=value,
+            hard_upper=value,
+            tuples_processed=engine.table.n_rows,
+            tuples_skipped=0,
+            exact=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, name: str, row: Mapping[str, float]) -> None:
+        """Insert a tuple into a dynamic synopsis and invalidate its region."""
+        self._apply_update(name, row, "insert")
+
+    def delete(self, name: str, row: Mapping[str, float]) -> None:
+        """Delete a tuple from a dynamic synopsis and invalidate its region."""
+        self._apply_update(name, row, "delete")
+
+    def _apply_update(self, name: str, row: Mapping[str, float], kind: str) -> None:
+        entry = self._catalog.get(name)
+        if not entry.is_dynamic:
+            raise TypeError(
+                f"synopsis {name!r} is static; register a DynamicPASS to accept updates"
+            )
+        with self._lock.write_locked():
+            point = {
+                column: float(row[column])
+                for column in entry.predicate_columns
+                if column in row
+            }
+            leaf = entry.pass_synopsis.tree.leaf_for_point(point)
+            if kind == "insert":
+                entry.synopsis.insert(row)
+            else:
+                entry.synopsis.delete(row)
+            dropped = self._invalidate_overlapping(name, leaf.box)
+        self._stats_for(name).record_invalidations(dropped)
+
+    def _invalidate_overlapping(self, name: str, box) -> int:
+        """Drop cached results of ``name`` whose region overlaps ``box``."""
+        with self._cache_lock:
+            doomed = [
+                key
+                for key, (served_by, query, _) in self._cache.items()
+                if served_by == name
+                and (len(query.predicate) == 0 or query.predicate.overlaps_box(box))
+            ]
+            for key in doomed:
+                del self._cache[key]
+        return len(doomed)
+
+    def invalidate(self, name: str | None = None) -> int:
+        """Drop cached results (of one synopsis, or all); returns the count."""
+        with self._cache_lock:
+            if name is None:
+                dropped = len(self._cache)
+                self._cache.clear()
+                return dropped
+            doomed = [
+                key
+                for key, (served_by, _, _) in self._cache.items()
+                if served_by == name
+            ]
+            for key in doomed:
+                del self._cache[key]
+            return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, StatsSnapshot]:
+        """Per-synopsis serving telemetry snapshots."""
+        with self._stats_lock:
+            keys = list(self._stats)
+        snapshots = {}
+        for key in keys:
+            staleness = 0.0
+            if key != EXACT_FALLBACK and key in self._catalog:
+                staleness = self._catalog.get(key).staleness
+            snapshots[key] = self._stats_for(key).snapshot(staleness=staleness)
+        return snapshots
+
+    def cache_info(self) -> dict[str, int]:
+        """Current cache occupancy and capacity."""
+        with self._cache_lock:
+            return {"size": len(self._cache), "capacity": self._cache_size}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cache_key(query: AggregateQuery, table: str | None) -> tuple:
+        return (table, query.cache_key())
+
+    def _cache_get(self, key: tuple):
+        if not self._cache_size:
+            return None
+        with self._cache_lock:
+            value = self._cache.get(key)
+            if value is not None:
+                self._cache.move_to_end(key)
+            return value
+
+    def _cache_put(self, key: tuple, value: tuple) -> None:
+        if not self._cache_size:
+            return
+        with self._cache_lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    def _stats_for(self, name: str) -> ServingStats:
+        with self._stats_lock:
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = (
+                    ServingStats(self._latency_window)
+                    if self._latency_window
+                    else ServingStats()
+                )
+                self._stats[name] = stats
+            return stats
+
+
+def _batch_leaf_masks(
+    synopsis: PASSSynopsis,
+    queries: Sequence[AggregateQuery],
+    frontiers: Sequence[MCFResult],
+) -> list[dict[int, np.ndarray]]:
+    """Vectorized sample match masks for a batch of queries.
+
+    For every leaf partially overlapped by at least one query, the interval
+    tests of all queries touching that leaf (grouped by constrained-column
+    set) are evaluated against the leaf's sample columns in one broadcasted
+    comparison, instead of once per query.  Each mask row equals what
+    ``Stratum.match_mask`` computes for the same query, so feeding the masks
+    through ``PASSSynopsis.query`` yields identical results.
+    """
+    per_leaf: dict[int, list[int]] = {}
+    for index, frontier in enumerate(frontiers):
+        for node in frontier.partial:
+            per_leaf.setdefault(node.leaf_index, []).append(index)
+
+    masks: list[dict[int, np.ndarray]] = [{} for _ in queries]
+    strata = synopsis.leaf_samples
+    for leaf_index, members in per_leaf.items():
+        stratum = strata[leaf_index]
+        n_samples = stratum.sample_size
+        if n_samples == 0:
+            empty = np.zeros(0, dtype=bool)
+            for index in members:
+                masks[index][leaf_index] = empty
+            continue
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for index in members:
+            columns = tuple(
+                column for column, _, _ in queries[index].predicate.canonical_key()
+            )
+            groups.setdefault(columns, []).append(index)
+        for columns, group in groups.items():
+            if not columns:
+                for index in group:
+                    masks[index][leaf_index] = np.ones(n_samples, dtype=bool)
+                continue
+            matrix = np.ones((len(group), n_samples), dtype=bool)
+            for column in columns:
+                values = stratum.sample_columns[column]
+                lows = np.array(
+                    [queries[index].predicate.interval(column).low for index in group]
+                )
+                highs = np.array(
+                    [queries[index].predicate.interval(column).high for index in group]
+                )
+                matrix &= (values[None, :] >= lows[:, None]) & (
+                    values[None, :] <= highs[:, None]
+                )
+            for row, index in enumerate(group):
+                masks[index][leaf_index] = matrix[row]
+    return masks

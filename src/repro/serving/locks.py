@@ -1,0 +1,89 @@
+"""A reader-writer lock for the serving engine.
+
+Query serving is read-heavy: many threads answer queries from the same
+synopses while occasional dynamic updates mutate tree statistics and leaf
+samples in place.  Python's standard library offers no shared/exclusive lock,
+so this module implements a small writer-preferring one on top of a condition
+variable: any number of readers may hold the lock together, writers get
+exclusive access, and arriving writers block new readers so a steady query
+stream cannot starve updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring shared/exclusive lock.
+
+    Use the :meth:`read_locked` / :meth:`write_locked` context managers::
+
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            ...  # shared with other readers
+        with lock.write_locked():
+            ...  # exclusive
+
+    The lock is not reentrant: a thread must not acquire it again (in either
+    mode) while already holding it.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Block until shared access is granted."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Release shared access."""
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until exclusive access is granted."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Release exclusive access."""
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Context manager holding the lock in shared mode."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Context manager holding the lock in exclusive mode."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

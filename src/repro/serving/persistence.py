@@ -1,0 +1,146 @@
+"""Versioned save / load of synopses and catalogs.
+
+A synopsis is persisted as a single ``.npz`` archive: every numpy array of
+the export (partition-tree structure and statistics, stratum boxes, sizes and
+sample columns, reservoir contents for dynamic synopses) plus one JSON header
+under the reserved ``__header__`` key carrying the scalar configuration and a
+format version.  The arrays round-trip bit for bit, so a reloaded synopsis
+returns estimates identical to the instance that was saved — the property the
+serving tests assert.
+
+A catalog is persisted as a directory: one ``<name>.pass.npz`` per entry plus
+a ``catalog.json`` manifest with the routing metadata.  Tables themselves are
+*not* persisted (they are the workload's data, not the synopsis'); pass them
+back to :func:`load_catalog` to restore the exact-scan fallback.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.updates import DynamicPASS
+from repro.data.table import Table
+from repro.serving.catalog import SynopsisCatalog
+
+__all__ = [
+    "FORMAT_VERSION",
+    "save_synopsis",
+    "load_synopsis",
+    "save_catalog",
+    "load_catalog",
+]
+
+#: Version written into every header; bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+#: Reserved npz key holding the JSON header.
+_HEADER_KEY = "__header__"
+
+
+def _normalize(path: str | Path) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_synopsis(synopsis: PASSSynopsis | DynamicPASS, path: str | Path) -> Path:
+    """Persist a synopsis to a single ``.npz`` file; returns the final path.
+
+    A ``.npz`` suffix is appended when missing.  Dynamic synopses persist
+    their reservoirs and update counters as well, so serving can resume
+    accepting updates after a restart (the reservoir RNG state is the one
+    piece that does not survive — see :meth:`DynamicPASS.to_arrays`).
+    """
+    if isinstance(synopsis, DynamicPASS):
+        arrays, header = synopsis.to_arrays()
+    elif isinstance(synopsis, PASSSynopsis):
+        arrays, header = synopsis.to_arrays()
+        header["kind"] = "pass"
+    else:
+        raise TypeError(f"expected a PASSSynopsis or DynamicPASS, got {type(synopsis)!r}")
+    header["format"] = FORMAT_VERSION
+    path = _normalize(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{_HEADER_KEY: json.dumps(header)}, **arrays)
+    return path
+
+
+def load_synopsis(path: str | Path) -> PASSSynopsis | DynamicPASS:
+    """Load a synopsis saved with :func:`save_synopsis`."""
+    path = _normalize(path)
+    with np.load(path, allow_pickle=False) as data:
+        if _HEADER_KEY not in data.files:
+            raise ValueError(f"{path} is not a synopsis archive (missing header)")
+        header = json.loads(data[_HEADER_KEY].item())
+        version = header.get("format")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported synopsis format {version!r} in {path} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        arrays = {key: data[key] for key in data.files if key != _HEADER_KEY}
+    if header.get("kind") == "dynamic":
+        return DynamicPASS.from_arrays(arrays, header)
+    return PASSSynopsis.from_arrays(arrays, header)
+
+
+def save_catalog(catalog: SynopsisCatalog, directory: str | Path) -> Path:
+    """Persist every catalog entry plus a ``catalog.json`` manifest."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {"format": FORMAT_VERSION, "entries": []}
+    for entry in catalog.entries():
+        file_name = f"{entry.name}.pass.npz"
+        save_synopsis(entry.synopsis, directory / file_name)
+        manifest["entries"].append(
+            {
+                "name": entry.name,
+                "file": file_name,
+                "table_name": entry.table_name,
+                "predicate_columns": list(entry.predicate_columns),
+            }
+        )
+    manifest_path = directory / "catalog.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def load_catalog(
+    directory: str | Path, tables: Mapping[str, Table] | None = None
+) -> SynopsisCatalog:
+    """Rebuild a catalog saved with :func:`save_catalog`.
+
+    Parameters
+    ----------
+    directory:
+        The directory the catalog was saved to.
+    tables:
+        Optional ``table_name -> Table`` mapping; every table provided is
+        re-registered as the exact-scan fallback for its queries.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / "catalog.json").read_text())
+    version = manifest.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported catalog format {version!r} in {directory} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    catalog = SynopsisCatalog()
+    for meta in manifest["entries"]:
+        synopsis = load_synopsis(directory / meta["file"])
+        catalog.register(
+            meta["name"],
+            synopsis,
+            table_name=meta["table_name"],
+            predicate_columns=tuple(meta["predicate_columns"]),
+        )
+    for table_name, table in (tables or {}).items():
+        catalog.register_table(table, name=table_name)
+    return catalog

@@ -1,0 +1,112 @@
+"""Per-synopsis serving telemetry.
+
+The serving engine records, for every registered synopsis (and for the exact
+fallback), how many queries it answered, how often the result cache hit, and
+the observed latency distribution.  Latencies are kept in a fixed-size ring
+buffer so a long-running server's telemetry footprint stays bounded while the
+percentiles still reflect recent traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ServingStats", "StatsSnapshot"]
+
+#: Default number of latency observations retained per synopsis.
+DEFAULT_LATENCY_WINDOW = 8192
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable snapshot of one synopsis' serving counters.
+
+    Attributes
+    ----------
+    queries:
+        Total queries routed to the synopsis (hits + misses).
+    cache_hits / cache_misses:
+        Result-cache outcomes.
+    hit_rate:
+        ``cache_hits / queries`` (0.0 before any traffic).
+    p50_latency_ms / p99_latency_ms:
+        Latency percentiles over the retained window, in milliseconds;
+        NaN before any miss was measured (cache hits are not timed).
+    invalidations:
+        Cached results dropped because a dynamic update touched their region.
+    staleness:
+        The synopsis' update-drift ratio at snapshot time (0.0 for static
+        synopses; see :attr:`repro.core.updates.DynamicPASS.staleness`).
+    """
+
+    queries: int
+    cache_hits: int
+    cache_misses: int
+    hit_rate: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    invalidations: int
+    staleness: float
+
+
+class ServingStats:
+    """Thread-safe serving counters for one synopsis.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most-recent latency observations retained for the
+        percentile estimates.
+    """
+
+    def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW) -> None:
+        if latency_window <= 0:
+            raise ValueError("latency_window must be positive")
+        self._lock = threading.Lock()
+        self._latencies = np.zeros(latency_window, dtype=float)
+        self._latency_count = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._invalidations = 0
+
+    def record_hit(self) -> None:
+        """Count a query answered from the result cache."""
+        with self._lock:
+            self._cache_hits += 1
+
+    def record_miss(self, latency_seconds: float) -> None:
+        """Count a query that executed against the synopsis."""
+        with self._lock:
+            self._cache_misses += 1
+            slot = self._latency_count % self._latencies.shape[0]
+            self._latencies[slot] = latency_seconds
+            self._latency_count += 1
+
+    def record_invalidations(self, count: int) -> None:
+        """Count cached results dropped by a dynamic update."""
+        with self._lock:
+            self._invalidations += count
+
+    def snapshot(self, staleness: float = 0.0) -> StatsSnapshot:
+        """An immutable snapshot of the counters (plus the given staleness)."""
+        with self._lock:
+            queries = self._cache_hits + self._cache_misses
+            window = min(self._latency_count, self._latencies.shape[0])
+            if window:
+                p50, p99 = np.percentile(self._latencies[:window], [50.0, 99.0])
+                p50_ms, p99_ms = float(p50) * 1e3, float(p99) * 1e3
+            else:
+                p50_ms = p99_ms = float("nan")
+            return StatsSnapshot(
+                queries=queries,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                hit_rate=self._cache_hits / queries if queries else 0.0,
+                p50_latency_ms=p50_ms,
+                p99_latency_ms=p99_ms,
+                invalidations=self._invalidations,
+                staleness=staleness,
+            )

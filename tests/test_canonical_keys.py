@@ -1,0 +1,87 @@
+"""Regression tests for canonical hashing/equality of queries and predicates.
+
+The serving layer keys its result cache on queries, so two queries matching
+exactly the same tuples must compare equal and hash identically regardless of
+how they were spelled: column order, int vs float bounds, and explicitly
+unbounded intervals must not matter.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.query.predicate import Interval, RectPredicate
+from repro.query.query import AggregateQuery
+
+
+class TestRectPredicateCanonicalForm:
+    def test_unbounded_interval_equals_absent_column(self):
+        explicit = RectPredicate({"x": Interval(0.0, 1.0), "y": Interval.unbounded()})
+        implicit = RectPredicate({"x": Interval(0.0, 1.0)})
+        assert explicit == implicit
+        assert hash(explicit) == hash(implicit)
+
+    def test_all_unbounded_equals_everything(self):
+        assert RectPredicate({"x": Interval.unbounded()}) == RectPredicate.everything()
+
+    def test_column_order_does_not_matter(self):
+        a = RectPredicate({"a": Interval(0.0, 1.0), "b": Interval(2.0, 3.0)})
+        b = RectPredicate({"b": Interval(2.0, 3.0), "a": Interval(0.0, 1.0)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_int_bounds_equal_float_bounds(self):
+        a = RectPredicate.from_bounds(x=(0, 10))
+        b = RectPredicate.from_bounds(x=(0.0, 10.0))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_bounds_are_unequal(self):
+        assert RectPredicate.from_bounds(x=(0.0, 1.0)) != RectPredicate.from_bounds(
+            x=(0.0, 2.0)
+        )
+
+    def test_one_sided_intervals_are_kept(self):
+        at_least = RectPredicate({"x": Interval.at_least(5.0)})
+        at_most = RectPredicate({"x": Interval.at_most(5.0)})
+        assert at_least != at_most
+        assert at_least != RectPredicate.everything()
+        assert at_least.canonical_key() == (("x", 5.0, math.inf),)
+
+    def test_canonical_key_is_sorted_and_float(self):
+        predicate = RectPredicate({"b": Interval(1, 2), "a": Interval(3, 4)})
+        key = predicate.canonical_key()
+        assert key == (("a", 3.0, 4.0), ("b", 1.0, 2.0))
+        assert all(isinstance(bound, float) for _, low, high in key for bound in (low, high))
+
+    def test_usable_as_dict_key(self):
+        cache = {RectPredicate.from_bounds(x=(0, 1)): "hit"}
+        assert cache[RectPredicate({"x": Interval(0.0, 1.0), "y": Interval.unbounded()})] == "hit"
+
+
+class TestAggregateQueryCanonicalForm:
+    def test_equal_queries_share_hash_and_cache_key(self):
+        a = AggregateQuery("sum", "value", RectPredicate.from_bounds(x=(0, 1)))
+        b = AggregateQuery("SUM", "value", RectPredicate.from_bounds(x=(0.0, 1.0)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_distinguishes_aggregate_and_column(self):
+        predicate = RectPredicate.from_bounds(x=(0.0, 1.0))
+        sum_query = AggregateQuery.sum("value", predicate)
+        assert sum_query.cache_key() != AggregateQuery.count("value", predicate).cache_key()
+        assert sum_query.cache_key() != AggregateQuery.sum("other", predicate).cache_key()
+
+    def test_cache_key_ignores_unbounded_predicate_columns(self):
+        a = AggregateQuery.sum(
+            "value", RectPredicate({"x": Interval(0.0, 1.0), "y": Interval.unbounded()})
+        )
+        b = AggregateQuery.sum("value", RectPredicate.from_bounds(x=(0, 1)))
+        assert a.cache_key() == b.cache_key()
+
+    def test_usable_as_dict_key(self):
+        query = AggregateQuery.avg("value", RectPredicate.from_bounds(x=(2, 5)))
+        results = {query: 1.5}
+        same = AggregateQuery("AVG", "value", RectPredicate.from_bounds(x=(2.0, 5.0)))
+        assert results[same] == 1.5

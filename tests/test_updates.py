@@ -108,3 +108,70 @@ class TestRebuild:
         dynamic.rebuild(table)
         assert dynamic.updates_since_build == 0
         assert dynamic.population_size == table.n_rows
+
+
+class TestStaleness:
+    def test_staleness_starts_at_zero_and_grows(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        assert dynamic.staleness == 0.0
+        dynamic.insert({"key": 10.5, "value": 4.0})
+        assert dynamic.staleness == pytest.approx(1.0 / table.n_rows)
+        dynamic.insert({"key": 11.5, "value": 4.0})
+        assert dynamic.staleness == pytest.approx(2.0 / table.n_rows)
+
+    def test_rebuild_resets_staleness(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        dynamic.insert({"key": 1.5, "value": 3.0})
+        dynamic.rebuild(table)
+        assert dynamic.staleness == 0.0
+        assert not dynamic.minmax_possibly_stale
+
+
+class TestStaleExtrema:
+    def test_deleting_an_extremum_warns_once(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        import warnings as warnings_module
+
+        from repro.core.updates import StaleExtremaWarning
+
+        leaf = dynamic.synopsis.tree.leaves[0]
+        extremum = leaf.stats.max
+        keys = table.column("key")
+        values = table.column("value")
+        # Find the actual row holding the leaf's maximum.
+        in_leaf = leaf.box.mask({"key": keys})
+        index = int(np.flatnonzero(in_leaf & (values == extremum))[0])
+        row = {"key": float(keys[index]), "value": float(values[index])}
+
+        assert not dynamic.minmax_possibly_stale
+        with pytest.warns(StaleExtremaWarning):
+            dynamic.delete(row)
+        assert dynamic.minmax_possibly_stale
+        # Bounds stay conservative (valid but possibly loose).
+        assert leaf.stats.max == extremum
+
+        # A second stale deletion does not warn again.
+        extremum2 = leaf.stats.min
+        index2 = int(np.flatnonzero(in_leaf & (values == extremum2))[0])
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", StaleExtremaWarning)
+            dynamic.delete({"key": float(keys[index2]), "value": float(values[index2])})
+
+    def test_interior_deletion_does_not_warn(self, dynamic_setup):
+        table, dynamic = dynamic_setup
+        import warnings as warnings_module
+
+        from repro.core.updates import StaleExtremaWarning
+
+        leaf = dynamic.synopsis.tree.leaves[0]
+        keys = table.column("key")
+        values = table.column("value")
+        in_leaf = leaf.box.mask({"key": keys})
+        interior = np.flatnonzero(
+            in_leaf & (values > leaf.stats.min) & (values < leaf.stats.max)
+        )
+        index = int(interior[0])
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", StaleExtremaWarning)
+            dynamic.delete({"key": float(keys[index]), "value": float(values[index])})
+        assert not dynamic.minmax_possibly_stale
