@@ -1,0 +1,199 @@
+"""Distributed-layer benchmarks: parallel build speedup and scatter-gather latency.
+
+Two measurements back the distributed subsystem's claims:
+
+1. **Parallel build speedup** — wall-clock time to build the per-shard
+   synopses of a fixed shard plan with 1, 2, and 4 process workers.  The
+   per-shard work is embarrassingly parallel, so on a multi-core machine the
+   speedup at 4 workers should exceed 1.5x (``--check`` asserts it; the
+   assertion is skipped on machines with fewer than 2 cores, where no
+   speedup is physically possible).
+2. **Scatter-gather latency vs shard count** — per-query latency of a mixed
+   SUM / COUNT / AVG workload through :meth:`ShardedSynopsis.query` and the
+   batched :meth:`ShardedSynopsis.query_batch`, across increasing shard
+   counts, with the shard-pruning rate recorded alongside.
+
+Run standalone::
+
+    python benchmarks/bench_distributed.py            # full: 1M rows
+    python benchmarks/bench_distributed.py --tiny     # CI smoke: seconds
+    python benchmarks/bench_distributed.py --check    # assert the speedup
+
+(The other ``bench_*`` files are pytest-benchmark suites; this one is a
+plain script so CI can smoke-test the multi-process path directly.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.config import PASSConfig
+from repro.data.table import Table
+from repro.distributed.parallel import ParallelBuilder
+from repro.distributed.planner import ShardPlanner
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+
+KEY_HIGH = 1000.0
+
+
+def generate_table(n_rows: int, seed: int = 0) -> Table:
+    """A generated table with keyed structure in the aggregation column."""
+    rng = np.random.default_rng(seed)
+    key = rng.uniform(0.0, KEY_HIGH, size=n_rows)
+    value = np.abs(rng.normal(50.0, 15.0, size=n_rows) + 0.05 * key)
+    return Table({"key": key, "value": value}, name="bench_distributed")
+
+
+def make_workload(n_queries: int, seed: int = 1) -> list[AggregateQuery]:
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(n_queries // 3 + 1):
+        low, high = sorted(rng.uniform(0.0, KEY_HIGH, size=2))
+        predicate = RectPredicate.from_bounds(key=(float(low), float(high)))
+        for agg in ("SUM", "COUNT", "AVG"):
+            queries.append(AggregateQuery(agg, "value", predicate))
+    return queries[:n_queries]
+
+
+def bench_build_speedup(
+    table: Table, config: PASSConfig, n_shards: int, worker_counts: list[int]
+) -> dict[int, float]:
+    """Wall-clock build seconds of the same shard plan per worker count."""
+    plan = ShardPlanner(n_shards, "range").plan(table, "key")
+    seconds: dict[int, float] = {}
+    print(f"\n== Parallel build: {table.n_rows:,} rows, {plan.n_shards} shards ==")
+    for workers in worker_counts:
+        builder = ParallelBuilder(max_workers=workers, executor="process")
+        start = time.perf_counter()
+        sharded = builder.build(plan, "value", ["key"], config)
+        elapsed = time.perf_counter() - start
+        seconds[workers] = elapsed
+        assert sharded.population_size == table.n_rows
+        speedup = seconds[worker_counts[0]] / elapsed
+        print(
+            f"  workers={workers}: {elapsed:7.2f}s"
+            f"  (speedup vs {worker_counts[0]} worker{'s' if worker_counts[0] > 1 else ''}: {speedup:.2f}x)"
+        )
+    return seconds
+
+
+def bench_scatter_gather(
+    table: Table,
+    config: PASSConfig,
+    shard_counts: list[int],
+    n_queries: int,
+) -> list[dict]:
+    """Per-query scatter-gather latency and pruning rate per shard count."""
+    workload = make_workload(n_queries)
+    rows = []
+    print(f"\n== Scatter-gather latency: {n_queries} queries ==")
+    print(f"  {'shards':>6} {'seq ms/q':>10} {'batch ms/q':>11} {'pruned %':>9}")
+    for n_shards in shard_counts:
+        sharded = ParallelBuilder(executor="serial").build(
+            ShardPlanner(n_shards, "range").plan(table, "key"),
+            "value",
+            ["key"],
+            config,
+        )
+        start = time.perf_counter()
+        for query in workload:
+            sharded.query(query)
+        sequential_ms = (time.perf_counter() - start) / len(workload) * 1e3
+
+        start = time.perf_counter()
+        sharded.query_batch(workload)
+        batch_ms = (time.perf_counter() - start) / len(workload) * 1e3
+
+        scanned = sum(len(sharded.surviving_shards(q)) for q in workload)
+        pruned = 1.0 - scanned / (len(workload) * sharded.n_shards)
+        rows.append(
+            {
+                "shards": sharded.n_shards,
+                "sequential_ms": sequential_ms,
+                "batch_ms": batch_ms,
+                "pruned_fraction": pruned,
+            }
+        )
+        print(
+            f"  {sharded.n_shards:>6} {sequential_ms:>10.3f} {batch_ms:>11.3f}"
+            f" {100 * pruned:>8.1f}%"
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows", type=int, default=1_000_000, help="table size (default 1M)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=120, help="workload size for the latency sweep"
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="CI smoke configuration: a few thousand rows, seconds of runtime",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert build speedup > 1.5x at 4 workers (multi-core machines only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        n_rows, worker_counts, shard_counts, n_queries = (
+            20_000,
+            [1, 2],
+            [1, 2, 4],
+            30,
+        )
+        config = PASSConfig(
+            n_partitions=16, sample_rate=0.01, opt_sample_size=500, seed=0
+        )
+    else:
+        n_rows, worker_counts, shard_counts, n_queries = (
+            args.rows,
+            [1, 2, 4],
+            [1, 2, 4, 8],
+            args.queries,
+        )
+        config = PASSConfig(
+            n_partitions=64, sample_rate=0.005, opt_sample_size=2000, seed=0
+        )
+
+    print(f"generating {n_rows:,} rows ...")
+    table = generate_table(n_rows)
+
+    build_seconds = bench_build_speedup(table, config, max(worker_counts), worker_counts)
+    bench_scatter_gather(table, config, shard_counts, n_queries)
+
+    max_workers = max(worker_counts)
+    speedup = build_seconds[worker_counts[0]] / build_seconds[max_workers]
+    cores = os.cpu_count() or 1
+    print(
+        f"\nbuild speedup at {max_workers} workers: {speedup:.2f}x "
+        f"({cores} core{'s' if cores != 1 else ''} available)"
+    )
+    if args.check:
+        if cores < 2:
+            print("single-core machine: speedup check skipped")
+        elif speedup <= 1.5:
+            print(f"FAIL: expected speedup > 1.5x, measured {speedup:.2f}x")
+            return 1
+        else:
+            print("speedup check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,10 @@ Sampling (Nearly) Optimally for Approximate Query Processing" end to end:
 * the evaluation harness regenerating every table and figure of the paper's
   experiment section (:mod:`repro.evaluation`);
 * the serving layer — synopsis catalog with query routing, persistence, and a
-  concurrent caching query engine (:mod:`repro.serving`).
+  concurrent caching query engine (:mod:`repro.serving`);
+* the distributed layer — shard planning, parallel multi-core builds,
+  scatter-gather query execution, and a streaming shard router
+  (:mod:`repro.distributed`).
 
 Quickstart
 ----------
@@ -39,6 +42,10 @@ from repro.core.tree import PartitionTree
 from repro.core.updates import DynamicPASS
 from repro.data.loaders import load_dataset
 from repro.data.table import Table
+from repro.distributed.parallel import ParallelBuilder, build_sharded_pass
+from repro.distributed.planner import ShardPlan, ShardPlanner
+from repro.distributed.router import StreamingShardRouter
+from repro.distributed.sharded import ShardedSynopsis
 from repro.query.aggregates import AggregateType
 from repro.query.predicate import Box, Interval, RectPredicate
 from repro.query.query import AggregateQuery, ExactEngine
@@ -77,6 +84,12 @@ __all__ = [
     "UniformSampleSynopsis",
     "SynopsisCatalog",
     "ServingEngine",
+    "ShardPlan",
+    "ShardPlanner",
+    "ParallelBuilder",
+    "build_sharded_pass",
+    "ShardedSynopsis",
+    "StreamingShardRouter",
     "save_synopsis",
     "load_synopsis",
     "save_catalog",

@@ -1,0 +1,101 @@
+"""Vectorized batch query execution against one PASS synopsis.
+
+Answering a batch of queries one by one re-evaluates the predicate of every
+query against every partially-overlapped leaf's sample columns.  When many
+queries touch the same leaf — the normal case for dashboard traffic and for
+scatter-gather over shards — those per-query mask evaluations can be fused:
+for each leaf, the interval tests of all queries touching it (grouped by
+constrained-column set) are evaluated in one broadcasted comparison.
+
+The fused masks are then fed through the regular estimator path
+(:meth:`repro.core.pass_synopsis.PASSSynopsis.query` accepts precomputed
+masks), so batched results are identical to sequential ones by construction.
+Both the serving engine's ``execute_batch`` and the distributed layer's
+scatter-gather path build on :func:`batch_query`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.tree import MCFResult
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult
+
+__all__ = ["batch_query", "batch_leaf_masks"]
+
+
+def batch_query(
+    synopsis: PASSSynopsis, queries: Sequence[AggregateQuery]
+) -> list[AQPResult]:
+    """Answer several queries against one synopsis with shared mask work.
+
+    Results align with the input order and are identical to calling
+    ``synopsis.query(query)`` per query.
+    """
+    frontiers = [synopsis.lookup(query) for query in queries]
+    masks = batch_leaf_masks(synopsis, queries, frontiers)
+    return [
+        synopsis.query(query, match_masks=mask, frontier=frontier)
+        for query, mask, frontier in zip(queries, masks, frontiers)
+    ]
+
+
+def batch_leaf_masks(
+    synopsis: PASSSynopsis,
+    queries: Sequence[AggregateQuery],
+    frontiers: Sequence[MCFResult],
+) -> list[dict[int, np.ndarray]]:
+    """Vectorized sample match masks for a batch of queries.
+
+    For every leaf partially overlapped by at least one query, the interval
+    tests of all queries touching that leaf (grouped by constrained-column
+    set) are evaluated against the leaf's sample columns in one broadcasted
+    comparison, instead of once per query.  Each mask row equals what
+    ``Stratum.match_mask`` computes for the same query, so feeding the masks
+    through ``PASSSynopsis.query`` yields identical results.
+    """
+    per_leaf: dict[int, list[int]] = {}
+    for index, frontier in enumerate(frontiers):
+        for node in frontier.partial:
+            per_leaf.setdefault(node.leaf_index, []).append(index)
+
+    masks: list[dict[int, np.ndarray]] = [{} for _ in queries]
+    strata = synopsis.leaf_samples
+    for leaf_index, members in per_leaf.items():
+        stratum = strata[leaf_index]
+        n_samples = stratum.sample_size
+        if n_samples == 0:
+            empty = np.zeros(0, dtype=bool)
+            for index in members:
+                masks[index][leaf_index] = empty
+            continue
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for index in members:
+            columns = tuple(
+                column for column, _, _ in queries[index].predicate.canonical_key()
+            )
+            groups.setdefault(columns, []).append(index)
+        for columns, group in groups.items():
+            if not columns:
+                for index in group:
+                    masks[index][leaf_index] = np.ones(n_samples, dtype=bool)
+                continue
+            matrix = np.ones((len(group), n_samples), dtype=bool)
+            for column in columns:
+                values = stratum.sample_columns[column]
+                lows = np.array(
+                    [queries[index].predicate.interval(column).low for index in group]
+                )
+                highs = np.array(
+                    [queries[index].predicate.interval(column).high for index in group]
+                )
+                matrix &= (values[None, :] >= lows[:, None]) & (
+                    values[None, :] <= highs[:, None]
+                )
+            for row, index in enumerate(group):
+                masks[index][leaf_index] = matrix[row]
+    return masks

@@ -10,6 +10,7 @@ sampling budget and mode (ESS or BSS).
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -30,7 +31,33 @@ from repro.query.aggregates import AggregateType
 from repro.query.predicate import Box
 from repro.sampling.stratified import Stratum
 
-__all__ = ["build_pass", "build_leaf_boxes", "build_leaf_samples"]
+__all__ = [
+    "build_pass",
+    "build_leaf_boxes",
+    "build_leaf_samples",
+    "resolve_partitioner",
+    "PartitionerFallbackWarning",
+]
+
+#: 1-D optimizers that cannot span several predicate columns.
+_ONE_DIMENSIONAL_PARTITIONERS = ("adp", "equal", "count_optimal", "hill")
+
+
+class PartitionerFallbackWarning(UserWarning):
+    """Warns that a 1-D partitioner was swapped for the k-d construction."""
+
+
+def resolve_partitioner(config: PASSConfig, predicate_columns: Sequence[str]) -> str:
+    """The partitioner a build will actually run for these predicate columns.
+
+    1-D optimizers cannot span several predicate columns, so multi-dimensional
+    inputs fall back to the k-d construction of Section 4.4 with the matching
+    policy.  The effective choice is recorded on the built synopsis
+    (:attr:`PASSSynopsis.effective_partitioner`).
+    """
+    if len(predicate_columns) > 1 and config.partitioner in _ONE_DIMENSIONAL_PARTITIONERS:
+        return "kd"
+    return config.partitioner
 
 
 def build_leaf_boxes(
@@ -43,12 +70,16 @@ def build_leaf_boxes(
     predicate_columns = list(predicate_columns)
     if not predicate_columns:
         raise ValueError("at least one predicate column is required")
-    partitioner = config.partitioner
-    multi_dimensional = len(predicate_columns) > 1
-    if multi_dimensional and partitioner in ("adp", "equal", "count_optimal", "hill"):
-        # 1-D optimizers cannot span several predicate columns; fall back to
-        # the k-d construction of Section 4.4 with the matching policy.
-        partitioner = "kd"
+    partitioner = resolve_partitioner(config, predicate_columns)
+    if partitioner != config.partitioner:
+        warnings.warn(
+            f"partitioner {config.partitioner!r} is one-dimensional but "
+            f"{len(predicate_columns)} predicate columns were given; using the "
+            "k-d construction instead (pass partitioner='kd' or 'kd_us' to "
+            "silence this warning)",
+            PartitionerFallbackWarning,
+            stacklevel=2,
+        )
 
     rng = np.random.default_rng(config.seed)
     if partitioner == "equal":
@@ -105,18 +136,25 @@ def build_leaf_samples(
     predicate_columns: Sequence[str],
     leaf_boxes: Sequence[Box],
     config: PASSConfig,
+    extra_columns: Sequence[str] | None = None,
 ) -> list[Stratum]:
     """Draw the per-leaf stratified samples under the configured budget.
 
     In ESS mode every leaf is sampled at the configured rate, so any query
     touches at most the uniform-sampling budget's worth of tuples.  In BSS
     mode the total number of stored samples is capped and split across leaves
-    according to the allocation policy.
+    according to the allocation policy.  ``extra_columns`` are carried in the
+    samples beyond the value / predicate / box columns (the distributed layer
+    keeps the shard column this way, so shard-column predicates stay
+    evaluable inside shards partitioned on other columns).
     """
     rng = np.random.default_rng(config.seed + 1)
     keep_columns = [value_column] + [
         column for column in predicate_columns if column != value_column
     ]
+    for column in extra_columns or ():
+        if column not in keep_columns:
+            keep_columns.append(column)
     box_columns = sorted({col for box in leaf_boxes for col in box.columns})
     for column in box_columns:
         if column not in keep_columns:
@@ -179,6 +217,7 @@ def build_pass(
     predicate_columns: Sequence[str],
     config: PASSConfig | None = None,
     leaf_boxes: Sequence[Box] | None = None,
+    extra_sample_columns: Sequence[str] | None = None,
 ) -> PASSSynopsis:
     """Build a PASS synopsis for a table.
 
@@ -198,12 +237,18 @@ def build_pass(
         Pre-computed leaf partitioning; when given, the partitioning
         optimizer is skipped (used by the ablation benchmarks to compare
         partitioners on otherwise identical synopses).
+    extra_sample_columns:
+        Additional columns to retain in the leaf samples (see
+        :func:`build_leaf_samples`).
     """
     config = config or PASSConfig()
     predicate_columns = list(predicate_columns)
     start = time.perf_counter()
     if leaf_boxes is None:
+        effective_partitioner = resolve_partitioner(config, predicate_columns)
         leaf_boxes = build_leaf_boxes(table, value_column, predicate_columns, config)
+    else:
+        effective_partitioner = "precomputed"
     leaf_boxes = list(leaf_boxes)
 
     values = table.column(value_column).astype(float)
@@ -217,7 +262,12 @@ def build_pass(
         fanout = 2 if len(predicate_columns) == 1 else min(8, 2 ** len(predicate_columns))
     tree = PartitionTree.build_from_leaves(leaf_boxes, stats, fanout=fanout)
     samples = build_leaf_samples(
-        table, value_column, predicate_columns, leaf_boxes, config
+        table,
+        value_column,
+        predicate_columns,
+        leaf_boxes,
+        config,
+        extra_columns=extra_sample_columns,
     )
     build_seconds = time.perf_counter() - start
     return PASSSynopsis(
@@ -228,4 +278,5 @@ def build_pass(
         zero_variance_rule=config.zero_variance_rule,
         with_fpc=config.with_fpc,
         build_seconds=build_seconds,
+        effective_partitioner=effective_partitioner,
     )

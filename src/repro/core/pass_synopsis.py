@@ -66,6 +66,11 @@ class PASSSynopsis:
     build_seconds:
         Wall-clock construction cost recorded by the builder (reported in the
         cost tables).
+    effective_partitioner:
+        The partitioner the builder actually ran (which may differ from the
+        configured one — 1-D optimizers fall back to ``"kd"`` on
+        multi-dimensional inputs), ``"precomputed"`` when the leaf boxes were
+        supplied, or ``None`` for hand-assembled synopses.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class PASSSynopsis:
         zero_variance_rule: bool = True,
         with_fpc: bool = False,
         build_seconds: float = 0.0,
+        effective_partitioner: str | None = None,
     ) -> None:
         if tree.n_leaves != len(leaf_samples):
             raise ValueError(
@@ -89,6 +95,7 @@ class PASSSynopsis:
         self._zero_variance_rule = zero_variance_rule
         self._with_fpc = with_fpc
         self.build_seconds = build_seconds
+        self.effective_partitioner = effective_partitioner
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,6 +186,7 @@ class PASSSynopsis:
             "zero_variance_rule": self._zero_variance_rule,
             "with_fpc": self._with_fpc,
             "build_seconds": self.build_seconds,
+            "effective_partitioner": self.effective_partitioner,
             "sample_columns": sample_columns,
         }
         return arrays, header
@@ -222,6 +230,7 @@ class PASSSynopsis:
             zero_variance_rule=bool(header["zero_variance_rule"]),
             with_fpc=bool(header["with_fpc"]),
             build_seconds=float(header["build_seconds"]),
+            effective_partitioner=header.get("effective_partitioner"),
         )
 
     # ------------------------------------------------------------------

@@ -64,6 +64,9 @@ class DynamicPASS:
     reservoir_capacity:
         Per-leaf reservoir capacity; defaults to each leaf's initial sample
         size (so storage stays constant under inserts).
+    extra_sample_columns:
+        Additional columns retained in the samples and reservoirs (see
+        :func:`~repro.core.builder.build_leaf_samples`).
     """
 
     def __init__(
@@ -74,12 +77,18 @@ class DynamicPASS:
         config: PASSConfig | None = None,
         reservoir_capacity: int | None = None,
         rng: np.random.Generator | int | None = 0,
+        extra_sample_columns: Sequence[str] | None = None,
     ) -> None:
         self._value_column = value_column
         self._predicate_columns = list(predicate_columns)
         self._config = config or PASSConfig()
+        self._extra_sample_columns = list(extra_sample_columns or [])
         self._synopsis = build_pass(
-            table, value_column, predicate_columns, self._config
+            table,
+            value_column,
+            predicate_columns,
+            self._config,
+            extra_sample_columns=self._extra_sample_columns,
         )
         generator = (
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -115,6 +124,26 @@ class DynamicPASS:
     def synopsis(self) -> PASSSynopsis:
         """The underlying PASS synopsis (stats updated in place)."""
         return self._synopsis
+
+    @property
+    def value_column(self) -> str:
+        """The aggregation column the synopsis answers queries about."""
+        return self._value_column
+
+    @property
+    def predicate_columns(self) -> list[str]:
+        """The predicate columns updates are routed on."""
+        return list(self._predicate_columns)
+
+    @property
+    def config(self) -> PASSConfig:
+        """The build configuration (reused by per-shard rebuilds)."""
+        return self._config
+
+    @property
+    def extra_sample_columns(self) -> list[str]:
+        """Extra columns retained in the samples beyond value / predicate."""
+        return list(self._extra_sample_columns)
 
     @property
     def updates_since_build(self) -> int:
@@ -195,6 +224,7 @@ class DynamicPASS:
             self._value_column,
             self._predicate_columns,
             config=self._config,
+            extra_sample_columns=self._extra_sample_columns,
         )
 
     # ------------------------------------------------------------------
@@ -230,6 +260,7 @@ class DynamicPASS:
             {
                 "kind": "dynamic",
                 "predicate_columns": list(self._predicate_columns),
+                "extra_sample_columns": list(self._extra_sample_columns),
                 "config": config,
                 "updates_since_build": self._updates_since_build,
                 "build_population": self._build_population,
@@ -253,6 +284,7 @@ class DynamicPASS:
         instance = cls.__new__(cls)
         instance._value_column = str(header["value_column"])
         instance._predicate_columns = list(header["predicate_columns"])
+        instance._extra_sample_columns = list(header.get("extra_sample_columns", []))
         instance._config = PASSConfig(**header["config"])
         instance._synopsis = synopsis
         instance._sample_columns = list(header["sample_columns"])

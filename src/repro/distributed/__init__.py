@@ -1,0 +1,56 @@
+"""Distributed layer: sharding, parallel multi-core builds, scatter-gather.
+
+This subsystem makes PASS horizontally scalable:
+
+* :class:`ShardPlanner` splits a :class:`~repro.data.table.Table` into
+  range- or hash-sharded chunks on a chosen shard column;
+* :class:`ParallelBuilder` (and the :func:`build_sharded_pass` convenience)
+  builds the per-shard synopses concurrently across CPU cores, shipping
+  picklable build specs to workers and reassembling their results through
+  the exact ``to_arrays`` / ``from_arrays`` paths;
+* :class:`ShardedSynopsis` answers aggregate queries by scatter-gather —
+  prune shards whose key range cannot match, query the survivors through
+  the vectorized batch path, and merge the per-shard estimates, variances,
+  and deterministic bounds into a single :class:`~repro.result.AQPResult`
+  (the mergeability of PASS's partition statistics is what makes the merge
+  exact for the tree components);
+* :class:`StreamingShardRouter` directs inserts / deletes to the owning
+  shard's :class:`~repro.core.updates.DynamicPASS`, tracks per-shard
+  staleness, and re-optimizes drifted shards without pausing reads on the
+  others.
+
+Sharded synopses register in a :class:`~repro.serving.catalog.SynopsisCatalog`
+and serve through a :class:`~repro.serving.engine.ServingEngine` like any
+other synopsis, and persist through :mod:`repro.serving.persistence`.
+"""
+
+from repro.distributed.parallel import (
+    EXECUTORS,
+    ParallelBuilder,
+    ShardBuildSpec,
+    build_sharded_pass,
+)
+from repro.distributed.planner import (
+    STRATEGIES,
+    ShardPlan,
+    ShardPlanner,
+    ShardRouting,
+    hash_assign,
+)
+from repro.distributed.router import ShardUpdateStats, StreamingShardRouter
+from repro.distributed.sharded import ShardedSynopsis
+
+__all__ = [
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardRouting",
+    "STRATEGIES",
+    "hash_assign",
+    "ShardBuildSpec",
+    "ParallelBuilder",
+    "build_sharded_pass",
+    "EXECUTORS",
+    "ShardedSynopsis",
+    "StreamingShardRouter",
+    "ShardUpdateStats",
+]

@@ -4,6 +4,7 @@ from repro.evaluation.harness import (
     ComparisonRun,
     SynopsisEvaluation,
     evaluate_served_workload,
+    evaluate_sharded_workload,
     run_comparison,
 )
 from repro.evaluation.metrics import (
@@ -21,6 +22,7 @@ __all__ = [
     "SynopsisEvaluation",
     "run_comparison",
     "evaluate_served_workload",
+    "evaluate_sharded_workload",
     "QueryRecord",
     "WorkloadMetrics",
     "ci_ratio",

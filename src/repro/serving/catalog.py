@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.core.pass_synopsis import PASSSynopsis
 from repro.core.updates import DynamicPASS
 from repro.data.table import Table
+from repro.distributed.sharded import ShardedSynopsis
 from repro.query.query import AggregateQuery, ExactEngine
 
 __all__ = ["CatalogEntry", "SynopsisCatalog"]
@@ -37,7 +38,8 @@ class CatalogEntry:
     name:
         Unique catalog name of the synopsis.
     synopsis:
-        The registered :class:`PASSSynopsis` or :class:`DynamicPASS`.
+        The registered :class:`PASSSynopsis`, :class:`DynamicPASS`, or
+        :class:`~repro.distributed.sharded.ShardedSynopsis`.
     table_name:
         Name of the table the synopsis summarizes.
     value_column:
@@ -48,7 +50,7 @@ class CatalogEntry:
     """
 
     name: str
-    synopsis: PASSSynopsis | DynamicPASS
+    synopsis: PASSSynopsis | DynamicPASS | ShardedSynopsis
     table_name: str
     value_column: str
     predicate_columns: tuple[str, ...]
@@ -56,19 +58,42 @@ class CatalogEntry:
     @property
     def is_dynamic(self) -> bool:
         """True when the entry accepts streaming updates."""
+        if isinstance(self.synopsis, ShardedSynopsis):
+            return self.synopsis.supports_updates
         return isinstance(self.synopsis, DynamicPASS)
 
     @property
+    def is_sharded(self) -> bool:
+        """True when the entry answers queries by scatter-gather over shards."""
+        return isinstance(self.synopsis, ShardedSynopsis)
+
+    @property
     def pass_synopsis(self) -> PASSSynopsis:
-        """The underlying static synopsis (unwrapping :class:`DynamicPASS`)."""
+        """The underlying static synopsis (unwrapping :class:`DynamicPASS`).
+
+        Sharded entries have no single underlying synopsis; use
+        :attr:`synopsis` (and its scatter-gather methods) instead.
+        """
+        if isinstance(self.synopsis, ShardedSynopsis):
+            raise TypeError(
+                f"synopsis {self.name!r} is sharded; query it through "
+                "entry.synopsis.query / query_batch"
+            )
         if isinstance(self.synopsis, DynamicPASS):
             return self.synopsis.synopsis
         return self.synopsis
 
     @property
+    def n_partitions(self) -> int:
+        """Leaf partitions of the entry (summed across shards when sharded)."""
+        if isinstance(self.synopsis, ShardedSynopsis):
+            return self.synopsis.n_partitions
+        return self.pass_synopsis.n_partitions
+
+    @property
     def staleness(self) -> float:
         """Update drift of the entry (0.0 for static synopses)."""
-        if isinstance(self.synopsis, DynamicPASS):
+        if isinstance(self.synopsis, (DynamicPASS, ShardedSynopsis)):
             return self.synopsis.staleness
         return 0.0
 
@@ -102,30 +127,43 @@ class SynopsisCatalog:
     def register(
         self,
         name: str,
-        synopsis: PASSSynopsis | DynamicPASS,
+        synopsis: PASSSynopsis | DynamicPASS | ShardedSynopsis,
         table_name: str = "table",
         predicate_columns: Sequence[str] | None = None,
     ) -> CatalogEntry:
         """Register a synopsis under a unique name.
 
         ``predicate_columns`` defaults to the columns of the partition tree's
-        root box (the columns the synopsis was partitioned on); the value
-        column is always read from the synopsis itself.
+        root box (the columns the synopsis was partitioned on) — for sharded
+        synopses, the union of the shards' partitioning columns plus the
+        shard column; the value column is always read from the synopsis
+        itself.
         """
         if name in self._entries:
             raise ValueError(f"synopsis {name!r} is already registered")
-        inner = synopsis.synopsis if isinstance(synopsis, DynamicPASS) else synopsis
-        if not isinstance(inner, PASSSynopsis):
-            raise TypeError(
-                f"expected a PASSSynopsis or DynamicPASS, got {type(synopsis)!r}"
-            )
-        if predicate_columns is None:
-            predicate_columns = tuple(sorted(inner.tree.root.box.columns))
+        if isinstance(synopsis, ShardedSynopsis):
+            value_column = synopsis.value_column
+            if predicate_columns is None:
+                columns: set[str] = {synopsis.shard_column}
+                for shard in synopsis.shards:
+                    inner = shard.synopsis if isinstance(shard, DynamicPASS) else shard
+                    columns.update(inner.tree.root.box.columns)
+                predicate_columns = tuple(sorted(columns))
+        else:
+            inner = synopsis.synopsis if isinstance(synopsis, DynamicPASS) else synopsis
+            if not isinstance(inner, PASSSynopsis):
+                raise TypeError(
+                    "expected a PASSSynopsis, DynamicPASS, or ShardedSynopsis, "
+                    f"got {type(synopsis)!r}"
+                )
+            value_column = inner.value_column
+            if predicate_columns is None:
+                predicate_columns = tuple(sorted(inner.tree.root.box.columns))
         entry = CatalogEntry(
             name=name,
             synopsis=synopsis,
             table_name=table_name,
-            value_column=inner.value_column,
+            value_column=value_column,
             predicate_columns=tuple(predicate_columns),
         )
         self._entries[name] = entry
@@ -197,7 +235,7 @@ class SynopsisCatalog:
             if not entry.can_answer(query, table_name):
                 continue
             surplus = len(set(entry.predicate_columns) - constrained)
-            score = (-surplus, entry.pass_synopsis.n_partitions)
+            score = (-surplus, entry.n_partitions)
             if best_score is None or score > best_score:
                 best, best_score = entry, score
         return best

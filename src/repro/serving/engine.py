@@ -28,12 +28,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
-import numpy as np
-
-from repro.core.pass_synopsis import PASSSynopsis
-from repro.core.tree import MCFResult
+from repro.core.batching import batch_query
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult
 from repro.serving.catalog import CatalogEntry, SynopsisCatalog
@@ -167,6 +164,8 @@ class ServingEngine:
         """Route and answer one query (caller holds the read lock)."""
         entry = self._catalog.route(query, table)
         if entry is not None:
+            if entry.is_sharded:
+                return entry.name, entry.synopsis.query(query)
             return entry.name, entry.pass_synopsis.query(query)
         return EXACT_FALLBACK, self._exact_result(query, table)
 
@@ -185,22 +184,17 @@ class ServingEngine:
                 by_entry.setdefault(entry.name, []).append(index)
                 entries[entry.name] = entry
         for name, indices in by_entry.items():
-            synopsis = entries[name].pass_synopsis
+            entry = entries[name]
             batch = [misses[index][1] for index in indices]
-            for index, result in zip(indices, self._batch_answer(synopsis, batch)):
+            if entry.is_sharded:
+                # Scatter-gather batch: the sharded synopsis shares mask work
+                # per shard across the whole group.
+                batch_results = entry.synopsis.query_batch(batch)
+            else:
+                batch_results = batch_query(entry.pass_synopsis, batch)
+            for index, result in zip(indices, batch_results):
                 answers[index] = (name, result)
         return answers  # type: ignore[return-value]
-
-    def _batch_answer(
-        self, synopsis: PASSSynopsis, queries: Sequence[AggregateQuery]
-    ) -> list[AQPResult]:
-        """Answer several queries against one synopsis with shared mask work."""
-        frontiers = [synopsis.lookup(query) for query in queries]
-        masks = _batch_leaf_masks(synopsis, queries, frontiers)
-        return [
-            synopsis.query(query, match_masks=mask, frontier=frontier)
-            for query, mask, frontier in zip(queries, masks, frontiers)
-        ]
 
     def _exact_result(self, query: AggregateQuery, table: str | None) -> AQPResult:
         engine = self._catalog.exact_engine(table)
@@ -243,7 +237,10 @@ class ServingEngine:
                 for column in entry.predicate_columns
                 if column in row
             }
-            leaf = entry.pass_synopsis.tree.leaf_for_point(point)
+            if entry.is_sharded:
+                leaf = entry.synopsis.leaf_for_point(point)
+            else:
+                leaf = entry.pass_synopsis.tree.leaf_for_point(point)
             if kind == "insert":
                 entry.synopsis.insert(row)
             else:
@@ -336,60 +333,3 @@ class ServingEngine:
                 )
                 self._stats[name] = stats
             return stats
-
-
-def _batch_leaf_masks(
-    synopsis: PASSSynopsis,
-    queries: Sequence[AggregateQuery],
-    frontiers: Sequence[MCFResult],
-) -> list[dict[int, np.ndarray]]:
-    """Vectorized sample match masks for a batch of queries.
-
-    For every leaf partially overlapped by at least one query, the interval
-    tests of all queries touching that leaf (grouped by constrained-column
-    set) are evaluated against the leaf's sample columns in one broadcasted
-    comparison, instead of once per query.  Each mask row equals what
-    ``Stratum.match_mask`` computes for the same query, so feeding the masks
-    through ``PASSSynopsis.query`` yields identical results.
-    """
-    per_leaf: dict[int, list[int]] = {}
-    for index, frontier in enumerate(frontiers):
-        for node in frontier.partial:
-            per_leaf.setdefault(node.leaf_index, []).append(index)
-
-    masks: list[dict[int, np.ndarray]] = [{} for _ in queries]
-    strata = synopsis.leaf_samples
-    for leaf_index, members in per_leaf.items():
-        stratum = strata[leaf_index]
-        n_samples = stratum.sample_size
-        if n_samples == 0:
-            empty = np.zeros(0, dtype=bool)
-            for index in members:
-                masks[index][leaf_index] = empty
-            continue
-        groups: dict[tuple[str, ...], list[int]] = {}
-        for index in members:
-            columns = tuple(
-                column for column, _, _ in queries[index].predicate.canonical_key()
-            )
-            groups.setdefault(columns, []).append(index)
-        for columns, group in groups.items():
-            if not columns:
-                for index in group:
-                    masks[index][leaf_index] = np.ones(n_samples, dtype=bool)
-                continue
-            matrix = np.ones((len(group), n_samples), dtype=bool)
-            for column in columns:
-                values = stratum.sample_columns[column]
-                lows = np.array(
-                    [queries[index].predicate.interval(column).low for index in group]
-                )
-                highs = np.array(
-                    [queries[index].predicate.interval(column).high for index in group]
-                )
-                matrix &= (values[None, :] >= lows[:, None]) & (
-                    values[None, :] <= highs[:, None]
-                )
-            for row, index in enumerate(group):
-                masks[index][leaf_index] = matrix[row]
-    return masks

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.pass_synopsis import PASSSynopsis
 from repro.core.updates import DynamicPASS
 from repro.data.table import Table
+from repro.distributed.sharded import ShardedSynopsis
 from repro.serving.catalog import SynopsisCatalog
 
 __all__ = [
@@ -49,21 +50,28 @@ def _normalize(path: str | Path) -> Path:
     return path
 
 
-def save_synopsis(synopsis: PASSSynopsis | DynamicPASS, path: str | Path) -> Path:
+def save_synopsis(
+    synopsis: PASSSynopsis | DynamicPASS | ShardedSynopsis, path: str | Path
+) -> Path:
     """Persist a synopsis to a single ``.npz`` file; returns the final path.
 
     A ``.npz`` suffix is appended when missing.  Dynamic synopses persist
     their reservoirs and update counters as well, so serving can resume
     accepting updates after a restart (the reservoir RNG state is the one
     piece that does not survive — see :meth:`DynamicPASS.to_arrays`).
+    Sharded synopses persist every shard (static or dynamic) plus the shard
+    routing metadata in the same archive.
     """
-    if isinstance(synopsis, DynamicPASS):
+    if isinstance(synopsis, (DynamicPASS, ShardedSynopsis)):
         arrays, header = synopsis.to_arrays()
     elif isinstance(synopsis, PASSSynopsis):
         arrays, header = synopsis.to_arrays()
         header["kind"] = "pass"
     else:
-        raise TypeError(f"expected a PASSSynopsis or DynamicPASS, got {type(synopsis)!r}")
+        raise TypeError(
+            "expected a PASSSynopsis, DynamicPASS, or ShardedSynopsis, "
+            f"got {type(synopsis)!r}"
+        )
     header["format"] = FORMAT_VERSION
     path = _normalize(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -71,7 +79,7 @@ def save_synopsis(synopsis: PASSSynopsis | DynamicPASS, path: str | Path) -> Pat
     return path
 
 
-def load_synopsis(path: str | Path) -> PASSSynopsis | DynamicPASS:
+def load_synopsis(path: str | Path) -> PASSSynopsis | DynamicPASS | ShardedSynopsis:
     """Load a synopsis saved with :func:`save_synopsis`."""
     path = _normalize(path)
     with np.load(path, allow_pickle=False) as data:
@@ -85,6 +93,8 @@ def load_synopsis(path: str | Path) -> PASSSynopsis | DynamicPASS:
                 f"(this build reads version {FORMAT_VERSION})"
             )
         arrays = {key: data[key] for key in data.files if key != _HEADER_KEY}
+    if header.get("kind") == "sharded":
+        return ShardedSynopsis.from_arrays(arrays, header)
     if header.get("kind") == "dynamic":
         return DynamicPASS.from_arrays(arrays, header)
     return PASSSynopsis.from_arrays(arrays, header)

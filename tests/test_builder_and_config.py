@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.builder import build_leaf_boxes, build_leaf_samples, build_pass
+from repro.core.builder import (
+    PartitionerFallbackWarning,
+    build_leaf_boxes,
+    build_leaf_samples,
+    build_pass,
+    resolve_partitioner,
+)
 from repro.core.config import PARTITIONER_CHOICES, PASSConfig
 from repro.query.aggregates import AggregateType
 
@@ -79,9 +85,47 @@ class TestBuildLeafBoxes:
 
     def test_multi_dimensional_falls_back_to_kd(self, multi_table):
         config = PASSConfig(n_partitions=8, partitioner="adp", opt_sample_size=500)
-        boxes = build_leaf_boxes(multi_table, "value", ["a", "b"], config)
+        with pytest.warns(PartitionerFallbackWarning, match="k-d construction"):
+            boxes = build_leaf_boxes(multi_table, "value", ["a", "b"], config)
         assert len(boxes) >= 8
         assert any(len(box.columns) == 2 for box in boxes)
+
+    @pytest.mark.parametrize("partitioner", ["adp", "equal", "count_optimal", "hill"])
+    def test_fallback_warns_for_every_one_dimensional_partitioner(
+        self, multi_table, partitioner
+    ):
+        config = PASSConfig(
+            n_partitions=4, partitioner=partitioner, opt_sample_size=300
+        )
+        with pytest.warns(PartitionerFallbackWarning):
+            build_leaf_boxes(multi_table, "value", ["a", "b"], config)
+
+    def test_no_warning_when_partitioner_matches_dimensionality(
+        self, skewed_table, multi_table
+    ):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PartitionerFallbackWarning)
+            build_leaf_boxes(
+                skewed_table,
+                "value",
+                ["key"],
+                PASSConfig(n_partitions=4, partitioner="adp", opt_sample_size=200),
+            )
+            build_leaf_boxes(
+                multi_table,
+                "value",
+                ["a", "b"],
+                PASSConfig(n_partitions=4, partitioner="kd", opt_sample_size=300),
+            )
+
+    def test_resolve_partitioner(self):
+        config = PASSConfig(n_partitions=4, partitioner="adp")
+        assert resolve_partitioner(config, ["key"]) == "adp"
+        assert resolve_partitioner(config, ["a", "b"]) == "kd"
+        kd = PASSConfig(n_partitions=4, partitioner="kd")
+        assert resolve_partitioner(kd, ["a", "b"]) == "kd"
 
     def test_kd_us_policy(self, multi_table):
         config = PASSConfig(n_partitions=8, partitioner="kd_us", opt_sample_size=500)
@@ -173,3 +217,34 @@ class TestBuildPass:
         synopsis = build_pass(multi_table, "value", ["a", "b", "c"], config)
         assert synopsis.tree.n_leaves >= 16
         synopsis.tree.validate()
+
+    def test_effective_partitioner_recorded(self, skewed_table, multi_table):
+        one_d = build_pass(
+            skewed_table,
+            "value",
+            ["key"],
+            PASSConfig(n_partitions=4, partitioner="adp", opt_sample_size=200),
+        )
+        assert one_d.effective_partitioner == "adp"
+        with pytest.warns(PartitionerFallbackWarning):
+            fallen_back = build_pass(
+                multi_table,
+                "value",
+                ["a", "b"],
+                PASSConfig(n_partitions=4, partitioner="adp", opt_sample_size=300),
+            )
+        assert fallen_back.effective_partitioner == "kd"
+
+    def test_effective_partitioner_precomputed_and_persisted(self, skewed_table):
+        from repro.partitioning.equal import equal_depth_partition
+
+        boxes = equal_depth_partition(skewed_table, "key", 4)
+        config = PASSConfig(n_partitions=4, sample_rate=0.05)
+        synopsis = build_pass(skewed_table, "value", ["key"], config, leaf_boxes=boxes)
+        assert synopsis.effective_partitioner == "precomputed"
+        arrays, header = synopsis.to_arrays()
+        assert header["effective_partitioner"] == "precomputed"
+        from repro.core.pass_synopsis import PASSSynopsis
+
+        reloaded = PASSSynopsis.from_arrays(arrays, header)
+        assert reloaded.effective_partitioner == "precomputed"

@@ -1,0 +1,140 @@
+"""Tests for the shard planner: range / hash plans and shard routing."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.distributed.planner import ShardPlan, ShardPlanner, hash_assign
+
+
+def _table(n: int = 1000, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "key": rng.uniform(0.0, 100.0, size=n),
+            "value": rng.normal(50.0, 10.0, size=n),
+        },
+        name="planner_test",
+    )
+
+
+class TestRangePlan:
+    def test_partitions_all_rows_disjointly(self):
+        table = _table()
+        plan = ShardPlanner(4, "range").plan(table, "key")
+        assert plan.n_shards == 4
+        assert sum(chunk.n_rows for chunk in plan.tables) == table.n_rows
+        # Equal-depth split: shard sizes within a couple of rows of each
+        # other (quantile boundaries round to actual key values).
+        sizes = [chunk.n_rows for chunk in plan.tables]
+        assert max(sizes) - min(sizes) <= 3
+
+    def test_key_boxes_cover_the_real_line_contiguously(self):
+        plan = ShardPlanner(5, "range").plan(_table(), "key")
+        intervals = [box.interval("key") for box in plan.key_boxes]
+        assert intervals[0].low == -math.inf
+        assert intervals[-1].high == math.inf
+        for left, right in zip(intervals, intervals[1:]):
+            assert right.low == float(np.nextafter(left.high, math.inf))
+
+    def test_rows_land_in_their_own_key_box(self):
+        plan = ShardPlanner(4, "range").plan(_table(), "key")
+        for index, chunk in enumerate(plan.tables):
+            interval = plan.key_boxes[index].interval("key")
+            keys = chunk.column("key")
+            assert bool(np.all((keys >= interval.low) & (keys <= interval.high)))
+
+    def test_shard_for_value_matches_membership(self):
+        table = _table(200)
+        plan = ShardPlanner(4, "range").plan(table, "key")
+        for value in table.column("key")[:50]:
+            index = plan.shard_for_value(float(value))
+            assert value in plan.tables[index].column("key")
+
+    def test_shard_for_value_covers_out_of_domain_keys(self):
+        plan = ShardPlanner(3, "range").plan(_table(), "key")
+        assert plan.shard_for_value(-1e9) == 0
+        assert plan.shard_for_value(1e9) == plan.n_shards - 1
+
+    def test_duplicate_heavy_keys_collapse_shards_without_gaps(self):
+        table = Table({"key": np.array([1.0] * 50 + [2.0] * 50), "value": np.ones(100)})
+        plan = ShardPlanner(8, "range").plan(table, "key")
+        assert plan.n_shards <= 2
+        assert sum(chunk.n_rows for chunk in plan.tables) == 100
+        # Every conceivable key still has an owner.
+        for value in (-5.0, 1.0, 1.5, 2.0, 7.0):
+            plan.shard_for_value(value)
+
+
+class TestHashPlan:
+    def test_partitions_all_rows_disjointly(self):
+        table = _table()
+        plan = ShardPlanner(4, "hash").plan(table, "key")
+        assert sum(chunk.n_rows for chunk in plan.tables) == table.n_rows
+        assert plan.hash_modulus == 4
+
+    def test_assignment_is_deterministic(self):
+        keys = _table().column("key")
+        assert np.array_equal(hash_assign(keys, 8), hash_assign(keys, 8))
+
+    def test_negative_zero_hashes_with_positive_zero(self):
+        # -0.0 == 0.0 numerically, so both must land on the same shard (a
+        # bit-pattern hash would scatter them and break point-predicate
+        # pruning and delete routing).
+        buckets = hash_assign(np.array([0.0, -0.0]), 8)
+        assert buckets[0] == buckets[1]
+
+    def test_shard_for_value_matches_membership(self):
+        table = _table(300)
+        plan = ShardPlanner(4, "hash").plan(table, "key")
+        for value in table.column("key")[:50]:
+            index = plan.shard_for_value(float(value))
+            assert value in plan.tables[index].column("key")
+
+    def test_empty_buckets_still_have_an_owner(self):
+        # 9 distinct keys hashed into 16 buckets leave most buckets empty at
+        # plan time; keys hashing to those buckets must still route (a
+        # streaming insert of a brand-new key cannot dangle).
+        table = Table({"key": np.arange(9.0), "value": np.ones(9)})
+        plan = ShardPlanner(16, "hash").plan(table, "key")
+        assert plan.n_shards < 16
+        assert len(plan.hash_owners) == 16
+        assert all(0 <= owner < plan.n_shards for owner in plan.hash_owners)
+        for value in np.linspace(-50.0, 50.0, 40):
+            assert 0 <= plan.shard_for_value(float(value)) < plan.n_shards
+
+    def test_balances_skewed_keys(self):
+        # A heavily skewed (Zipf-like) key distribution still spreads across
+        # buckets because distinct keys hash independently of their order.
+        rng = np.random.default_rng(7)
+        keys = np.floor(rng.zipf(1.5, size=2000).clip(max=50)).astype(float)
+        table = Table({"key": keys, "value": np.ones(2000)})
+        plan = ShardPlanner(4, "hash").plan(table, "key")
+        assert plan.n_shards >= 2
+
+
+class TestValidation:
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ShardPlanner(4, "round_robin")
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardPlanner(0)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError, match="empty"):
+            ShardPlanner(2).plan(Table({"key": np.zeros(0)}), "key")
+
+    def test_shard_for_row_requires_shard_column(self):
+        plan = ShardPlanner(2).plan(_table(), "key")
+        with pytest.raises(KeyError, match="shard column"):
+            plan.shard_for_row({"value": 1.0})
+
+    def test_hash_assign_rejects_nonpositive_buckets(self):
+        with pytest.raises(ValueError, match="n_buckets"):
+            hash_assign(np.zeros(3), 0)

@@ -1,0 +1,128 @@
+"""Tests for the parallel multi-core shard builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_pass
+from repro.core.config import PASSConfig
+from repro.core.updates import DynamicPASS
+from repro.data.table import Table
+from repro.distributed.parallel import ParallelBuilder, build_sharded_pass
+from repro.distributed.planner import ShardPlanner
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    rng = np.random.default_rng(11)
+    n = 4000
+    return Table(
+        {
+            "key": rng.uniform(0.0, 10.0, size=n),
+            "value": np.abs(rng.normal(20.0, 5.0, size=n)),
+        },
+        name="parallel_test",
+    )
+
+
+@pytest.fixture(scope="module")
+def config() -> PASSConfig:
+    return PASSConfig(n_partitions=8, sample_rate=0.02, opt_sample_size=200, seed=5)
+
+
+QUERIES = [
+    AggregateQuery(agg, "value", RectPredicate.from_bounds(key=(low, low + 3.0)))
+    for agg in ("SUM", "COUNT", "AVG")
+    for low in (0.5, 4.0, 6.5)
+]
+
+
+def _same(a: float, b: float) -> bool:
+    """Bit-exact equality with NaN == NaN (per-shard AVG may be undefined)."""
+    return a == b or (np.isnan(a) and np.isnan(b))
+
+
+def test_serial_build_matches_per_shard_manual_build(table, config):
+    plan = ShardPlanner(3, "range").plan(table, "key")
+    sharded = ParallelBuilder(executor="serial").build(plan, "value", ["key"], config)
+    for index, chunk in enumerate(plan.tables):
+        manual = build_pass(
+            chunk, "value", ["key"], config.with_overrides(seed=config.seed + index)
+        )
+        shard = sharded.shards[index]
+        for query in QUERIES:
+            assert _same(shard.query(query).estimate, manual.query(query).estimate)
+
+
+def test_process_pool_build_is_bit_identical_to_serial(table, config):
+    plan = ShardPlanner(3, "range").plan(table, "key")
+    serial = ParallelBuilder(executor="serial").build(plan, "value", ["key"], config)
+    parallel = ParallelBuilder(max_workers=2, executor="process").build(
+        plan, "value", ["key"], config
+    )
+    for query in QUERIES:
+        a, b = serial.query(query), parallel.query(query)
+        assert _same(a.estimate, b.estimate)
+        assert _same(a.variance, b.variance)
+
+
+def test_thread_pool_build_matches_serial(table, config):
+    plan = ShardPlanner(2, "range").plan(table, "key")
+    serial = ParallelBuilder(executor="serial").build(plan, "value", ["key"], config)
+    threaded = ParallelBuilder(max_workers=2, executor="thread").build(
+        plan, "value", ["key"], config
+    )
+    query = QUERIES[0]
+    assert serial.query(query).estimate == threaded.query(query).estimate
+
+
+def test_dynamic_build_produces_updatable_shards(table, config):
+    plan = ShardPlanner(2, "range").plan(table, "key")
+    sharded = ParallelBuilder(executor="serial").build(
+        plan, "value", ["key"], config, dynamic=True
+    )
+    assert sharded.supports_updates
+    assert all(isinstance(shard, DynamicPASS) for shard in sharded.shards)
+    before = sharded.population_size
+    sharded.insert({"key": 5.0, "value": 30.0})
+    assert sharded.population_size == before + 1
+
+
+def test_build_sharded_pass_convenience(table, config):
+    sharded = build_sharded_pass(
+        table,
+        "value",
+        "key",
+        n_shards=3,
+        config=config,
+        executor="serial",
+    )
+    assert sharded.n_shards == 3
+    assert sharded.population_size == table.n_rows
+    assert sharded.shard_column == "key"
+
+
+def test_population_and_sample_accounting(table, config):
+    plan = ShardPlanner(4, "range").plan(table, "key")
+    sharded = ParallelBuilder(executor="serial").build(plan, "value", ["key"], config)
+    assert sharded.population_size == table.n_rows
+    assert sharded.sample_size == sum(s.sample_size for s in map(_unwrap, sharded.shards))
+    assert sharded.n_partitions == sum(
+        _unwrap(shard).n_partitions for shard in sharded.shards
+    )
+    assert sharded.storage_bytes() > 0
+    assert sharded.build_seconds > 0
+
+
+def _unwrap(shard):
+    return shard.synopsis if isinstance(shard, DynamicPASS) else shard
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="unknown executor"):
+        ParallelBuilder(executor="gpu")
+    with pytest.raises(ValueError, match="max_workers"):
+        ParallelBuilder(max_workers=0)

@@ -1,0 +1,185 @@
+"""Concurrency stress test: reader threads vs a writer hammering ServingEngine.
+
+The reader-writer lock must guarantee that queries never observe a torn
+update (a tuple whose path statistics are only partially applied) and that
+the cache invalidation keeps cached results equal to fresh evaluation after
+the update stream stops.
+
+The detectors:
+
+* every reader runs an exact COUNT over the whole domain — inserts only ever
+  grow it, so each reader must observe a **non-decreasing integer sequence**
+  inside ``[initial, initial + total_inserts]`` (a torn read would surface
+  as a non-integer path state, an out-of-range count, or a decrease);
+* every reader also runs a sampled range query and checks the result is
+  internally consistent (finite estimate, non-negative variance, ordered
+  hard bounds);
+* after the writer finishes, every cached result must be identical to a
+  fresh evaluation with the cache dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import PASSConfig
+from repro.core.updates import DynamicPASS
+from repro.data.table import Table
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+from repro.serving.catalog import SynopsisCatalog
+from repro.serving.engine import ServingEngine
+
+N_ROWS = 3000
+N_READERS = 4
+N_INSERTS = 150
+READS_PER_READER = 400
+
+
+@pytest.fixture
+def engine_and_synopsis():
+    rng = np.random.default_rng(77)
+    table = Table(
+        {
+            "key": rng.uniform(0.0, 50.0, size=N_ROWS),
+            "value": np.abs(rng.normal(20.0, 5.0, size=N_ROWS)),
+        },
+        name="stress",
+    )
+    dynamic = DynamicPASS(
+        table,
+        "value",
+        ["key"],
+        PASSConfig(n_partitions=8, sample_rate=0.05, opt_sample_size=200, seed=3),
+    )
+    catalog = SynopsisCatalog()
+    catalog.register("stress_value", dynamic, table_name="stress")
+    return ServingEngine(catalog), dynamic
+
+
+def test_readers_never_observe_torn_or_regressing_state(engine_and_synopsis):
+    engine, dynamic = engine_and_synopsis
+    count_everything = AggregateQuery("COUNT", "value", RectPredicate.everything())
+    sampled_range = AggregateQuery(
+        "SUM", "value", RectPredicate.from_bounds(key=(5.0, 37.0))
+    )
+    initial = engine.execute(count_everything).estimate
+    assert initial == N_ROWS
+
+    start_barrier = threading.Barrier(N_READERS + 1)
+    writer_done = threading.Event()
+    errors: list[str] = []
+    errors_lock = threading.Lock()
+
+    def fail(message: str) -> None:
+        with errors_lock:
+            errors.append(message)
+
+    def reader() -> None:
+        start_barrier.wait()
+        last = initial
+        reads = 0
+        while reads < READS_PER_READER and not errors:
+            result = engine.execute(count_everything)
+            observed = result.estimate
+            if observed != int(observed):
+                fail(f"non-integer exact count {observed!r} (torn read)")
+                return
+            if not initial <= observed <= initial + N_INSERTS:
+                fail(f"count {observed} outside [{initial}, {initial + N_INSERTS}]")
+                return
+            if observed < last:
+                fail(f"count regressed from {last} to {observed}")
+                return
+            last = observed
+            ranged = engine.execute(sampled_range)
+            if np.isinf(ranged.estimate):
+                fail(f"non-finite sampled estimate {ranged.estimate!r}")
+                return
+            if not np.isnan(ranged.variance) and ranged.variance < 0:
+                fail(f"negative variance {ranged.variance!r}")
+                return
+            if ranged.hard_lower > ranged.hard_upper:
+                fail(
+                    f"inverted hard bounds "
+                    f"[{ranged.hard_lower}, {ranged.hard_upper}] (torn read)"
+                )
+                return
+            reads += 1
+            if writer_done.is_set() and reads >= READS_PER_READER // 2:
+                return
+
+    rng = np.random.default_rng(5)
+    rows = [
+        {"key": float(rng.uniform(0.0, 50.0)), "value": float(abs(rng.normal(20.0, 5.0)))}
+        for _ in range(N_INSERTS)
+    ]
+
+    def writer() -> None:
+        start_barrier.wait()
+        for row in rows:
+            engine.insert("stress_value", row)
+        writer_done.set()
+
+    threads = [threading.Thread(target=reader) for _ in range(N_READERS)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors[0]
+    assert writer_done.is_set(), "writer never finished"
+
+    # Post-update consistency: the cached answer for every probe equals a
+    # fresh evaluation once the cache is dropped.
+    final_count = engine.execute(count_everything)
+    assert final_count.estimate == N_ROWS + N_INSERTS
+    probes = [count_everything, sampled_range]
+    cached = [engine.execute(query) for query in probes]
+    engine.invalidate()
+    fresh = [engine.execute(query) for query in probes]
+    for cached_result, fresh_result in zip(cached, fresh):
+        assert cached_result.estimate == fresh_result.estimate
+        assert cached_result.variance == fresh_result.variance or (
+            np.isnan(cached_result.variance) and np.isnan(fresh_result.variance)
+        )
+
+
+def test_concurrent_batch_readers_with_writer(engine_and_synopsis):
+    """Batch execution under a concurrent writer also stays consistent."""
+    engine, _ = engine_and_synopsis
+    queries = [
+        AggregateQuery(agg, "value", RectPredicate.from_bounds(key=(low, low + 10.0)))
+        for agg in ("SUM", "COUNT", "AVG")
+        for low in (0.0, 15.0, 30.0)
+    ]
+    stop = threading.Event()
+    errors: list[str] = []
+
+    def reader() -> None:
+        while not stop.is_set():
+            for result in engine.execute_batch(queries):
+                if np.isinf(result.estimate) or result.hard_lower > result.hard_upper:
+                    errors.append(
+                        f"inconsistent batch result: estimate={result.estimate!r} "
+                        f"bounds=[{result.hard_lower}, {result.hard_upper}]"
+                    )
+                    stop.set()
+                    return
+
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in readers:
+        thread.start()
+    rng = np.random.default_rng(9)
+    for _ in range(60):
+        engine.insert(
+            "stress_value",
+            {"key": float(rng.uniform(0.0, 50.0)), "value": float(abs(rng.normal(20.0, 5.0)))},
+        )
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=60)
+    assert not errors, errors[0]

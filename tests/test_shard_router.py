@@ -1,0 +1,160 @@
+"""Tests for the streaming shard router: routing, staleness, per-shard rebuilds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PASSConfig
+from repro.data.table import Table
+from repro.distributed.parallel import ParallelBuilder
+from repro.distributed.planner import ShardPlanner
+from repro.distributed.router import StreamingShardRouter
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery, ExactEngine
+
+
+@pytest.fixture
+def table() -> Table:
+    rng = np.random.default_rng(23)
+    n = 1200
+    return Table(
+        {
+            "key": rng.uniform(0.0, 30.0, size=n),
+            "value": np.abs(rng.normal(10.0, 3.0, size=n)),
+        },
+        name="router_test",
+    )
+
+
+@pytest.fixture
+def config() -> PASSConfig:
+    return PASSConfig(n_partitions=4, sample_rate=0.1, opt_sample_size=200, seed=1)
+
+
+def _build(table, config, n_shards=3, threshold=None):
+    plan = ShardPlanner(n_shards, "range").plan(table, "key")
+    sharded = ParallelBuilder(executor="serial").build(
+        plan, "value", ["key"], config, dynamic=True
+    )
+    router = StreamingShardRouter(sharded, plan.tables, rebuild_threshold=threshold)
+    return plan, sharded, router
+
+
+def test_inserts_route_to_the_owning_shard_only(table, config):
+    plan, sharded, router = _build(table, config)
+    populations = [shard.population_size for shard in sharded.shards]
+    target_key = 1.0
+    owner = sharded.shard_for_value(target_key)
+    index = router.insert({"key": target_key, "value": 5.0})
+    assert index == owner
+    for shard_index, shard in enumerate(sharded.shards):
+        expected = populations[shard_index] + (1 if shard_index == owner else 0)
+        assert shard.population_size == expected
+
+
+def test_deletes_route_and_update_counts(table, config):
+    plan, sharded, router = _build(table, config)
+    row = {column: float(table.column(column)[0]) for column in table.column_names}
+    owner = sharded.shard_for_row(row)
+    before = sharded.shards[owner].population_size
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        router.delete(row)
+    assert sharded.shards[owner].population_size == before - 1
+    stats = router.stats()
+    assert stats[owner].deletes == 1
+
+
+def test_staleness_tracked_per_shard(table, config):
+    plan, sharded, router = _build(table, config)
+    router.insert({"key": 1.0, "value": 2.0})
+    stalenesses = sharded.per_shard_staleness()
+    owner = sharded.shard_for_value(1.0)
+    assert stalenesses[owner] > 0.0
+    assert all(
+        staleness == 0.0
+        for index, staleness in enumerate(stalenesses)
+        if index != owner
+    )
+
+
+def test_threshold_triggers_rebuild_of_only_the_drifted_shard(table, config):
+    plan, sharded, router = _build(table, config, threshold=0.02)
+    owner = sharded.shard_for_value(2.0)
+    untouched = [shard for i, shard in enumerate(sharded.shards) if i != owner]
+    shard_population = sharded.shards[owner].population_size
+    inserts = int(shard_population * 0.02) + 2
+    for step in range(inserts):
+        router.insert({"key": 2.0, "value": 4.0 + step})
+    stats = router.stats()
+    assert stats[owner].rebuilds >= 1
+    # The rebuilt shard's staleness reset; the other shards were not touched.
+    assert sharded.per_shard_staleness()[owner] < 0.02
+    for index, shard in enumerate(sharded.shards):
+        if index != owner:
+            assert shard in untouched  # same object: reads were never paused
+
+
+def test_rebuild_materializes_inserts_and_deletes(table, config):
+    plan, sharded, router = _build(table, config)
+    owner = sharded.shard_for_value(2.0)
+    base_population = sharded.shards[owner].population_size
+    router.insert({"key": 2.0, "value": 100.0})
+    router.insert({"key": 2.0, "value": 101.0})
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        router.delete({"key": 2.0, "value": 100.0})
+    router.rebuild(owner)
+    rebuilt = sharded.shards[owner]
+    assert rebuilt.population_size == base_population + 1
+    assert rebuilt.staleness == 0.0
+    # The rebuilt shard is a fresh structure with exact statistics.
+    query = AggregateQuery("COUNT", "value", RectPredicate.everything())
+    assert rebuilt.query(query).estimate == base_population + 1
+
+
+def test_rebuilt_shard_answers_match_exact_engine(table, config):
+    plan, sharded, router = _build(table, config, threshold=None)
+    owner = sharded.shard_for_value(5.0)
+    for step in range(10):
+        router.insert({"key": 5.0, "value": 50.0 + step})
+    router.rebuild(owner)
+    # An everything-query over the sharded synopsis stays exact after rebuild.
+    query = AggregateQuery("COUNT", "value", RectPredicate.everything())
+    result = router.sharded.query(query)
+    assert result.exact
+    assert result.estimate == table.n_rows + 10
+
+
+def test_rows_missing_schema_columns_are_rejected(table, config):
+    plan, sharded, router = _build(table, config)
+    with pytest.raises(KeyError, match="missing columns"):
+        router.insert({"key": 1.0})
+
+
+def test_router_requires_dynamic_shards(table, config):
+    plan = ShardPlanner(2, "range").plan(table, "key")
+    static = ParallelBuilder(executor="serial").build(plan, "value", ["key"], config)
+    with pytest.raises(TypeError, match="DynamicPASS"):
+        StreamingShardRouter(static, plan.tables)
+
+
+def test_router_validates_table_count(table, config):
+    plan, sharded, _ = _build(table, config)
+    with pytest.raises(ValueError, match="base tables"):
+        StreamingShardRouter(sharded, plan.tables[:-1])
+
+
+def test_deleting_unknown_row_fails_at_rebuild(table, config):
+    # A delete of a row that never existed in the shard's data surfaces when
+    # the rebuild materializes the shard.
+    plan, sharded, router = _build(table, config)
+    owner = sharded.shard_for_value(1.0)
+    router._deleted[owner].append({column: -999.0 for column in table.column_names})
+    with pytest.raises(ValueError, match="not found"):
+        router.rebuild(owner)
