@@ -26,6 +26,7 @@ plain script so CI can smoke-test the multi-process path directly.)
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -81,9 +82,16 @@ def bench_build_speedup(
         speedup = seconds[worker_counts[0]] / elapsed
         print(
             f"  workers={workers}: {elapsed:7.2f}s"
-            f"  (speedup vs {worker_counts[0]} worker{'s' if worker_counts[0] > 1 else ''}: {speedup:.2f}x)"
+            f"  (speedup vs {worker_counts[0]} worker"
+            f"{'s' if worker_counts[0] > 1 else ''}: {speedup:.2f}x)"
         )
     return seconds
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
 
 
 def bench_scatter_gather(
@@ -104,14 +112,17 @@ def bench_scatter_gather(
             ["key"],
             config,
         )
-        start = time.perf_counter()
-        for query in workload:
-            sharded.query(query)
-        sequential_ms = (time.perf_counter() - start) / len(workload) * 1e3
-
-        start = time.perf_counter()
-        sharded.query_batch(workload)
-        batch_ms = (time.perf_counter() - start) / len(workload) * 1e3
+        # Best of 3 passes: single-shot timings of a small workload are
+        # noise-dominated on shared CI runners, and the perf gate tracks them.
+        sequential_seconds = min(
+            _timed(lambda: [sharded.query(query) for query in workload])
+            for _ in range(3)
+        )
+        sequential_ms = sequential_seconds / len(workload) * 1e3
+        batch_seconds = min(
+            _timed(lambda: sharded.query_batch(workload)) for _ in range(3)
+        )
+        batch_ms = batch_seconds / len(workload) * 1e3
 
         scanned = sum(len(sharded.surviving_shards(q)) for q in workload)
         pruned = 1.0 - scanned / (len(workload) * sharded.n_shards)
@@ -148,6 +159,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="assert build speedup > 1.5x at 4 workers (multi-core machines only)",
     )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="OUT",
+        help="write perf-gate metrics (see benchmarks/perf_gate.py) to OUT",
+    )
     args = parser.parse_args(argv)
 
     if args.tiny:
@@ -174,8 +192,29 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating {n_rows:,} rows ...")
     table = generate_table(n_rows)
 
-    build_seconds = bench_build_speedup(table, config, max(worker_counts), worker_counts)
-    bench_scatter_gather(table, config, shard_counts, n_queries)
+    build_seconds = bench_build_speedup(
+        table, config, max(worker_counts), worker_counts
+    )
+    scatter_rows = bench_scatter_gather(table, config, shard_counts, n_queries)
+
+    if args.json:
+        widest = scatter_rows[-1]
+        metrics = {
+            "distributed_batch_ms_per_query": {
+                "value": widest["batch_ms"],
+                "direction": "lower",
+            },
+            "distributed_batch_vs_sequential_speedup": {
+                "value": widest["sequential_ms"] / widest["batch_ms"],
+                "direction": "higher",
+            },
+            "distributed_pruned_fraction": {
+                "value": widest["pruned_fraction"],
+                "direction": "higher",
+            },
+        }
+        Path(args.json).write_text(json.dumps({"metrics": metrics}, indent=2))
+        print(f"wrote {args.json}")
 
     max_workers = max(worker_counts)
     speedup = build_seconds[worker_counts[0]] / build_seconds[max_workers]

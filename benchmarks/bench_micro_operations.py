@@ -38,7 +38,8 @@ def intel_spec() -> DatasetSpec:
 def sum_query(intel_spec) -> AggregateQuery:
     low, high = np.quantile(intel_spec.table.column("time"), [0.2, 0.6])
     return AggregateQuery.sum(
-        intel_spec.value_column, RectPredicate.from_bounds(time=(float(low), float(high)))
+        intel_spec.value_column,
+        RectPredicate.from_bounds(time=(float(low), float(high))),
     )
 
 
@@ -104,7 +105,9 @@ def test_pass_build_time(benchmark, intel_spec):
             intel_spec.table,
             intel_spec.value_column,
             intel_spec.predicate_columns,
-            PASSConfig(n_partitions=64, sample_rate=0.005, opt_sample_size=1000, seed=0),
+            PASSConfig(
+                n_partitions=64, sample_rate=0.005, opt_sample_size=1000, seed=0
+            ),
         ),
         rounds=3,
         iterations=1,

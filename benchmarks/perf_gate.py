@@ -1,0 +1,154 @@
+"""CI perf-regression gate: merge benchmark metrics, compare to a baseline.
+
+Each smoke benchmark (``bench_serving_throughput.py``, ``bench_distributed.py``,
+``bench_groupby.py``) writes a small JSON file of tracked metrics when run
+with ``--json OUT``::
+
+    {"metrics": {"<name>": {"value": 123.4, "direction": "higher" | "lower"}}}
+
+This script merges those files into one report (``BENCH_pr.json``, uploaded
+as a CI artifact on every run) and fails when any tracked metric regresses
+more than ``--threshold`` (default 2x) against the committed
+``benchmarks/BENCH_baseline.json``:
+
+* ``direction: higher`` (throughputs, speedups, pruning rates) regresses
+  when ``value < baseline / threshold``;
+* ``direction: lower`` (latencies) regresses when
+  ``value > baseline * threshold``.
+
+The 2x headroom absorbs runner-to-runner hardware variance while still
+catching the order-of-magnitude regressions a broken batch path produces.
+Metrics missing from the baseline are reported but never fail the gate, so
+adding a new benchmark does not require regenerating the baseline in the
+same commit.  Refresh the baseline by re-running the smoke benchmarks and
+passing ``--write-baseline``::
+
+    python benchmarks/bench_serving_throughput.py --tiny --json /tmp/serving.json
+    python benchmarks/bench_distributed.py --tiny --json /tmp/distributed.json
+    python benchmarks/bench_groupby.py --tiny --json /tmp/groupby.json
+    python benchmarks/perf_gate.py --inputs /tmp/serving.json /tmp/distributed.json \
+        /tmp/groupby.json --write-baseline benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+DIRECTIONS = ("higher", "lower")
+
+
+def load_metrics(paths: list[str]) -> dict[str, dict]:
+    """Merge the ``metrics`` sections of several benchmark JSON files."""
+    merged: dict[str, dict] = {}
+    for path in paths:
+        payload = json.loads(Path(path).read_text())
+        for name, entry in payload.get("metrics", {}).items():
+            if name in merged:
+                raise ValueError(f"metric {name!r} appears in more than one input")
+            direction = entry.get("direction")
+            if direction not in DIRECTIONS:
+                raise ValueError(
+                    f"metric {name!r} has direction {direction!r}; "
+                    f"expected one of {DIRECTIONS}"
+                )
+            merged[name] = {"value": float(entry["value"]), "direction": direction}
+    return merged
+
+
+def compare(
+    current: dict[str, dict], baseline: dict[str, dict], threshold: float
+) -> list[str]:
+    """Human-readable comparison rows; regressions are marked ``REGRESSION``."""
+    rows = []
+    for name in sorted(baseline):
+        if name not in current:
+            # A baseline metric no benchmark emits any more is an unwatched
+            # regression guard — fail loudly rather than shrink the gate.
+            rows.append(f"  {name}: MISSING from current run -> REGRESSION")
+    for name in sorted(current):
+        entry = current[name]
+        base = baseline.get(name)
+        if base is None:
+            rows.append(f"  {name}: {entry['value']:.4g} (no baseline; informational)")
+            continue
+        value, reference = entry["value"], float(base["value"])
+        if entry["direction"] == "higher":
+            regressed = value < reference / threshold
+            ratio = reference / value if value else float("inf")
+        else:
+            regressed = value > reference * threshold
+            ratio = value / reference if reference else float("inf")
+        status = "REGRESSION" if regressed else "ok"
+        rows.append(
+            f"  {name}: {value:.4g} vs baseline {reference:.4g} "
+            f"({ratio:.2f}x of allowed {threshold:.1f}x, {entry['direction']} "
+            f"is better) -> {status}"
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--inputs", nargs="+", required=True, help="benchmark --json outputs to merge"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default="benchmarks/BENCH_baseline.json",
+        help="committed baseline to gate against",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="BENCH_pr.json",
+        help="merged report to write (uploaded as a CI artifact)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="allowed regression factor before the gate fails (default 2x)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the merged metrics as a new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_metrics(args.inputs)
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            json.dumps({"metrics": current}, indent=2) + "\n"
+        )
+        print(f"wrote baseline with {len(current)} metrics to {args.write_baseline}")
+        return 0
+
+    Path(args.out).write_text(json.dumps({"metrics": current}, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(current)} metrics)")
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {args.baseline}; gate passes vacuously")
+        return 0
+    baseline = json.loads(baseline_path.read_text()).get("metrics", {})
+
+    rows = compare(current, baseline, args.threshold)
+    print(f"perf gate vs {args.baseline} (threshold {args.threshold:.1f}x):")
+    for row in rows:
+        print(row)
+    regressions = [row for row in rows if row.endswith("REGRESSION")]
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed > {args.threshold:.1f}x")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,7 +81,9 @@ def main() -> None:
         for low in np.linspace(0.0, 75.0, 6)
     ]
     results = sharded.query_batch(workload)
-    print(f"Batch of {len(workload)} queries answered; first={results[0].estimate:,.1f}")
+    print(
+        f"Batch of {len(workload)} queries answered; first={results[0].estimate:,.1f}"
+    )
 
     # 4. The serving layer treats a sharded synopsis like any other: register
     #    it in a catalog and serve it with routing + caching.

@@ -34,7 +34,9 @@ def main() -> None:
     #    number of leaf partitions (more partitions -> more precomputation but
     #    better accuracy) and the per-query sampling budget.
     config = PASSConfig(n_partitions=64, sample_rate=0.005, partitioner="adp", seed=0)
-    synopsis = build_pass(table, dataset.value_column, [dataset.default_predicate_column], config)
+    synopsis = build_pass(
+        table, dataset.value_column, [dataset.default_predicate_column], config
+    )
     print(
         f"Built PASS in {synopsis.build_seconds:.2f}s: "
         f"{synopsis.n_partitions} partitions, {synopsis.sample_size} stored samples, "
@@ -46,10 +48,22 @@ def main() -> None:
     #    answered exactly.
     engine = ExactEngine(table)
     queries = [
-        ("morning light (SUM)", AggregateQuery.sum("light", RectPredicate.from_bounds(time=(0.25, 0.5)))),
-        ("afternoon rows (COUNT)", AggregateQuery.count("light", RectPredicate.from_bounds(time=(0.5, 0.75)))),
-        ("evening brightness (AVG)", AggregateQuery.avg("light", RectPredicate.from_bounds(time=(0.6, 0.9)))),
-        ("whole day (SUM, exact)", AggregateQuery.sum("light", RectPredicate.everything())),
+        (
+            "morning light (SUM)",
+            AggregateQuery.sum("light", RectPredicate.from_bounds(time=(0.25, 0.5))),
+        ),
+        (
+            "afternoon rows (COUNT)",
+            AggregateQuery.count("light", RectPredicate.from_bounds(time=(0.5, 0.75))),
+        ),
+        (
+            "evening brightness (AVG)",
+            AggregateQuery.avg("light", RectPredicate.from_bounds(time=(0.6, 0.9))),
+        ),
+        (
+            "whole day (SUM, exact)",
+            AggregateQuery.sum("light", RectPredicate.everything()),
+        ),
     ]
     for label, query in queries:
         result = synopsis.query(query)
@@ -60,7 +74,10 @@ def main() -> None:
         print(f"  hard bounds   : [{result.hard_lower:,.1f}, {result.hard_upper:,.1f}]")
         print(f"  exact answer  : {truth:,.1f}")
         print(f"  relative error: {result.relative_error(truth):.4%}")
-        print(f"  answered exactly: {result.exact}; samples touched: {result.tuples_processed}")
+        print(
+            f"  answered exactly: {result.exact}; "
+            f"samples touched: {result.tuples_processed}"
+        )
 
 
 if __name__ == "__main__":

@@ -47,17 +47,26 @@ def main() -> None:
         min_fraction=0.02, max_fraction=0.5,
     )
     truths = [engine.execute(query) for query in workload.queries]
-    print(f"Dashboard workload: {len(workload)} SUM queries over '{key}' on {table.name}")
+    print(
+        f"Dashboard workload: {len(workload)} SUM queries over '{key}' on {table.name}"
+    )
 
     synopses = {
-        "US": UniformSampleSynopsis(table, value, [key], sample_rate=SAMPLE_RATE, rng=0),
+        "US": UniformSampleSynopsis(
+            table, value, [key], sample_rate=SAMPLE_RATE, rng=0
+        ),
         "ST": StratifiedSampleSynopsis(
             table, value, [key],
             equal_depth_boxes(table, key, N_PARTITIONS),
             sample_rate=SAMPLE_RATE, rng=0,
         ),
         "AQP++": AQPPlusPlus(
-            table, value, [key], n_partitions=N_PARTITIONS, sample_rate=SAMPLE_RATE, rng=0
+            table,
+            value,
+            [key],
+            n_partitions=N_PARTITIONS,
+            sample_rate=SAMPLE_RATE,
+            rng=0,
         ),
         "PASS": build_pass(
             table, value, [key],
@@ -80,7 +89,13 @@ def main() -> None:
     print()
     print(
         format_table(
-            ("Synopsis", "Median rel err", "Median CI ratio", "Samples/query", "CI coverage"),
+            (
+                "Synopsis",
+                "Median rel err",
+                "Median CI ratio",
+                "Samples/query",
+                "CI coverage",
+            ),
             rows,
         )
     )

@@ -33,7 +33,9 @@ def main() -> None:
         table,
         dataset.value_column,
         [dataset.default_predicate_column],
-        config=PASSConfig(n_partitions=32, sample_rate=0.01, partitioner="equal", seed=0),
+        config=PASSConfig(
+            n_partitions=32, sample_rate=0.01, partitioner="equal", seed=0
+        ),
         rng=0,
     )
     print(
@@ -59,7 +61,10 @@ def main() -> None:
         }
         dynamic.insert(row)
         new_rows.append(row)
-    print(f"Inserted {N_INSERTS} new readings (updates since build: {dynamic.updates_since_build}).")
+    print(
+        f"Inserted {N_INSERTS} new readings "
+        f"(updates since build: {dynamic.updates_since_build})."
+    )
 
     after = dynamic.query(query)
     # Ground truth over the concatenation of the old table and the new rows.

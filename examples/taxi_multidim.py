@@ -54,7 +54,9 @@ def main() -> None:
         table,
         dataset.value_column,
         list(dataset.predicate_columns),
-        PASSConfig(n_partitions=N_LEAVES, sample_rate=SAMPLE_RATE, partitioner="kd", seed=0),
+        PASSConfig(
+            n_partitions=N_LEAVES, sample_rate=SAMPLE_RATE, partitioner="kd", seed=0
+        ),
         leaf_boxes=partitioning.boxes,
     )
     print(

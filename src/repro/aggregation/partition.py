@@ -128,7 +128,9 @@ class PartitionStats:
         )
 
 
-def compute_partition_stats(values: np.ndarray, masks: list[np.ndarray]) -> list[PartitionStats]:
+def compute_partition_stats(
+    values: np.ndarray, masks: list[np.ndarray]
+) -> list[PartitionStats]:
     """Compute :class:`PartitionStats` for several partitions of one column.
 
     Parameters

@@ -18,7 +18,6 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.aggregation.partition import PartitionStats
 from repro.data.table import Table
@@ -83,7 +82,9 @@ def hard_bounds(
     partial = [stats for stats in partial if not stats.is_empty]
 
     if agg in (AggregateType.SUM, AggregateType.COUNT):
-        key = (lambda s: s.sum) if agg == AggregateType.SUM else (lambda s: float(s.count))
+        def key(stats: PartitionStats) -> float:
+            return stats.sum if agg == AggregateType.SUM else float(stats.count)
+
         covered_total = sum(key(stats) for stats in covered)
         partial_total = sum(key(stats) for stats in partial)
         return HardBounds(lower=covered_total, upper=covered_total + partial_total)

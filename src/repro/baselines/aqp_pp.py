@@ -196,7 +196,9 @@ class AQPPlusPlus:
             )
 
         if agg == AggregateType.AVG:
-            numerator = self._estimate(AggregateType.SUM, query, covered_idx, partial_idx)
+            numerator = self._estimate(
+                AggregateType.SUM, query, covered_idx, partial_idx
+            )
             denominator = self._estimate(
                 AggregateType.COUNT, query, covered_idx, partial_idx
             )
@@ -279,5 +281,7 @@ class AQPPlusPlus:
         else:
             phi = gap_mask.astype(float) * self._population_size
         gap_estimate = float(phi.mean())
-        gap_variance = float(np.var(phi)) / self.sample_size if self.sample_size > 1 else 0.0
+        gap_variance = (
+            float(np.var(phi)) / self.sample_size if self.sample_size > 1 else 0.0
+        )
         return EstimateWithVariance(exact_part + gap_estimate, gap_variance)

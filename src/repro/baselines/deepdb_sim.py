@@ -141,7 +141,9 @@ class DeepDBModel:
             edges = np.quantile(keys, np.linspace(0.0, 1.0, n_bins + 1))
             edges = np.asarray(edges, dtype=float)
             edges[-1] = np.nextafter(edges[-1], np.inf)
-            bins = np.clip(np.searchsorted(edges, keys, side="right") - 1, 0, n_bins - 1)
+            bins = np.clip(
+                np.searchsorted(edges, keys, side="right") - 1, 0, n_bins - 1
+            )
             counts = np.bincount(bins, minlength=n_bins).astype(float)
             value_sums = np.bincount(bins, weights=values, minlength=n_bins)
             self._columns[column] = _ColumnModel(

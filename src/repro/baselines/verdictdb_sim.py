@@ -125,11 +125,17 @@ class VerdictDBScramble:
         elif agg == AggregateType.SUM:
             estimate = float(matched_values.sum()) / self._ratio
         elif agg == AggregateType.AVG:
-            estimate = float(matched_values.mean()) if matched_values.size else float("nan")
+            estimate = (
+                float(matched_values.mean()) if matched_values.size else float("nan")
+            )
         elif agg == AggregateType.MIN:
-            estimate = float(matched_values.min()) if matched_values.size else float("nan")
+            estimate = (
+                float(matched_values.min()) if matched_values.size else float("nan")
+            )
         else:
-            estimate = float(matched_values.max()) if matched_values.size else float("nan")
+            estimate = (
+                float(matched_values.max()) if matched_values.size else float("nan")
+            )
 
         if agg in (AggregateType.MIN, AggregateType.MAX):
             variance = 0.0 if exact_scramble else float("nan")
@@ -158,7 +164,9 @@ class VerdictDBScramble:
             if agg == AggregateType.COUNT:
                 block_estimates.append(float(in_block.sum()) * block_weight)
             elif agg == AggregateType.SUM:
-                block_estimates.append(float(self._values[in_block].sum()) * block_weight)
+                block_estimates.append(
+                    float(self._values[in_block].sum()) * block_weight
+                )
             else:  # AVG
                 matched = self._values[in_block]
                 if matched.size == 0:

@@ -1,6 +1,11 @@
 """The paper's primary contribution: the PASS synopsis and its builder."""
 
-from repro.core.batching import batch_leaf_masks, batch_query
+from repro.core.batching import (
+    batch_leaf_masks,
+    batch_query,
+    frontier_count,
+    grouped_query,
+)
 from repro.core.builder import (
     PartitionerFallbackWarning,
     build_leaf_boxes,
@@ -16,6 +21,8 @@ from repro.core.updates import DynamicPASS
 __all__ = [
     "batch_leaf_masks",
     "batch_query",
+    "frontier_count",
+    "grouped_query",
     "build_leaf_boxes",
     "build_leaf_samples",
     "build_pass",

@@ -1,31 +1,58 @@
-"""Vectorized batch query execution against one PASS synopsis.
+"""Vectorized batch and grouped query execution against one PASS synopsis.
 
 Answering a batch of queries one by one re-evaluates the predicate of every
 query against every partially-overlapped leaf's sample columns.  When many
-queries touch the same leaf — the normal case for dashboard traffic and for
-scatter-gather over shards — those per-query mask evaluations can be fused:
-for each leaf, the interval tests of all queries touching it (grouped by
-constrained-column set) are evaluated in one broadcasted comparison.
+queries touch the same leaf — the normal case for dashboard traffic, grouped
+aggregation, and scatter-gather over shards — those per-query mask
+evaluations can be fused:
+
+* queries with *identical* predicates (a SUM / COUNT / AVG triple over one
+  region, or the aggregates of one group cell) share a single mask per leaf,
+  and
+* the remaining distinct predicates touching a leaf (grouped by
+  constrained-column set) are evaluated in one broadcasted comparison.
 
 The fused masks are then fed through the regular estimator path
 (:meth:`repro.core.pass_synopsis.PASSSynopsis.query` accepts precomputed
 masks), so batched results are identical to sequential ones by construction.
-Both the serving engine's ``execute_batch`` and the distributed layer's
-scatter-gather path build on :func:`batch_query`.
+The serving engine's ``execute_batch``, the distributed layer's
+scatter-gather path, and the grouped executor below all build on
+:func:`batch_query` / :func:`batch_leaf_masks`.
+
+:func:`grouped_query` is the single-synopsis executor for compiled
+:class:`~repro.query.groupby.GroupByPlan` batches.  It exploits the grouped
+shape beyond what :func:`batch_query` can see: one MCF frontier per group
+cell is shared by every aggregate of the cell (a G-cell, A-aggregate query
+costs G index lookups and G mask passes rather than G x A), and cells whose
+frontier statistics show zero matching tuples are answered as empty without
+dispatching anything.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
+from repro.aggregation.strat_agg import hard_bounds
 from repro.core.pass_synopsis import PASSSynopsis
 from repro.core.tree import MCFResult
+from repro.query.aggregates import AggregateType
+from repro.query.groupby import (
+    GroupByPlan,
+    GroupedResult,
+    empty_group_result,
+)
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult
+from repro.sampling.estimators import (
+    EstimateWithVariance,
+    finite_population_correction,
+    ratio_estimate,
+)
 
-__all__ = ["batch_query", "batch_leaf_masks"]
+__all__ = ["batch_query", "batch_leaf_masks", "grouped_query", "frontier_count"]
 
 
 def batch_query(
@@ -52,12 +79,14 @@ def batch_leaf_masks(
     """Vectorized sample match masks for a batch of queries.
 
     For every leaf partially overlapped by at least one query, the interval
-    tests of all queries touching that leaf (grouped by constrained-column
-    set) are evaluated against the leaf's sample columns in one broadcasted
-    comparison, instead of once per query.  Each mask row equals what
+    tests of the *distinct* predicates touching that leaf (queries with equal
+    canonical predicates share one mask row, grouped by constrained-column
+    set for broadcasting) are evaluated against the leaf's sample columns in
+    one comparison, instead of once per query.  Each mask row equals what
     ``Stratum.match_mask`` computes for the same query, so feeding the masks
     through ``PASSSynopsis.query`` yields identical results.
     """
+    predicate_keys = [query.predicate.canonical_key() for query in queries]
     per_leaf: dict[int, list[int]] = {}
     for index, frontier in enumerate(frontiers):
         for node in frontier.partial:
@@ -73,29 +102,328 @@ def batch_leaf_masks(
             for index in members:
                 masks[index][leaf_index] = empty
             continue
-        groups: dict[tuple[str, ...], list[int]] = {}
+        # One mask per distinct predicate; duplicates share the array.
+        unique: dict[tuple, list[int]] = {}
         for index in members:
-            columns = tuple(
-                column for column, _, _ in queries[index].predicate.canonical_key()
-            )
-            groups.setdefault(columns, []).append(index)
-        for columns, group in groups.items():
+            unique.setdefault(predicate_keys[index], []).append(index)
+        groups: dict[tuple[str, ...], list[tuple]] = {}
+        for key in unique:
+            columns = tuple(column for column, _, _ in key)
+            groups.setdefault(columns, []).append(key)
+        for columns, keys in groups.items():
             if not columns:
-                for index in group:
-                    masks[index][leaf_index] = np.ones(n_samples, dtype=bool)
+                everything = np.ones(n_samples, dtype=bool)
+                for key in keys:
+                    for index in unique[key]:
+                        masks[index][leaf_index] = everything
                 continue
-            matrix = np.ones((len(group), n_samples), dtype=bool)
+            matrix = np.ones((len(keys), n_samples), dtype=bool)
+            bounds = {
+                column: np.array(
+                    [
+                        [low, high]
+                        for key in keys
+                        for k_column, low, high in key
+                        if k_column == column
+                    ]
+                )
+                for column in columns
+            }
             for column in columns:
                 values = stratum.sample_columns[column]
-                lows = np.array(
-                    [queries[index].predicate.interval(column).low for index in group]
-                )
-                highs = np.array(
-                    [queries[index].predicate.interval(column).high for index in group]
-                )
+                lows = bounds[column][:, 0]
+                highs = bounds[column][:, 1]
                 matrix &= (values[None, :] >= lows[:, None]) & (
                     values[None, :] <= highs[:, None]
                 )
-            for row, index in enumerate(group):
-                masks[index][leaf_index] = matrix[row]
+            for row, key in enumerate(keys):
+                shared = matrix[row]
+                for index in unique[key]:
+                    masks[index][leaf_index] = shared
     return masks
+
+
+def frontier_count(frontier: MCFResult) -> int:
+    """Number of dataset tuples inside a frontier's covered + partial nodes.
+
+    This is an upper bound on how many tuples a query over the frontier's
+    predicate can match, read entirely from precomputed partition statistics
+    — zero means the predicate region is provably empty.
+    """
+    return sum(node.stats.count for node in frontier.covered) + sum(
+        node.stats.count for node in frontier.partial
+    )
+
+
+#: Per-cell, per-leaf sufficient statistics of the masked sample: the number
+#: of matching samples, their value sum and sum of squares, and (when an
+#: extremum aggregate asked for them) their min / max.
+_LeafMoments = tuple[int, float, float, float, float, float]
+
+
+def grouped_query(
+    synopsis: PASSSynopsis, plan: GroupByPlan, lam: float | None = None
+) -> GroupedResult:
+    """Answer a compiled group-by plan with vectorized grouped execution.
+
+    The executor exploits the grouped shape beyond what :func:`batch_query`
+    can see:
+
+    * one MCF lookup per group cell is shared by every aggregate of the cell
+      (G lookups instead of G x A);
+    * cells whose frontier statistics show zero matching tuples are answered
+      as exact empty groups without touching any sample;
+    * per partially-overlapped leaf, the match masks of every cell touching
+      it are evaluated in one broadcasted comparison and immediately reduced
+      to sufficient statistics (matched count, value sum, sum of squares,
+      extrema) with matrix products, so no per-(cell, aggregate) pass over
+      sample values remains — SUM / COUNT / AVG / MIN / MAX all assemble
+      from the same per-(cell, leaf) moments.
+
+    Estimates, variances, and bounds follow the exact same stratified
+    formulas as ``synopsis.query`` and agree with sequential execution up to
+    floating-point summation order.  The one semantic difference: AVG reuses
+    the cell's shared frontier, skipping the AVG-only zero-variance shortcut
+    (Section 3.4) — answers stay valid and only partially-overlapped
+    constant-valued partitions would ever notice.
+    """
+    lam = synopsis.lam if lam is None else lam
+    with_fpc = synopsis.with_fpc
+    value_column = synopsis.value_column
+    for spec in plan.aggregates:
+        if spec.value_column != value_column:
+            raise ValueError(
+                f"synopsis was built for column {value_column!r}, "
+                f"aggregate targets {spec.value_column!r}"
+            )
+    population = synopsis.population_size
+    need_extrema = any(
+        spec.agg in (AggregateType.MIN, AggregateType.MAX)
+        for spec in plan.aggregates
+    )
+
+    surviving: list[tuple[int, "object", MCFResult]] = []
+    for index, cell in plan.live_cells():
+        frontier = synopsis.tree.minimal_coverage_frontier(cell.predicate)
+        if frontier_count(frontier) > 0:
+            surviving.append((index, cell, frontier))
+
+    moments = _grouped_leaf_moments(synopsis, surviving, value_column, need_extrema)
+
+    aggs = tuple(spec.agg for spec in plan.aggregates)
+    answers: dict[int, tuple[AQPResult, ...]] = {}
+    for slot, (index, _, frontier) in enumerate(surviving):
+        answers[index] = _assemble_cell_row(
+            aggs, frontier, moments, slot, lam, with_fpc, population
+        )
+
+    empty = tuple(empty_group_result(spec.agg, population) for spec in plan.aggregates)
+    return GroupedResult(
+        group_columns=plan.group_columns,
+        aggregates=plan.aggregates,
+        labels=tuple(cell.labels for cell in plan.cells),
+        cells=tuple(answers.get(index, empty) for index in range(plan.n_cells)),
+    )
+
+
+def _grouped_leaf_moments(
+    synopsis: PASSSynopsis,
+    surviving: Sequence[tuple],
+    value_column: str,
+    need_extrema: bool,
+) -> dict[tuple[int, int], _LeafMoments | None]:
+    """Per-(cell slot, leaf) masked-sample moments, one matrix pass per leaf.
+
+    ``None`` marks an unsampled leaf (the caller falls back to the hard-bound
+    midpoint, exactly like the sequential estimator).
+    """
+    per_leaf: dict[int, list[int]] = {}
+    for slot, (_, _, frontier) in enumerate(surviving):
+        for node in frontier.partial:
+            per_leaf.setdefault(node.leaf_index, []).append(slot)
+
+    moments: dict[tuple[int, int], _LeafMoments | None] = {}
+    strata = synopsis.leaf_samples
+    for leaf_index, slots in per_leaf.items():
+        stratum = strata[leaf_index]
+        n_samples = stratum.sample_size
+        if n_samples == 0:
+            for slot in slots:
+                moments[(slot, leaf_index)] = None
+            continue
+        matrix = np.ones((len(slots), n_samples), dtype=bool)
+        columns: dict[str, None] = {}
+        for slot in slots:
+            for column, _, _ in surviving[slot][1].predicate.canonical_key():
+                columns.setdefault(column, None)
+        for column in columns:
+            values = stratum.sample_columns[column]
+            intervals = [
+                surviving[slot][1].predicate.interval(column) for slot in slots
+            ]
+            lows = np.array([interval.low for interval in intervals])
+            highs = np.array([interval.high for interval in intervals])
+            matrix &= (values[None, :] >= lows[:, None]) & (
+                values[None, :] <= highs[:, None]
+            )
+        sample_values = stratum.sample_values(value_column)
+        matched = matrix.sum(axis=1)
+        sums = matrix @ sample_values
+        sums_sq = matrix @ (sample_values * sample_values)
+        if need_extrema:
+            minima = np.where(matrix, sample_values[None, :], np.inf).min(axis=1)
+            maxima = np.where(matrix, sample_values[None, :], -np.inf).max(axis=1)
+        else:
+            minima = maxima = np.zeros(len(slots))
+        for row, slot in enumerate(slots):
+            moments[(slot, leaf_index)] = (
+                int(matched[row]),
+                float(sums[row]),
+                float(sums_sq[row]),
+                float(minima[row]),
+                float(maxima[row]),
+                float(n_samples),
+            )
+    return moments
+
+
+def _stratified_total(
+    agg: AggregateType,
+    frontier: MCFResult,
+    cell_moments: Sequence[_LeafMoments | None],
+    with_fpc: bool,
+) -> tuple[float, float]:
+    """Assembled SUM / COUNT estimate and variance from per-leaf moments.
+
+    Mirrors ``PASSSynopsis._sum_count_estimate``: covered nodes contribute
+    exactly, sampled partial leaves contribute ``N_i * mean(phi)`` with
+    variance ``N_i^2 * var(phi) / K_i``, and unsampled partial leaves fall
+    back to the hard-bound midpoint with unknown (NaN) variance.
+    ``cell_moments`` aligns with ``frontier.partial``.
+    """
+    is_sum = agg == AggregateType.SUM
+    estimate = sum(
+        node.stats.sum if is_sum else float(node.stats.count)
+        for node in frontier.covered
+    )
+    variance = 0.0
+    for node, data in zip(frontier.partial, cell_moments):
+        if node.size == 0:
+            continue
+        if data is None:
+            stats = node.stats
+            estimate += 0.5 * (stats.sum if is_sum else stats.count)
+            variance = float("nan")
+            continue
+        matched, sums, sums_sq, _, _, n_samples = data
+        if is_sum:
+            mean = sums / n_samples
+            mean_sq = sums_sq / n_samples
+        else:
+            mean = matched / n_samples
+            mean_sq = mean
+        sample_variance = max(mean_sq - mean * mean, 0.0) if n_samples > 1 else 0.0
+        estimate += node.size * mean
+        contribution = node.size * node.size * sample_variance / n_samples
+        if with_fpc:
+            contribution *= finite_population_correction(node.size, int(n_samples))
+        variance += contribution
+    return estimate, variance
+
+
+def _assemble_cell_row(
+    aggs: Sequence[AggregateType],
+    frontier: MCFResult,
+    moments,
+    slot: int,
+    lam: float,
+    with_fpc: bool,
+    population: int,
+) -> tuple[AQPResult, ...]:
+    """One cell's per-aggregate answers from its frontier and moments.
+
+    The per-cell invariants (partial node list, processed / skipped counts,
+    the SUM and COUNT totals that AVG shares) are computed once for the whole
+    aggregate list.
+    """
+    covered_stats = [node.stats for node in frontier.covered]
+    partial_nodes = list(frontier.partial)
+    partial_stats = [node.stats for node in partial_nodes]
+    cell_moments = [moments[(slot, node.leaf_index)] for node in partial_nodes]
+    processed = sum(int(data[5]) for data in cell_moments if data is not None)
+    skipped = population - sum(node.size for node in partial_nodes)
+    exact = frontier.is_exact
+    totals: dict[AggregateType, tuple[float, float]] = {}
+
+    def total(agg: AggregateType) -> tuple[float, float]:
+        if agg not in totals:
+            totals[agg] = _stratified_total(agg, frontier, cell_moments, with_fpc)
+        return totals[agg]
+
+    row = []
+    for agg in aggs:
+        bounds = hard_bounds(agg, covered_stats, partial_stats)
+        if agg in (AggregateType.MIN, AggregateType.MAX):
+            is_max = agg == AggregateType.MAX
+            candidates = []
+            for node in frontier.covered:
+                value = node.stats.max if is_max else node.stats.min
+                if not math.isinf(value):
+                    candidates.append(value)
+            for node, data in zip(partial_nodes, cell_moments):
+                if data is not None and data[0] > 0:
+                    candidates.append(data[4] if is_max else data[3])
+            estimate = (
+                (max(candidates) if is_max else min(candidates))
+                if candidates
+                else float("nan")
+            )
+            row.append(
+                AQPResult(
+                    estimate=estimate,
+                    ci_half_width=0.0 if exact else float("nan"),
+                    variance=0.0 if exact else float("nan"),
+                    hard_lower=bounds.lower,
+                    hard_upper=bounds.upper,
+                    tuples_processed=processed,
+                    tuples_skipped=skipped,
+                    exact=exact,
+                )
+            )
+            continue
+
+        if agg == AggregateType.AVG:
+            num, num_var = total(AggregateType.SUM)
+            den, den_var = total(AggregateType.COUNT)
+            if den == 0:
+                estimate, variance = float("nan"), float("nan")
+            elif exact:
+                estimate, variance = num / den, 0.0
+            else:
+                combined = ratio_estimate(
+                    EstimateWithVariance(num, num_var),
+                    EstimateWithVariance(den, den_var),
+                )
+                estimate, variance = combined.estimate, combined.variance
+        else:
+            estimate, variance = total(agg)
+
+        if exact:
+            half_width, variance = 0.0, 0.0
+        elif math.isnan(variance):
+            half_width = float("nan")
+        else:
+            half_width = lam * math.sqrt(max(variance, 0.0))
+        row.append(
+            AQPResult(
+                estimate=estimate,
+                ci_half_width=half_width,
+                variance=variance,
+                hard_lower=bounds.lower,
+                hard_upper=bounds.upper,
+                tuples_processed=processed,
+                tuples_skipped=skipped,
+                exact=exact,
+            )
+        )
+    return tuple(row)

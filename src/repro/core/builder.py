@@ -27,7 +27,6 @@ from repro.partitioning.dp import (
 from repro.partitioning.equal import equal_depth_partition
 from repro.partitioning.hill_climbing import hill_climbing_partition
 from repro.partitioning.kdtree import kd_partition
-from repro.query.aggregates import AggregateType
 from repro.query.predicate import Box
 from repro.sampling.stratified import Stratum
 
@@ -55,7 +54,10 @@ def resolve_partitioner(config: PASSConfig, predicate_columns: Sequence[str]) ->
     policy.  The effective choice is recorded on the built synopsis
     (:attr:`PASSSynopsis.effective_partitioner`).
     """
-    if len(predicate_columns) > 1 and config.partitioner in _ONE_DIMENSIONAL_PARTITIONERS:
+    if (
+        len(predicate_columns) > 1
+        and config.partitioner in _ONE_DIMENSIONAL_PARTITIONERS
+    ):
         return "kd"
     return config.partitioner
 
@@ -83,9 +85,7 @@ def build_leaf_boxes(
 
     rng = np.random.default_rng(config.seed)
     if partitioner == "equal":
-        return equal_depth_partition(
-            table, predicate_columns[0], config.n_partitions
-        )
+        return equal_depth_partition(table, predicate_columns[0], config.n_partitions)
     if partitioner == "count_optimal":
         result = optimal_count_partition(
             table, predicate_columns[0], config.n_partitions
@@ -259,7 +259,9 @@ def build_pass(
 
     fanout = config.fanout
     if fanout is None:
-        fanout = 2 if len(predicate_columns) == 1 else min(8, 2 ** len(predicate_columns))
+        fanout = (
+            2 if len(predicate_columns) == 1 else min(8, 2 ** len(predicate_columns))
+        )
     tree = PartitionTree.build_from_leaves(leaf_boxes, stats, fanout=fanout)
     samples = build_leaf_samples(
         table,

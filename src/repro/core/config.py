@@ -10,7 +10,7 @@ cost model for the budget-to-knob translation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.query.aggregates import AggregateType
 from repro.result import LAMBDA_99
@@ -155,7 +155,9 @@ class PASSConfig:
         """
         if construction_seconds <= 0 or query_milliseconds <= 0:
             raise ValueError("time budgets must be positive")
-        n_partitions = int(max(2, min(4096, construction_seconds * partitions_per_second)))
+        n_partitions = int(
+            max(2, min(4096, construction_seconds * partitions_per_second))
+        )
         sample_size = int(
             max(16, min(n_rows, query_milliseconds * tuples_per_millisecond))
         )

@@ -22,7 +22,6 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.aggregation.partition import PartitionStats
 from repro.aggregation.strat_agg import hard_bounds
 from repro.core.tree import (
     MCFResult,
@@ -86,7 +85,8 @@ class PASSSynopsis:
     ) -> None:
         if tree.n_leaves != len(leaf_samples):
             raise ValueError(
-                f"tree has {tree.n_leaves} leaves but {len(leaf_samples)} samples were given"
+                f"tree has {tree.n_leaves} leaves "
+                f"but {len(leaf_samples)} samples were given"
             )
         self._tree = tree
         self._leaf_samples = list(leaf_samples)
@@ -114,6 +114,16 @@ class PASSSynopsis:
     def value_column(self) -> str:
         """The aggregation column."""
         return self._value_column
+
+    @property
+    def lam(self) -> float:
+        """Default confidence-interval multiplier."""
+        return self._lam
+
+    @property
+    def with_fpc(self) -> bool:
+        """Whether per-leaf estimates apply finite-population corrections."""
+        return self._with_fpc
 
     @property
     def n_partitions(self) -> int:
@@ -192,16 +202,18 @@ class PASSSynopsis:
         return arrays, header
 
     @classmethod
-    def from_arrays(
-        cls, arrays: dict[str, np.ndarray], header: dict
-    ) -> "PASSSynopsis":
+    def from_arrays(cls, arrays: dict[str, np.ndarray], header: dict) -> "PASSSynopsis":
         """Rebuild a synopsis exported with :meth:`to_arrays`."""
         tree = PartitionTree.from_arrays(
-            {key[len("tree/"):]: value for key, value in arrays.items() if key.startswith("tree/")}
+            {
+                key[len("tree/") :]: value
+                for key, value in arrays.items()
+                if key.startswith("tree/")
+            }
         )
         boxes = boxes_from_arrays(
             {
-                key[len("strata/box_"):]: value
+                key[len("strata/box_") :]: value
                 for key, value in arrays.items()
                 if key.startswith("strata/box_")
             }
@@ -217,7 +229,9 @@ class PASSSynopsis:
                     box=box,
                     size=int(sizes[i]),
                     sample_columns={
-                        column: np.asarray(arrays[f"samples/{column}"][start:stop], dtype=float)
+                        column: np.asarray(
+                            arrays[f"samples/{column}"][start:stop], dtype=float
+                        )
                         for column in sample_columns
                     },
                 )
@@ -388,10 +402,10 @@ class PASSSynopsis:
                 # fall back to half of its hard-bound width as a conservative
                 # point estimate with unknown variance.
                 stats = node.stats
-                midpoint = 0.5 * (stats.sum if agg == AggregateType.SUM else stats.count)
-                total = EstimateWithVariance(
-                    total.estimate + midpoint, float("nan")
+                midpoint = 0.5 * (
+                    stats.sum if agg == AggregateType.SUM else stats.count
                 )
+                total = EstimateWithVariance(total.estimate + midpoint, float("nan"))
                 continue
             total = total + contribution
         return total
@@ -412,9 +426,7 @@ class PASSSynopsis:
         if denominator.estimate == 0:
             return EstimateWithVariance(float("nan"), float("nan"))
         if frontier.is_exact:
-            return EstimateWithVariance(
-                numerator.estimate / denominator.estimate, 0.0
-            )
+            return EstimateWithVariance(numerator.estimate / denominator.estimate, 0.0)
         return ratio_estimate(numerator, denominator)
 
     def _extremum_answer(

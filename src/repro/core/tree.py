@@ -213,14 +213,16 @@ class PartitionTree:
                     stats = stats.merge(node.stats)
                 next_level.append(
                     PartitionNode(
-                        box=_bounding_box( [node.box for node in group] ),
+                        box=_bounding_box([node.box for node in group]),
                         stats=stats,
                         children=list(group),
                     )
                 )
             level = next_level
         root = level[0]
-        ordered_leaves: list[PartitionNode] = [None] * len(leaf_boxes)  # type: ignore[list-item]
+        ordered_leaves: list[PartitionNode] = [None] * len(
+            leaf_boxes
+        )  # type: ignore[list-item]
         for node in leaves:
             ordered_leaves[node.leaf_index] = node
         return cls(root=root, leaves=ordered_leaves)
@@ -282,9 +284,7 @@ class PartitionTree:
         """Approximate bytes of the aggregate statistics stored in the tree."""
         # sum, count, min, max per node, 8 bytes each, plus box bounds.
         per_node = 4 * 8
-        per_box = sum(
-            2 * 8 for _ in self._root.box.columns
-        )
+        per_box = sum(2 * 8 for _ in self._root.box.columns)
         return self.n_nodes * (per_node + per_box)
 
     # ------------------------------------------------------------------
@@ -300,7 +300,9 @@ class PartitionTree:
         """
         nodes = list(self._root.iter_subtree())
         arrays = {
-            "n_children": np.array([len(node.children) for node in nodes], dtype=np.int64),
+            "n_children": np.array(
+                [len(node.children) for node in nodes], dtype=np.int64
+            ),
             "leaf_index": np.array(
                 [-1 if node.leaf_index is None else node.leaf_index for node in nodes],
                 dtype=np.int64,
@@ -324,7 +326,11 @@ class PartitionTree:
         mins = np.asarray(arrays["min"], dtype=float)
         maxs = np.asarray(arrays["max"], dtype=float)
         boxes = boxes_from_arrays(
-            {key[len("box_"):]: value for key, value in arrays.items() if key.startswith("box_")}
+            {
+                key[len("box_") :]: value
+                for key, value in arrays.items()
+                if key.startswith("box_")
+            }
         )
         if not len(n_children):
             raise ValueError("cannot rebuild a tree from empty arrays")
@@ -351,10 +357,17 @@ class PartitionTree:
         root = build()
         if cursor != len(n_children):
             raise ValueError("tree arrays are inconsistent: trailing nodes")
-        leaf_nodes = [node for node in root.iter_subtree() if node.leaf_index is not None]
-        leaves: list[PartitionNode] = [None] * len(leaf_nodes)  # type: ignore[list-item]
+        leaf_nodes = [
+            node for node in root.iter_subtree() if node.leaf_index is not None
+        ]
+        leaves: list[PartitionNode] = [None] * len(
+            leaf_nodes
+        )  # type: ignore[list-item]
         for node in leaf_nodes:
-            if not 0 <= node.leaf_index < len(leaf_nodes) or leaves[node.leaf_index] is not None:
+            if (
+                not 0 <= node.leaf_index < len(leaf_nodes)
+                or leaves[node.leaf_index] is not None
+            ):
                 raise ValueError("tree arrays are inconsistent: bad leaf indices")
             leaves[node.leaf_index] = node
         return cls(root=root, leaves=leaves)

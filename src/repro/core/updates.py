@@ -93,9 +93,11 @@ class DynamicPASS:
         generator = (
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         )
-        self._sample_columns = list(
-            self._synopsis.leaf_samples[0].sample_columns.keys()
-        ) if self._synopsis.leaf_samples else [value_column]
+        self._sample_columns = (
+            list(self._synopsis.leaf_samples[0].sample_columns.keys())
+            if self._synopsis.leaf_samples
+            else [value_column]
+        )
 
         # Seed one reservoir per leaf from the builder's stratified sample so
         # the initial state matches the static synopsis exactly.
@@ -209,7 +211,9 @@ class DynamicPASS:
         for node in self._synopsis.tree.path_to_leaf(leaf):
             node.stats = node.stats.remove_value(value)
         reservoir = self._reservoirs[leaf.leaf_index]
-        reservoir.discard({column: float(row[column]) for column in self._sample_columns})
+        reservoir.discard(
+            {column: float(row[column]) for column in self._sample_columns}
+        )
         self._refresh_leaf_sample(leaf)
         self._updates_since_build += 1
 

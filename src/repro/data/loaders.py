@@ -8,8 +8,8 @@ aggregation / predicate column choices used by the paper's experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 from repro.data.generators import (
     adversarial,

@@ -14,7 +14,7 @@ vectorised numpy operation over these columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -42,11 +42,13 @@ class Column:
         values = np.asarray(self.values)
         if values.ndim != 1:
             raise ValueError(
-                f"column {self.name!r} must be one-dimensional, got shape {values.shape}"
+                f"column {self.name!r} must be one-dimensional, "
+                f"got shape {values.shape}"
             )
         if not np.issubdtype(values.dtype, np.number) and values.dtype != np.bool_:
             raise TypeError(
-                f"column {self.name!r} must be numeric or boolean, got dtype {values.dtype}"
+                f"column {self.name!r} must be numeric or boolean, "
+                f"got dtype {values.dtype}"
             )
         object.__setattr__(self, "values", values)
 
@@ -91,7 +93,8 @@ class Table:
             array = np.asarray(values)
             if array.ndim != 1:
                 raise ValueError(
-                    f"column {col_name!r} must be one-dimensional, got shape {array.shape}"
+                    f"column {col_name!r} must be one-dimensional, "
+                    f"got shape {array.shape}"
                 )
             if n_rows is None:
                 n_rows = array.shape[0]

@@ -120,7 +120,9 @@ class ParallelBuilder:
         for tests and platforms without cheap process spawning).
     """
 
-    def __init__(self, max_workers: int | None = None, executor: str = "process") -> None:
+    def __init__(
+        self, max_workers: int | None = None, executor: str = "process"
+    ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; choices: {', '.join(EXECUTORS)}"

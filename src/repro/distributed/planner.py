@@ -198,7 +198,9 @@ class ShardPlanner:
             return self._plan_hash(table, shard_column, keys)
         return self._plan_range(table, shard_column, keys)
 
-    def _plan_range(self, table: Table, shard_column: str, keys: np.ndarray) -> ShardPlan:
+    def _plan_range(
+        self, table: Table, shard_column: str, keys: np.ndarray
+    ) -> ShardPlan:
         n_shards = min(self.n_shards, table.n_rows)
         sorted_keys = np.sort(keys)
         n = sorted_keys.shape[0]
@@ -239,7 +241,9 @@ class ShardPlanner:
             tables=tuple(tables),
         )
 
-    def _plan_hash(self, table: Table, shard_column: str, keys: np.ndarray) -> ShardPlan:
+    def _plan_hash(
+        self, table: Table, shard_column: str, keys: np.ndarray
+    ) -> ShardPlan:
         assignment = hash_assign(keys, self.n_shards)
         key_boxes: list[Box] = []
         tables: list[Table] = []

@@ -210,7 +210,9 @@ class StreamingShardRouter:
         inserted = self._inserted[index]
         if inserted:
             for column in columns:
-                appended = np.array([record[column] for record in inserted], dtype=float)
+                appended = np.array(
+                    [record[column] for record in inserted], dtype=float
+                )
                 arrays[column] = np.concatenate([arrays[column], appended])
         keep = np.ones(next(iter(arrays.values())).shape[0], dtype=bool)
         for record in self._deleted[index]:

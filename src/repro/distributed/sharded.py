@@ -49,6 +49,7 @@ from repro.core.tree import PartitionNode, boxes_from_arrays, boxes_to_arrays
 from repro.core.updates import DynamicPASS
 from repro.distributed.planner import ShardRouting
 from repro.query.aggregates import AggregateType
+from repro.query.groupby import GroupByPlan, GroupByQuery, GroupedResult, execute_plan
 from repro.query.predicate import Box
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult, LAMBDA_99
@@ -350,6 +351,29 @@ class ShardedSynopsis:
             )
         return results
 
+    def query_grouped(
+        self, groupby: GroupByQuery | GroupByPlan, lam: float | None = None
+    ) -> GroupedResult:
+        """Answer a group-by query by scatter-gather over the shards.
+
+        The compiled cell-major batch runs through :meth:`query_batch`, so
+        per shard the whole grouped workload shares one vectorized mask pass
+        per (leaf, group cell), shard pruning applies per cell, and the
+        per-group SUM / COUNT / AVG / MIN / MAX answers merge across shards
+        with the exact mergeable gather math of single-aggregate queries.
+
+        A :class:`~repro.query.groupby.GroupByQuery` is compiled here when
+        its groupings are explicit (bin edges or listed values);
+        distinct-value discovery needs a table, so compile such queries
+        first (see :meth:`GroupByQuery.compile`).
+        """
+        plan = groupby.compile() if isinstance(groupby, GroupByQuery) else groupby
+        return execute_plan(
+            plan,
+            lambda queries: self.query_batch(queries, lam=lam),
+            population=self.population_size,
+        )
+
     # ------------------------------------------------------------------
     # Gather math
     # ------------------------------------------------------------------
@@ -382,9 +406,12 @@ class ShardedSynopsis:
             parts = [answer(i, query) for i in shard_indices]
             return self._merge_extremum(agg, parts, pruned_population)
         if agg == AggregateType.AVG:
-            sums = [answer(i, replace(query, agg=AggregateType.SUM)) for i in shard_indices]
+            sums = [
+                answer(i, replace(query, agg=AggregateType.SUM)) for i in shard_indices
+            ]
             counts = [
-                answer(i, replace(query, agg=AggregateType.COUNT)) for i in shard_indices
+                answer(i, replace(query, agg=AggregateType.COUNT))
+                for i in shard_indices
             ]
             avgs = [answer(i, query) for i in shard_indices]
             return self._merge_avg(sums, counts, avgs, lam, pruned_population)
@@ -547,17 +574,19 @@ class ShardedSynopsis:
         for i, shard_header in enumerate(shard_headers):
             prefix = f"shard{i}/"
             shard_arrays = {
-                key[len(prefix):]: value
+                key[len(prefix) :]: value
                 for key, value in arrays.items()
                 if key.startswith(prefix)
             }
             if shard_header.get("kind") == "dynamic":
                 shards.append(DynamicPASS.from_arrays(shard_arrays, shard_header))
             else:
-                shards.append(PASSSynopsis.from_arrays(shard_arrays, dict(shard_header)))
+                shards.append(
+                    PASSSynopsis.from_arrays(shard_arrays, dict(shard_header))
+                )
         key_boxes = boxes_from_arrays(
             {
-                key[len("router/box_"):]: value
+                key[len("router/box_") :]: value
                 for key, value in arrays.items()
                 if key.startswith("router/box_")
             }
@@ -569,7 +598,9 @@ class ShardedSynopsis:
             strategy=str(header["strategy"]),
             lam=float(header["lam"]),
             hash_modulus=(
-                None if header.get("hash_modulus") is None else int(header["hash_modulus"])
+                None
+                if header.get("hash_modulus") is None
+                else int(header["hash_modulus"])
             ),
             hash_owners=tuple(int(owner) for owner in header.get("hash_owners", ())),
             build_seconds=float(header.get("build_seconds", 0.0)),

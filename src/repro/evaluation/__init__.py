@@ -3,6 +3,7 @@
 from repro.evaluation.harness import (
     ComparisonRun,
     SynopsisEvaluation,
+    evaluate_grouped_workload,
     evaluate_served_workload,
     evaluate_sharded_workload,
     run_comparison,
@@ -15,7 +16,12 @@ from repro.evaluation.metrics import (
     nan_median,
     relative_error,
 )
-from repro.evaluation.reporting import ExperimentResult, Section, format_table, render_result
+from repro.evaluation.reporting import (
+    ExperimentResult,
+    Section,
+    format_table,
+    render_result,
+)
 
 __all__ = [
     "ComparisonRun",
@@ -23,6 +29,7 @@ __all__ = [
     "run_comparison",
     "evaluate_served_workload",
     "evaluate_sharded_workload",
+    "evaluate_grouped_workload",
     "QueryRecord",
     "WorkloadMetrics",
     "ci_ratio",

@@ -39,7 +39,7 @@ from repro.baselines.verdictdb_sim import VerdictDBScramble
 from repro.core.builder import build_pass
 from repro.core.config import PASSConfig
 from repro.data.loaders import DatasetSpec, load_dataset
-from repro.evaluation.harness import ComparisonRun, run_comparison
+from repro.evaluation.harness import run_comparison
 from repro.evaluation.metrics import evaluate_workload, nan_mean
 from repro.evaluation.reporting import ExperimentResult, Section
 from repro.partitioning.kdtree import kd_partition
@@ -118,14 +118,14 @@ def _pass_factory(
             seed=seed,
             **config_overrides,
         )
-        return build_pass(
-            spec.table, spec.value_column, spec.predicate_columns, config
-        )
+        return build_pass(spec.table, spec.value_column, spec.predicate_columns, config)
 
     return factory
 
 
-def _uniform_factory(sample_rate: float, seed: int = 0) -> Callable[[DatasetSpec], object]:
+def _uniform_factory(
+    sample_rate: float, seed: int = 0
+) -> Callable[[DatasetSpec], object]:
     """Factory for the uniform-sampling baseline."""
 
     def factory(spec: DatasetSpec) -> object:
@@ -148,7 +148,10 @@ def _stratified_factory(
     """Factory for the equal-depth stratified-sampling baseline."""
 
     def factory(spec: DatasetSpec) -> object:
-        from repro.sampling.stratified import StratifiedSampleSynopsis, equal_depth_boxes
+        from repro.sampling.stratified import (
+            StratifiedSampleSynopsis,
+            equal_depth_boxes,
+        )
 
         boxes = equal_depth_boxes(spec.table, spec.default_predicate_column, n_strata)
         return StratifiedSampleSynopsis(
@@ -415,7 +418,10 @@ def figure4_error_vs_sample_rate(
                 rows=tuple(
                     (
                         rate,
-                        *[metrics[name].median_relative_error for name in ("PASS", "US", "ST", "AQP++")],
+                        *[
+                            metrics[name].median_relative_error
+                            for name in ("PASS", "US", "ST", "AQP++")
+                        ],
                     )
                     for rate, metrics in rows
                 ),
@@ -452,7 +458,10 @@ def figure5_ci_vs_sample_rate(
                 rows=tuple(
                     (
                         rate,
-                        *[metrics[name].median_ci_ratio for name in ("PASS", "US", "ST", "AQP++")],
+                        *[
+                            metrics[name].median_ci_ratio
+                            for name in ("PASS", "US", "ST", "AQP++")
+                        ],
                     )
                     for rate, metrics in rows
                 ),
@@ -487,8 +496,12 @@ def _adp_vs_eq_rows(
             spec,
             workload,
             {
-                "ADP": _pass_factory(n_partitions, sample_rate, partitioner="adp", seed=seed),
-                "EQ": _pass_factory(n_partitions, sample_rate, partitioner="equal", seed=seed),
+                "ADP": _pass_factory(
+                    n_partitions, sample_rate, partitioner="adp", seed=seed
+                ),
+                "EQ": _pass_factory(
+                    n_partitions, sample_rate, partitioner="equal", seed=seed
+                ),
             },
             truths=truths,
         )
@@ -540,7 +553,9 @@ def figure6_adp_vs_eq_adversarial(
             title="Random queries",
             headers=headers,
             rows=tuple(
-                _adp_vs_eq_rows(spec, random_workload, partition_counts, sample_rate, seed)
+                _adp_vs_eq_rows(
+                    spec, random_workload, partition_counts, sample_rate, seed
+                )
             ),
         ),
         Section(
@@ -1020,7 +1035,10 @@ def ablation_partitioners(
         rng=seed + 2,
     )
     sections = []
-    for title, workload in (("Random queries", random_workload), ("Challenging queries", hard_workload)):
+    for title, workload in (
+        ("Random queries", random_workload),
+        ("Challenging queries", hard_workload),
+    ):
         truths = [engine.execute(query) for query in workload.queries]
         rows = []
         for partitioner in partitioners:
@@ -1039,7 +1057,12 @@ def ablation_partitioners(
         sections.append(
             Section(
                 title=title,
-                headers=("Partitioner", "Median rel err", "Median CI ratio", "Build (s)"),
+                headers=(
+                    "Partitioner",
+                    "Median rel err",
+                    "Median CI ratio",
+                    "Build (s)",
+                ),
                 rows=tuple(rows),
             )
         )
@@ -1068,7 +1091,10 @@ def ablation_zero_variance_rule(
     workload = _workload(spec, n_queries, AggregateType.AVG, seed=seed + 1)
     truths = [engine.execute(query) for query in workload.queries]
     rows = []
-    for label, enabled in (("0-variance rule ON", True), ("0-variance rule OFF", False)):
+    for label, enabled in (
+        ("0-variance rule ON", True),
+        ("0-variance rule OFF", False),
+    ):
         synopsis = _pass_factory(
             n_partitions,
             sample_rate,
@@ -1094,7 +1120,12 @@ def ablation_zero_variance_rule(
         sections=(
             Section(
                 title="AVG queries, adversarial dataset",
-                headers=("Setting", "Median rel err", "Median CI ratio", "Mean samples/query"),
+                headers=(
+                    "Setting",
+                    "Median rel err",
+                    "Median CI ratio",
+                    "Mean samples/query",
+                ),
                 rows=tuple(rows),
             ),
         ),
@@ -1135,11 +1166,18 @@ def ablation_sample_allocation(
         )
     return ExperimentResult(
         name="Ablation: sample allocation",
-        description=f"Per-leaf sampling allocation policies on {dataset} (BSS 2x budget).",
+        description=(
+            f"Per-leaf sampling allocation policies on {dataset} (BSS 2x budget)."
+        ),
         sections=(
             Section(
                 title="Allocation policies",
-                headers=("Allocation", "Median rel err", "Median CI ratio", "Stored samples"),
+                headers=(
+                    "Allocation",
+                    "Median rel err",
+                    "Median CI ratio",
+                    "Stored samples",
+                ),
                 rows=tuple(rows),
             ),
         ),

@@ -10,11 +10,12 @@ render.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Sequence
 
 from repro.data.loaders import DatasetSpec, load_dataset
 from repro.evaluation.metrics import QueryRecord, WorkloadMetrics, evaluate_workload
+from repro.query.groupby import GroupByPlan, GroupByQuery
 from repro.query.query import AggregateQuery, ExactEngine
 from repro.query.workload import WorkloadSpec
 
@@ -25,6 +26,7 @@ __all__ = [
     "ground_truths",
     "evaluate_served_workload",
     "evaluate_sharded_workload",
+    "evaluate_grouped_workload",
 ]
 
 
@@ -142,6 +144,75 @@ def evaluate_sharded_workload(
     )
 
 
+def evaluate_grouped_workload(
+    executor,
+    groupby: "GroupByQuery | GroupByPlan",
+    engine: ExactEngine,
+    ground_truth: Sequence[float] | None = None,
+    table: str | None = None,
+) -> WorkloadMetrics:
+    """Evaluate a group-by query through a grouped executor (grouped mode).
+
+    The group-by query compiles into its cell-major batch (distinct values
+    resolve from the exact engine's table), ground truths are computed per
+    compiled (cell, aggregate) query, and the whole grouped result is
+    produced in one executor call — so per-query latency is the grouped
+    batch average, the number the grouped serving path is sized by.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`~repro.serving.engine.ServingEngine` (routed + cached
+        grouped serving), a
+        :class:`~repro.distributed.sharded.ShardedSynopsis` (scatter-gather
+        grouping), or a :class:`~repro.core.pass_synopsis.PASSSynopsis`
+        (single-synopsis shared-mask grouping).
+    groupby:
+        The group-by query, or an already compiled plan.
+    engine / ground_truth:
+        As in :func:`~repro.evaluation.metrics.evaluate_workload`; truths
+        align with the plan's cell-major ``queries()`` order.
+    table:
+        Optional table name forwarded to serving-engine routing.
+    """
+    plan = (
+        groupby.compile(distinct_source=engine.table)
+        if isinstance(groupby, GroupByQuery)
+        else groupby
+    )
+    flat = plan.queries()
+    if ground_truth is None:
+        ground_truth = ground_truths(engine, flat)
+    if len(ground_truth) != len(flat):
+        raise ValueError("ground_truth length must match the compiled batch")
+
+    start = time.perf_counter()
+    if hasattr(executor, "execute_grouped"):
+        grouped = executor.execute_grouped(plan, table=table)
+    elif hasattr(executor, "query_grouped"):
+        grouped = executor.query_grouped(plan)
+    else:
+        from repro.core.batching import grouped_query
+
+        grouped = grouped_query(executor, plan)
+    per_query = (time.perf_counter() - start) / max(1, len(flat))
+
+    records = []
+    position = 0
+    for index, _ in plan.live_cells():
+        for agg_index in range(len(plan.aggregates)):
+            records.append(
+                QueryRecord(
+                    query=flat[position],
+                    truth=ground_truth[position],
+                    result=grouped.cells[index][agg_index],
+                    latency_seconds=per_query,
+                )
+            )
+            position += 1
+    return WorkloadMetrics.from_records(records)
+
+
 def _evaluate_timed_workload(
     queries: Iterable[AggregateQuery],
     engine: ExactEngine,
@@ -203,7 +274,9 @@ def run_comparison(
     truths:
         Optional precomputed ground truths for the workload.
     """
-    spec = dataset if isinstance(dataset, DatasetSpec) else load_dataset(dataset, n_rows)
+    spec = (
+        dataset if isinstance(dataset, DatasetSpec) else load_dataset(dataset, n_rows)
+    )
     engine = ExactEngine(spec.table)
     queries = list(workload.queries)
     if truths is None:

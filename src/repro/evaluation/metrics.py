@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -191,6 +191,8 @@ def evaluate_workload(
         result = synopsis.query(query)
         latency = time.perf_counter() - start
         records.append(
-            QueryRecord(query=query, truth=truth, result=result, latency_seconds=latency)
+            QueryRecord(
+                query=query, truth=truth, result=result, latency_seconds=latency
+            )
         )
     return WorkloadMetrics.from_records(records)

@@ -9,7 +9,7 @@ so the console output mirrors the corresponding table or figure of the paper.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 __all__ = ["Section", "ExperimentResult", "format_table", "render_result", "fmt"]
@@ -30,7 +30,9 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     """Render an aligned plain-text table."""
     str_rows = [[fmt(cell) for cell in row] for row in rows]
     widths = [
-        max(len(str(header)), *(len(row[i]) for row in str_rows)) if str_rows else len(str(header))
+        max(len(str(header)), *(len(row[i]) for row in str_rows))
+        if str_rows
+        else len(str(header))
         for i, header in enumerate(headers)
     ]
     lines = []

@@ -85,9 +85,7 @@ def hill_climbing_partition(
 
     oracle = MaxVarianceOracle(values_sorted, agg=agg, delta=delta, exact=False)
     k = max(1, min(n_partitions, m))
-    breaks = sorted(
-        {int(round(i * m / k)) - 1 for i in range(1, k)} - {-1, m - 1}
-    )
+    breaks = sorted({int(round(i * m / k)) - 1 for i in range(1, k)} - {-1, m - 1})
     best_objective = _objective(oracle, breaks)
 
     stale = 0

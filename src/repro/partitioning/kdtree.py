@@ -74,9 +74,7 @@ class _Leaf:
         return self.splittable and self.indices.shape[0] > 1
 
 
-def _leaf_score(
-    values: np.ndarray, agg: AggregateType, delta_samples: int
-) -> float:
+def _leaf_score(values: np.ndarray, agg: AggregateType, delta_samples: int) -> float:
     """Approximate max in-leaf query variance used to rank leaves.
 
     For SUM / COUNT templates the leaf's own variance term is a constant-factor

@@ -29,7 +29,6 @@ import numpy as np
 from repro.aggregation.prefix import PrefixSums
 from repro.partitioning.variance import (
     avg_query_variance,
-    core_variance_term,
     count_query_variance,
     sum_query_variance,
 )
@@ -173,7 +172,9 @@ class MaxVarianceOracle:
             return (start, end)
         mid = (start + end) // 2
         left = self._partition_variance(start, mid, start, end)
-        right = self._partition_variance(mid + 1, end, start, end) if mid < end else -1.0
+        right = (
+            self._partition_variance(mid + 1, end, start, end) if mid < end else -1.0
+        )
         return (start, mid) if left >= right else (mid + 1, end)
 
     # ------------------------------------------------------------------
@@ -186,7 +187,9 @@ class MaxVarianceOracle:
     def _median_split_max(self, start: int, end: int) -> float:
         if start == end:
             return sum_query_variance(
-                1.0, self._prefix.range_sum(start, end), self._prefix.range_sum_sq(start, end)
+                1.0,
+                self._prefix.range_sum(start, end),
+                self._prefix.range_sum_sq(start, end),
             )
         mid = (start + end) // 2
         left = self._partition_variance(start, mid, start, end)

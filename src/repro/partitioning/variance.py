@@ -40,9 +40,7 @@ def core_variance_term(n_partition: float, q_sum: float, q_sum_sq: float) -> flo
     return max(0.0, n_partition * q_sum_sq - q_sum * q_sum)
 
 
-def sum_query_variance(
-    n_partition: float, q_sum: float, q_sum_sq: float
-) -> float:
+def sum_query_variance(n_partition: float, q_sum: float, q_sum_sq: float) -> float:
     """``V_i(q)`` of a SUM query fully inside a partition (Section 4.2.1).
 
     ``V_i(q) = (1 / N_i) * (N_i * sum(t^2) - (sum(t))^2)``.

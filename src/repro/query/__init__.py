@@ -1,6 +1,14 @@
 """Query model: rectangular predicates, aggregate queries, exact engine, workloads."""
 
 from repro.query.aggregates import AggregateType
+from repro.query.groupby import (
+    AggregateSpec,
+    GroupByPlan,
+    GroupByQuery,
+    GroupCell,
+    GroupedResult,
+    GroupingColumn,
+)
 from repro.query.predicate import Box, Interval, RectPredicate
 from repro.query.query import AggregateQuery, ExactEngine
 from repro.query.workload import (
@@ -12,11 +20,17 @@ from repro.query.workload import (
 
 __all__ = [
     "AggregateType",
+    "AggregateSpec",
     "Box",
     "Interval",
     "RectPredicate",
     "AggregateQuery",
     "ExactEngine",
+    "GroupingColumn",
+    "GroupByQuery",
+    "GroupByPlan",
+    "GroupCell",
+    "GroupedResult",
     "WorkloadSpec",
     "challenging_queries",
     "random_range_queries",

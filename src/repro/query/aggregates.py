@@ -9,7 +9,6 @@ helpers for computing an aggregate exactly over a numpy array.
 from __future__ import annotations
 
 import enum
-from typing import Iterable
 
 import numpy as np
 
@@ -49,22 +48,30 @@ ALL_AGGREGATES = tuple(AggregateType)
 
 
 def exact_aggregate(agg: AggregateType, values: np.ndarray) -> float:
-    """Compute the exact aggregate of ``values``.
+    """Compute the exact aggregate of ``values``, treating NaN as SQL NULL.
 
-    Empty inputs follow SQL semantics: COUNT is 0, SUM is 0, and AVG / MIN /
+    NaN entries are ignored by SUM / AVG / MIN / MAX, matching SQL's NULL
+    semantics (``SUM(col)`` skips NULL rows); COUNT keeps ``COUNT(*)``
+    semantics and counts every row.  Empty and all-NaN inputs follow SQL:
+    COUNT is 0 (or the row count for all-NaN), SUM is 0, and AVG / MIN /
     MAX are NaN (SQL NULL).
+
+    Note that only this exact path is NaN-aware: synopsis estimates and
+    partition statistics propagate NaN, so aggregation columns containing
+    NaN should be cleaned (or filtered) before building a synopsis.
     """
     values = np.asarray(values, dtype=float)
     if agg == AggregateType.COUNT:
         return float(values.shape[0])
-    if values.shape[0] == 0:
+    valid = values[~np.isnan(values)] if np.isnan(values).any() else values
+    if valid.shape[0] == 0:
         return 0.0 if agg == AggregateType.SUM else float("nan")
     if agg == AggregateType.SUM:
-        return float(values.sum())
+        return float(valid.sum())
     if agg == AggregateType.AVG:
-        return float(values.mean())
+        return float(valid.mean())
     if agg == AggregateType.MIN:
-        return float(values.min())
+        return float(valid.min())
     if agg == AggregateType.MAX:
-        return float(values.max())
+        return float(valid.max())
     raise ValueError(f"unsupported aggregate: {agg!r}")

@@ -290,7 +290,9 @@ class RectPredicate(_IntervalMapping):
         >>> RectPredicate.from_bounds(time=(0.0, 3.5), sensor_id=(0, 10))
         RectPredicate(time: [0, 3.5], sensor_id: [0, 10])
         """
-        return cls({column: Interval(low, high) for column, (low, high) in bounds.items()})
+        return cls(
+            {column: Interval(low, high) for column, (low, high) in bounds.items()}
+        )
 
     @classmethod
     def everything(cls) -> "RectPredicate":

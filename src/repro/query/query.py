@@ -14,7 +14,7 @@ has no cleverness — its job is to be obviously correct.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

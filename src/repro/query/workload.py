@@ -16,8 +16,8 @@ All generators are deterministic given an explicit ``numpy`` random generator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -122,7 +122,9 @@ def random_range_queries(
         raise ValueError("n_queries must be positive")
     if not predicate_columns:
         raise ValueError("at least one predicate column is required")
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
     agg = AggregateType.parse(agg)
     column_values = {column: table.column(column) for column in predicate_columns}
     queries = []
@@ -193,7 +195,9 @@ def challenging_queries(
     """
     if n_queries <= 0:
         raise ValueError("n_queries must be positive")
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
     agg = AggregateType.parse(agg)
     hot_window = max_variance_window(
         table, value_column, predicate_column, window_fraction=window_fraction
@@ -206,7 +210,9 @@ def challenging_queries(
     for _ in range(n_queries):
         interval = _random_interval(in_window, generator, min_fraction, max_fraction)
         queries.append(
-            AggregateQuery(agg, value_column, RectPredicate({predicate_column: interval}))
+            AggregateQuery(
+                agg, value_column, RectPredicate({predicate_column: interval})
+            )
         )
     description = (
         f"{n_queries} challenging {agg.value} queries in max-variance window "

@@ -10,7 +10,7 @@ fills the deterministic hard bounds and data-skipping statistics that only it
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["AQPResult", "LAMBDA_95", "LAMBDA_99"]
 

@@ -57,7 +57,9 @@ class EstimateWithVariance:
 
     def scaled(self, factor: float) -> "EstimateWithVariance":
         """The estimate of ``factor * X``: mean scales by ``factor``, variance by ``factor**2``."""
-        return EstimateWithVariance(self.estimate * factor, self.variance * factor * factor)
+        return EstimateWithVariance(
+            self.estimate * factor, self.variance * factor * factor
+        )
 
     def __add__(self, other: "EstimateWithVariance") -> "EstimateWithVariance":
         """Sum of two *independent* estimates (variances add)."""

@@ -32,7 +32,9 @@ class ReservoirSample:
         Numpy generator or seed controlling replacement decisions.
     """
 
-    def __init__(self, capacity: int, rng: np.random.Generator | int | None = 0) -> None:
+    def __init__(
+        self, capacity: int, rng: np.random.Generator | int | None = 0
+    ) -> None:
         if capacity <= 0:
             raise ValueError("reservoir capacity must be positive")
         self._capacity = capacity

@@ -80,9 +80,7 @@ class Stratum:
         return int(sum(values.nbytes for values in self.sample_columns.values()))
 
 
-def equal_depth_boxes(
-    table: Table, predicate_column: str, n_strata: int
-) -> list[Box]:
+def equal_depth_boxes(table: Table, predicate_column: str, n_strata: int) -> list[Box]:
     """Equal-depth (equal-frequency) 1-D partitioning of a predicate column.
 
     Boundaries are placed so every stratum holds (approximately) the same
@@ -97,7 +95,10 @@ def equal_depth_boxes(
         raise ValueError("cannot stratify an empty table")
     n_strata = min(n_strata, n)
     boundaries = sorted(
-        {float(values[min(n - 1, int(round(i * n / n_strata)))]) for i in range(1, n_strata)}
+        {
+            float(values[min(n - 1, int(round(i * n / n_strata)))])
+            for i in range(1, n_strata)
+        }
     )
     boxes: list[Box] = []
     low = -math.inf
@@ -201,7 +202,9 @@ class StratifiedSampleSynopsis:
                 column: all_column_data[column][chosen].astype(float)
                 for column in keep_columns
             }
-            self._strata.append(Stratum(box=box, size=size, sample_columns=sample_columns))
+            self._strata.append(
+                Stratum(box=box, size=size, sample_columns=sample_columns)
+            )
         if not self._strata:
             raise ValueError("all strata are empty; check the partition boxes")
 
@@ -354,7 +357,9 @@ class StratifiedSampleSynopsis:
             matched = stratum.sample_values(self._value_column)[match_mask]
             if matched.shape[0] == 0:
                 continue
-            candidate = float(matched.min() if agg == AggregateType.MIN else matched.max())
+            candidate = float(
+                matched.min() if agg == AggregateType.MIN else matched.max()
+            )
             if math.isnan(best):
                 best = candidate
             elif agg == AggregateType.MIN:

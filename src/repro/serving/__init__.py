@@ -11,6 +11,7 @@ reader-writer lock.
 from repro.serving.catalog import CatalogEntry, SynopsisCatalog
 from repro.serving.engine import ServingEngine
 from repro.serving.locks import ReadWriteLock
+from repro.serving.planner import GroupByPlanner
 from repro.serving.persistence import (
     FORMAT_VERSION,
     load_catalog,
@@ -25,6 +26,7 @@ __all__ = [
     "SynopsisCatalog",
     "ServingEngine",
     "ReadWriteLock",
+    "GroupByPlanner",
     "FORMAT_VERSION",
     "save_synopsis",
     "load_synopsis",

@@ -28,13 +28,16 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from typing import Mapping, Sequence
 
 from repro.core.batching import batch_query
+from repro.query.groupby import GroupByPlan, GroupByQuery, GroupedResult
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult
 from repro.serving.catalog import CatalogEntry, SynopsisCatalog
 from repro.serving.locks import ReadWriteLock
+from repro.serving.planner import GroupByPlanner
 from repro.serving.stats import ServingStats, StatsSnapshot
 
 __all__ = ["ServingEngine"]
@@ -123,6 +126,15 @@ class ServingEngine:
         are computed in one vectorized pass over every touched leaf.  Batched
         results are identical to :meth:`execute` run per query.
         """
+        return self._execute_batch_impl(queries, table, already_locked=False)
+
+    def _execute_batch_impl(
+        self,
+        queries: Sequence[AggregateQuery],
+        table: str | None,
+        already_locked: bool,
+    ) -> list[AQPResult]:
+        """Batch execution core; ``already_locked`` callers hold the read lock."""
         queries = list(queries)
         results: list[AQPResult | None] = [None] * len(queries)
 
@@ -143,7 +155,8 @@ class ServingEngine:
                 misses.append((key, queries[positions[0]]))
 
         if misses:
-            with self._lock.read_locked():
+            guard = nullcontext() if already_locked else self._lock.read_locked()
+            with guard:
                 start = time.perf_counter()
                 answers = self._execute_misses(misses, table)
                 elapsed = time.perf_counter() - start
@@ -157,6 +170,43 @@ class ServingEngine:
                 for position in unique[key]:
                     results[position] = result
         return results  # type: ignore[return-value]
+
+    def execute_grouped(
+        self, groupby: GroupByQuery | GroupByPlan, table: str | None = None
+    ) -> GroupedResult:
+        """Answer a group-by / multi-aggregate query through the serving stack.
+
+        The query is compiled by a :class:`~repro.serving.planner.GroupByPlanner`
+        (distinct values resolve from the registered fallback table), group
+        cells that the routed synopsis' partition-tree frontier statistics
+        prove empty are answered locally, and the surviving cell-major batch
+        runs through :meth:`execute_batch` — so every (group cell, aggregate)
+        pair gets its own canonical cache key, repeated grouped dashboards hit
+        the result cache per group, and updates invalidate exactly the touched
+        cells.
+
+        The whole grouped query — frontier-statistics pruning, population
+        snapshot, and dispatch — runs under one read-lock scope, so the
+        result is a consistent snapshot: a concurrent update is ordered
+        either entirely before or entirely after it.
+        """
+        planner = GroupByPlanner(self._catalog)
+        plan = (
+            planner.compile(groupby, table)
+            if isinstance(groupby, GroupByQuery)
+            else groupby
+        )
+        with self._lock.read_locked():
+            pruned, population = planner.analyze(plan, table)
+            return planner.execute(
+                plan,
+                lambda queries: self._execute_batch_impl(
+                    queries, table, already_locked=True
+                ),
+                table=table,
+                pruned=pruned,
+                population=population,
+            )
 
     def _execute_uncached(
         self, query: AggregateQuery, table: str | None

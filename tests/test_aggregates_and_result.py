@@ -50,6 +50,23 @@ class TestExactAggregate:
         assert math.isnan(exact_aggregate(AggregateType.MIN, empty))
         assert math.isnan(exact_aggregate(AggregateType.MAX, empty))
 
+    def test_nan_rows_are_ignored_like_sql_null(self):
+        values = np.array([1.0, float("nan"), 3.0, float("nan")])
+        assert exact_aggregate(AggregateType.SUM, values) == 4.0
+        assert exact_aggregate(AggregateType.AVG, values) == 2.0
+        assert exact_aggregate(AggregateType.MIN, values) == 1.0
+        assert exact_aggregate(AggregateType.MAX, values) == 3.0
+        # COUNT keeps COUNT(*) semantics: every row counts.
+        assert exact_aggregate(AggregateType.COUNT, values) == 4.0
+
+    def test_all_nan_group_behaves_like_empty_group(self):
+        values = np.array([float("nan"), float("nan")])
+        assert exact_aggregate(AggregateType.SUM, values) == 0.0
+        assert math.isnan(exact_aggregate(AggregateType.AVG, values))
+        assert math.isnan(exact_aggregate(AggregateType.MIN, values))
+        assert math.isnan(exact_aggregate(AggregateType.MAX, values))
+        assert exact_aggregate(AggregateType.COUNT, values) == 2.0
+
 
 class TestAQPResult:
     def test_confidence_interval_endpoints(self):

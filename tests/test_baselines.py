@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.baselines.aqp_pp import AQPPlusPlus
@@ -32,7 +31,9 @@ class TestAQPPlusPlus:
 
     def test_aligned_query_is_exact(self, synopsis, intel_small):
         box = synopsis._boxes[3]
-        query = AggregateQuery.sum("light", RectPredicate({"time": box.interval("time")}))
+        query = AggregateQuery.sum(
+            "light", RectPredicate({"time": box.interval("time")})
+        )
         result = synopsis.query(query)
         truth = ExactEngine(intel_small).execute(query)
         assert result.exact
@@ -47,22 +48,27 @@ class TestAQPPlusPlus:
 
     def test_min_max_hard_bounds(self, synopsis, intel_small):
         engine = ExactEngine(intel_small)
-        query = AggregateQuery("MAX", "light", RectPredicate.from_bounds(time=(0.2, 0.7)))
+        query = AggregateQuery(
+            "MAX", "light", RectPredicate.from_bounds(time=(0.2, 0.7))
+        )
         result = synopsis.query(query)
         assert result.within_hard_bounds(engine.execute(query))
 
     def test_prebuilt_boxes_are_used(self, intel_small):
         boxes = equal_depth_partition(intel_small, "time", 10)
         synopsis = AQPPlusPlus(
-            intel_small, "light", ["time"], n_partitions=99, sample_rate=0.01, boxes=boxes
+            intel_small,
+            "light",
+            ["time"],
+            n_partitions=99,
+            sample_rate=0.01,
+            boxes=boxes,
         )
         assert synopsis.n_partitions == len(boxes)
 
     def test_validation(self, intel_small):
         with pytest.raises(ValueError):
-            AQPPlusPlus(
-                intel_small, "light", ["time"], sample_rate=0.1, sample_size=10
-            )
+            AQPPlusPlus(intel_small, "light", ["time"], sample_rate=0.1, sample_size=10)
         with pytest.raises(ValueError):
             AQPPlusPlus(
                 intel_small, "light", ["time"], sample_rate=0.1, partitioner="bogus"
@@ -145,7 +151,9 @@ class TestDeepDBModel:
             assert model.query(query).relative_error(engine.execute(query)) < tol
 
     def test_no_data_access_at_query_time(self, model):
-        query = AggregateQuery.count("light", RectPredicate.from_bounds(time=(0.0, 1.0)))
+        query = AggregateQuery.count(
+            "light", RectPredicate.from_bounds(time=(0.0, 1.0))
+        )
         result = model.query(query)
         assert result.tuples_processed == 0
 
@@ -153,7 +161,9 @@ class TestDeepDBModel:
         """The factorized model loses accuracy on correlated multi-column predicates,
         mirroring Table 2's DeepDB behaviour on higher-dimensional templates."""
         engine = ExactEngine(nyc_small)
-        model_1d = DeepDBModel(nyc_small, "trip_distance", ["pickup_time"], training_ratio=0.5, rng=0)
+        model_1d = DeepDBModel(
+            nyc_small, "trip_distance", ["pickup_time"], training_ratio=0.5, rng=0
+        )
         model_3d = DeepDBModel(
             nyc_small,
             "trip_distance",
@@ -167,7 +177,9 @@ class TestDeepDBModel:
         query_3d = AggregateQuery.sum(
             "trip_distance",
             RectPredicate.from_bounds(
-                pickup_time=(6.0, 20.0), pickup_date=(5.0, 25.0), dropoff_time=(6.0, 21.0)
+                pickup_time=(6.0, 20.0),
+                pickup_date=(5.0, 25.0),
+                dropoff_time=(6.0, 21.0),
             ),
         )
         err_1d = model_1d.query(query_1d).relative_error(engine.execute(query_1d))

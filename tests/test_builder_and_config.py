@@ -139,7 +139,9 @@ class TestBuildLeafBoxes:
 
 class TestBuildLeafSamples:
     def test_ess_mode_per_leaf_budget(self, skewed_table):
-        config = PASSConfig(n_partitions=4, sample_rate=0.1, mode="ess", partitioner="equal")
+        config = PASSConfig(
+            n_partitions=4, sample_rate=0.1, mode="ess", partitioner="equal"
+        )
         boxes = build_leaf_boxes(skewed_table, "value", ["key"], config)
         samples = build_leaf_samples(skewed_table, "value", ["key"], boxes, config)
         budget = config.total_sample_budget(skewed_table.n_rows)
@@ -177,7 +179,9 @@ class TestBuildLeafSamples:
         assert sample_sizes[sizes.index(max(sizes))] == max(sample_sizes)
 
     def test_samples_keep_predicate_columns(self, multi_table):
-        config = PASSConfig(n_partitions=4, sample_rate=0.05, partitioner="kd", opt_sample_size=500)
+        config = PASSConfig(
+            n_partitions=4, sample_rate=0.05, partitioner="kd", opt_sample_size=500
+        )
         boxes = build_leaf_boxes(multi_table, "value", ["a", "b"], config)
         samples = build_leaf_samples(
             multi_table, "value", ["a", "b", "c"], boxes, config
@@ -213,7 +217,9 @@ class TestBuildPass:
         assert synopsis.tree.root.stats.count == skewed_table.n_rows
 
     def test_multi_column_fanout(self, multi_table):
-        config = PASSConfig(n_partitions=16, sample_rate=0.02, partitioner="kd", opt_sample_size=800)
+        config = PASSConfig(
+            n_partitions=16, sample_rate=0.02, partitioner="kd", opt_sample_size=800
+        )
         synopsis = build_pass(multi_table, "value", ["a", "b", "c"], config)
         assert synopsis.tree.n_leaves >= 16
         synopsis.tree.validate()

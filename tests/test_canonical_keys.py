@@ -52,11 +52,15 @@ class TestRectPredicateCanonicalForm:
         predicate = RectPredicate({"b": Interval(1, 2), "a": Interval(3, 4)})
         key = predicate.canonical_key()
         assert key == (("a", 3.0, 4.0), ("b", 1.0, 2.0))
-        assert all(isinstance(bound, float) for _, low, high in key for bound in (low, high))
+        assert all(
+            isinstance(bound, float) for _, low, high in key for bound in (low, high)
+        )
 
     def test_usable_as_dict_key(self):
         cache = {RectPredicate.from_bounds(x=(0, 1)): "hit"}
-        assert cache[RectPredicate({"x": Interval(0.0, 1.0), "y": Interval.unbounded()})] == "hit"
+        assert cache[
+            RectPredicate({"x": Interval(0.0, 1.0), "y": Interval.unbounded()})
+        ] == "hit"
 
 
 class TestAggregateQueryCanonicalForm:
@@ -70,8 +74,10 @@ class TestAggregateQueryCanonicalForm:
     def test_cache_key_distinguishes_aggregate_and_column(self):
         predicate = RectPredicate.from_bounds(x=(0.0, 1.0))
         sum_query = AggregateQuery.sum("value", predicate)
-        assert sum_query.cache_key() != AggregateQuery.count("value", predicate).cache_key()
-        assert sum_query.cache_key() != AggregateQuery.sum("other", predicate).cache_key()
+        count_key = AggregateQuery.count("value", predicate).cache_key()
+        other_key = AggregateQuery.sum("other", predicate).cache_key()
+        assert sum_query.cache_key() != count_key
+        assert sum_query.cache_key() != other_key
 
     def test_cache_key_ignores_unbounded_predicate_columns(self):
         a = AggregateQuery.sum(

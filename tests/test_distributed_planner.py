@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.data.table import Table
-from repro.distributed.planner import ShardPlan, ShardPlanner, hash_assign
+from repro.distributed.planner import ShardPlanner, hash_assign
 
 
 def _table(n: int = 1000, seed: int = 0) -> Table:

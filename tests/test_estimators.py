@@ -150,12 +150,16 @@ class TestStratumEstimators:
 
 class TestRatioEstimate:
     def test_simple_ratio(self):
-        ratio = ratio_estimate(EstimateWithVariance(10.0, 1.0), EstimateWithVariance(5.0, 0.0))
+        ratio = ratio_estimate(
+            EstimateWithVariance(10.0, 1.0), EstimateWithVariance(5.0, 0.0)
+        )
         assert ratio.estimate == pytest.approx(2.0)
         assert ratio.variance == pytest.approx(1.0 / 25.0)
 
     def test_zero_denominator_is_nan(self):
-        ratio = ratio_estimate(EstimateWithVariance(10.0, 1.0), EstimateWithVariance(0.0, 0.0))
+        ratio = ratio_estimate(
+            EstimateWithVariance(10.0, 1.0), EstimateWithVariance(0.0, 0.0)
+        )
         assert math.isnan(ratio.estimate)
 
     def test_nan_variance_propagates(self):

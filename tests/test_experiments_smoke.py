@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.evaluation.experiments import (
     ablation_opt_sample_size,
@@ -92,7 +91,9 @@ class TestPaperExperiments:
         assert [row[0] for row in rows] == ["1D", "2D", "3D"]
 
     def test_table2(self):
-        result = table2_end_to_end(n_partitions=8, kd_leaves=16, max_dimensions=2, **TINY)
+        result = table2_end_to_end(
+            n_partitions=8, kd_leaves=16, max_dimensions=2, **TINY
+        )
         cost = result.section("Mean cost")
         error = result.section("Median relative error")
         assert len(cost.rows) == 7  # 3 PASS + 2 VerdictDB + 2 DeepDB
@@ -109,7 +110,9 @@ class TestPaperExperiments:
 
 class TestAblations:
     def test_partitioners(self):
-        result = ablation_partitioners(partitioners=("adp", "equal"), n_partitions=8, **TINY)
+        result = ablation_partitioners(
+            partitioners=("adp", "equal"), n_partitions=8, **TINY
+        )
         assert {row[0] for row in result.sections[0].rows} == {"adp", "equal"}
 
     def test_zero_variance_rule(self):

@@ -26,7 +26,7 @@ from repro import (
     build_pass,
     load_dataset,
 )
-from repro.evaluation.metrics import evaluate_workload, nan_median
+from repro.evaluation.metrics import evaluate_workload
 from repro.query.workload import random_range_queries
 
 
@@ -112,7 +112,9 @@ class TestPaperClaims:
             intel_spec.table,
             intel_spec.value_column,
             [intel_spec.default_predicate_column],
-            equal_depth_boxes(intel_spec.table, intel_spec.default_predicate_column, 32),
+            equal_depth_boxes(
+                intel_spec.table, intel_spec.default_predicate_column, 32
+            ),
             sample_rate=0.005,
             rng=0,
         )
@@ -122,13 +124,20 @@ class TestPaperClaims:
             [intel_spec.default_predicate_column],
             PASSConfig(n_partitions=32, sample_rate=0.005, opt_sample_size=500, seed=0),
         )
-        st_metrics = evaluate_workload(stratified, intel_workload.queries, engine, truths)
+        st_metrics = evaluate_workload(
+            stratified, intel_workload.queries, engine, truths
+        )
         pass_metrics = evaluate_workload(
             pass_synopsis, intel_workload.queries, engine, truths
         )
-        assert pass_metrics.median_relative_error <= st_metrics.median_relative_error * 1.1
+        assert (
+            pass_metrics.median_relative_error
+            <= st_metrics.median_relative_error * 1.1
+        )
 
-    def test_hard_bounds_contain_truth_for_every_query(self, intel_spec, intel_workload):
+    def test_hard_bounds_contain_truth_for_every_query(
+        self, intel_spec, intel_workload
+    ):
         engine = ExactEngine(intel_spec.table)
         synopsis = build_pass(
             intel_spec.table,
@@ -160,7 +169,13 @@ class TestPaperClaims:
         tail_start = float(np.quantile(spec.table.column("key"), 0.875))
         tail = spec.table.select(spec.table.column("key") >= tail_start)
         workload = random_range_queries(
-            tail, "value", ["key"], n_queries=40, rng=3, min_fraction=0.1, max_fraction=0.8
+            tail,
+            "value",
+            ["key"],
+            n_queries=40,
+            rng=3,
+            min_fraction=0.1,
+            max_fraction=0.8,
         )
         engine = ExactEngine(spec.table)
         truths = [engine.execute(q) for q in workload.queries]
@@ -170,13 +185,17 @@ class TestPaperClaims:
                 spec.table,
                 "value",
                 ["key"],
-                PASSConfig(n_partitions=k, sample_rate=0.005, opt_sample_size=600, seed=0),
+                PASSConfig(
+                    n_partitions=k, sample_rate=0.005, opt_sample_size=600, seed=0
+                ),
             )
             metrics = evaluate_workload(synopsis, workload.queries, engine, truths)
             errors.append(metrics.median_relative_error)
         assert errors[1] <= errors[0]
 
-    def test_bss_storage_budgets_trade_accuracy_for_space(self, intel_spec, intel_workload):
+    def test_bss_storage_budgets_trade_accuracy_for_space(
+        self, intel_spec, intel_workload
+    ):
         """Table 1 / Table 2: more BSS storage gives equal or better accuracy."""
         engine = ExactEngine(intel_spec.table)
         truths = [engine.execute(q) for q in intel_workload.queries]
@@ -196,7 +215,9 @@ class TestPaperClaims:
                     seed=0,
                 ),
             )
-            metrics = evaluate_workload(synopsis, intel_workload.queries, engine, truths)
+            metrics = evaluate_workload(
+                synopsis, intel_workload.queries, engine, truths
+            )
             errors[multiplier] = metrics.median_relative_error
             storages[multiplier] = synopsis.storage_bytes()
         assert storages[10.0] > storages[1.0]

@@ -26,7 +26,12 @@ class TestKDPartition:
 
     def test_reaches_requested_leaf_count(self, multi_table):
         result = kd_partition(
-            multi_table, "value", ["a", "b", "c"], n_leaves=32, opt_sample_size=1500, rng=0
+            multi_table,
+            "value",
+            ["a", "b", "c"],
+            n_leaves=32,
+            opt_sample_size=1500,
+            rng=0,
         )
         assert result.n_partitions >= 32
 
@@ -69,8 +74,6 @@ class TestKDPartition:
             opt_sample_size=2000, rng=0,
         )
         hot = sum(1 for box in result.boxes if box.interval("a").low >= 75.0)
-        cold = result.n_partitions - hot
-        sizes = leaf_sizes(table, ["a", "b"], result.boxes)
         hot_rows = int((a > 80).sum())
         # The hot 20% of the a-axis should receive a disproportionate share of
         # the leaves relative to its row count.
@@ -86,9 +89,7 @@ class TestKDPartition:
     def test_constant_column_cannot_be_split_forever(self):
         from repro.data.table import Table
 
-        table = Table(
-            {"a": np.ones(100), "value": np.arange(100, dtype=float)}
-        )
+        table = Table({"a": np.ones(100), "value": np.arange(100, dtype=float)})
         result = kd_partition(table, "value", ["a"], n_leaves=8, rng=0)
         # The predicate column is constant, so only one leaf is possible.
         assert result.n_partitions == 1

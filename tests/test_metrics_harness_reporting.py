@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.builder import build_pass
@@ -21,6 +20,7 @@ from repro.evaluation.metrics import (
     relative_error,
 )
 from repro.evaluation.reporting import ExperimentResult, Section, fmt, format_table
+from repro.query.predicate import RectPredicate
 from repro.query.query import AggregateQuery, ExactEngine
 from repro.query.workload import random_range_queries
 from repro.result import AQPResult
@@ -47,14 +47,16 @@ class TestScalarMetrics:
 
 class TestWorkloadMetrics:
     def make_record(self, estimate, truth, half_width=1.0, skipped=0, processed=10):
-        query = AggregateQuery.sum("value", __import__("repro.query.predicate", fromlist=["RectPredicate"]).RectPredicate.everything())
+        query = AggregateQuery.sum("value", RectPredicate.everything())
         result = AQPResult(
             estimate=estimate,
             ci_half_width=half_width,
             tuples_processed=processed,
             tuples_skipped=skipped,
         )
-        return QueryRecord(query=query, truth=truth, result=result, latency_seconds=0.001)
+        return QueryRecord(
+            query=query, truth=truth, result=result, latency_seconds=0.001
+        )
 
     def test_summary_from_records(self):
         records = [self.make_record(102.0, 100.0), self.make_record(95.0, 100.0)]
@@ -84,7 +86,9 @@ class TestEvaluateWorkloadAndHarness:
 
     def test_evaluate_workload_with_and_without_truths(self, setup):
         table, workload, engine = setup
-        synopsis = UniformSampleSynopsis(table, "value", ["key"], sample_rate=0.3, rng=0)
+        synopsis = UniformSampleSynopsis(
+            table, "value", ["key"], sample_rate=0.3, rng=0
+        )
         metrics = evaluate_workload(synopsis, workload.queries, engine)
         assert metrics.n_queries == 20
         truths = [engine.execute(q) for q in workload.queries]
@@ -93,13 +97,17 @@ class TestEvaluateWorkloadAndHarness:
 
     def test_truth_length_mismatch_rejected(self, setup):
         table, workload, engine = setup
-        synopsis = UniformSampleSynopsis(table, "value", ["key"], sample_rate=0.3, rng=0)
+        synopsis = UniformSampleSynopsis(
+            table, "value", ["key"], sample_rate=0.3, rng=0
+        )
         with pytest.raises(ValueError):
             evaluate_workload(synopsis, workload.queries, engine, ground_truth=[1.0])
 
     def test_run_comparison_builds_all_synopses(self, setup):
         table, workload, _ = setup
-        spec = DatasetSpec(table=table, value_column="value", predicate_columns=("key",))
+        spec = DatasetSpec(
+            table=table, value_column="value", predicate_columns=("key",)
+        )
         run = run_comparison(
             spec,
             workload,

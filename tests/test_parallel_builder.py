@@ -109,7 +109,9 @@ def test_population_and_sample_accounting(table, config):
     plan = ShardPlanner(4, "range").plan(table, "key")
     sharded = ParallelBuilder(executor="serial").build(plan, "value", ["key"], config)
     assert sharded.population_size == table.n_rows
-    assert sharded.sample_size == sum(s.sample_size for s in map(_unwrap, sharded.shards))
+    assert sharded.sample_size == sum(
+        s.sample_size for s in map(_unwrap, sharded.shards)
+    )
     assert sharded.n_partitions == sum(
         _unwrap(shard).n_partitions for shard in sharded.shards
     )

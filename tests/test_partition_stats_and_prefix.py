@@ -118,7 +118,11 @@ class TestPrefixSums:
             PrefixSums.from_values(np.zeros((2, 2)))
 
     @given(
-        st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=40),
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
         st.data(),
     )
     @settings(max_examples=100)
@@ -129,5 +133,9 @@ class TestPrefixSums:
         end = data.draw(st.integers(min_value=start, max_value=len(values) - 1))
         segment = values[start : end + 1]
         assert prefix.range_sum(start, end) == pytest.approx(segment.sum(), abs=1e-6)
-        assert prefix.range_sum_sq(start, end) == pytest.approx((segment**2).sum(), rel=1e-9, abs=1e-6)
-        assert prefix.range_variance(start, end) == pytest.approx(np.var(segment), abs=1e-6)
+        assert prefix.range_sum_sq(start, end) == pytest.approx(
+            (segment**2).sum(), rel=1e-9, abs=1e-6
+        )
+        assert prefix.range_variance(start, end) == pytest.approx(
+            np.var(segment), abs=1e-6
+        )

@@ -192,10 +192,22 @@ class TestHillClimbing:
     def test_objective_not_worse_than_equal_start(self, skewed_table):
         """Hill climbing starts from equal-depth breaks and only accepts improvements."""
         result = hill_climbing_partition(
-            skewed_table, "value", "key", 8, opt_sample_size=400, max_iterations=0, rng=1
+            skewed_table,
+            "value",
+            "key",
+            8,
+            opt_sample_size=400,
+            max_iterations=0,
+            rng=1,
         )
         improved = hill_climbing_partition(
-            skewed_table, "value", "key", 8, opt_sample_size=400, max_iterations=400, rng=1
+            skewed_table,
+            "value",
+            "key",
+            8,
+            opt_sample_size=400,
+            max_iterations=400,
+            rng=1,
         )
         assert improved.objective <= result.objective + 1e-9
 

@@ -11,8 +11,7 @@ from hypothesis import strategies as st
 
 from repro.core.builder import build_pass
 from repro.core.config import PASSConfig
-from repro.query.aggregates import AggregateType
-from repro.query.predicate import Interval, RectPredicate
+from repro.query.predicate import RectPredicate
 from repro.query.query import AggregateQuery, ExactEngine
 
 
@@ -25,7 +24,10 @@ def skewed_pass():
     n = 4000
     key = np.arange(n, dtype=float)
     value = np.concatenate(
-        [np.full(int(n * 0.8), 5.0), np.abs(rng.normal(100.0, 20.0, size=n - int(n * 0.8)))]
+        [
+            np.full(int(n * 0.8), 5.0),
+            np.abs(rng.normal(100.0, 20.0, size=n - int(n * 0.8))),
+        ]
     )
     table = Table({"key": key, "value": value}, name="skewed_module")
     config = PASSConfig(n_partitions=16, sample_rate=0.05, partitioner="adp", seed=0)
@@ -56,7 +58,9 @@ class TestQueryProcessing:
         for _ in range(n_queries):
             low = float(rng.uniform(0, 3000))
             high = float(rng.uniform(low + 200, 4000))
-            query = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(low, high)))
+            query = AggregateQuery.sum(
+                "value", RectPredicate.from_bounds(key=(low, high))
+            )
             result = synopsis.query(query)
             truth = engine.execute(query)
             assert result.relative_error(truth) < 0.5
@@ -89,7 +93,9 @@ class TestQueryProcessing:
 
     def test_empty_region_query(self, skewed_pass):
         _, synopsis = skewed_pass
-        query = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(-500.0, -1.0)))
+        query = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(key=(-500.0, -1.0))
+        )
         result = synopsis.query(query)
         assert result.estimate == pytest.approx(0.0)
 
@@ -107,15 +113,21 @@ class TestQueryProcessing:
 
     def test_skip_rate_increases_for_aligned_queries(self, skewed_pass):
         _, synopsis = skewed_pass
-        narrow = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(10.0, 60.0)))
+        narrow = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(key=(10.0, 60.0))
+        )
         box = synopsis.tree.leaves[0].box
-        aligned = AggregateQuery.sum("value", RectPredicate({"key": box.interval("key")}))
+        aligned = AggregateQuery.sum(
+            "value", RectPredicate({"key": box.interval("key")})
+        )
         assert synopsis.skip_rate(aligned) == pytest.approx(1.0)
         assert 0.0 <= synopsis.skip_rate(narrow) <= 1.0
 
     def test_custom_lambda_scales_interval(self, skewed_pass):
         _, synopsis = skewed_pass
-        query = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(100.5, 3702.5)))
+        query = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(key=(100.5, 3702.5))
+        )
         narrow = synopsis.query(query, lam=1.0)
         wide = synopsis.query(query, lam=3.0)
         assert wide.ci_half_width == pytest.approx(3.0 * narrow.ci_half_width)
@@ -156,7 +168,9 @@ class TestHardBoundProperty:
         low = data.draw(st.floats(min_value=0.0, max_value=3500.0))
         width = data.draw(st.floats(min_value=10.0, max_value=3999.0 - low))
         agg = data.draw(st.sampled_from(["SUM", "COUNT", "AVG"]))
-        query = AggregateQuery(agg, "value", RectPredicate.from_bounds(key=(low, low + width)))
+        query = AggregateQuery(
+            agg, "value", RectPredicate.from_bounds(key=(low, low + width))
+        )
         result = synopsis.query(query)
         truth = engine.execute(query)
         if math.isnan(truth):

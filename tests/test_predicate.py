@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
@@ -79,7 +78,9 @@ class TestInterval:
     @given(intervals(), finite_floats)
     @settings(max_examples=100)
     def test_containment_consistent_with_mask(self, interval: Interval, value: float):
-        assert interval.contains_value(value) == bool(interval.mask(np.array([value]))[0])
+        assert interval.contains_value(value) == bool(
+            interval.mask(np.array([value]))[0]
+        )
 
 
 class TestBox:
@@ -124,7 +125,9 @@ class TestBox:
 
     def test_mask_conjunction(self):
         box = Box({"x": Interval(0, 1), "y": Interval(10, 20)})
-        mask = box.mask({"x": np.array([0.5, 0.5, 2.0]), "y": np.array([15.0, 25.0, 15.0])})
+        mask = box.mask(
+            {"x": np.array([0.5, 0.5, 2.0]), "y": np.array([15.0, 25.0, 15.0])}
+        )
         assert list(mask) == [True, False, False]
 
     def test_mask_missing_column_raises(self):

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.table import Table
 from repro.query.aggregates import AggregateType
-from repro.query.predicate import Interval, RectPredicate
+from repro.query.predicate import RectPredicate
 from repro.query.query import AggregateQuery, ExactEngine
 from repro.query.workload import (
     challenging_queries,
@@ -35,7 +34,9 @@ class TestAggregateQuery:
         assert query.agg == AggregateType.SUM
 
     def test_predicate_columns(self):
-        query = AggregateQuery.sum("value", RectPredicate.from_bounds(a=(0, 1), b=(2, 3)))
+        query = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(a=(0, 1), b=(2, 3))
+        )
         assert set(query.predicate_columns) == {"a", "b"}
 
 
@@ -64,7 +65,10 @@ class TestExactEngine:
 
     def test_execute_many(self, tiny_table, range_query_factory):
         engine = ExactEngine(tiny_table)
-        queries = [range_query_factory("SUM", 0.0, 4.0), range_query_factory("SUM", 5.0, 9.0)]
+        queries = [
+            range_query_factory("SUM", 0.0, 4.0),
+            range_query_factory("SUM", 5.0, 9.0),
+        ]
         assert engine.execute_many(queries) == [15.0, 40.0]
 
 
@@ -90,7 +94,9 @@ class TestWorkloads:
             random_range_queries(skewed_table, "value", [], n_queries=5)
 
     def test_with_aggregate_retargets_all_queries(self, skewed_table):
-        workload = random_range_queries(skewed_table, "value", ["key"], n_queries=5, rng=1)
+        workload = random_range_queries(
+            skewed_table, "value", ["key"], n_queries=5, rng=1
+        )
         counts = workload.with_aggregate("count")
         assert all(q.agg == AggregateType.COUNT for q in counts)
 
@@ -121,3 +127,55 @@ class TestWorkloads:
             template_queries(
                 multi_table, "value", ["a", "b"], n_dimensions=3, n_queries=5
             )
+
+
+class TestGeneratorContracts:
+    """Determinism and bounds validity of every workload generator."""
+
+    def _generators(self, table):
+        return {
+            "random": lambda rng: random_range_queries(
+                table, "value", ["key"], n_queries=25, rng=rng
+            ),
+            "challenging": lambda rng: challenging_queries(
+                table, "value", "key", n_queries=25, rng=rng, window_fraction=0.1
+            ),
+            "template": lambda rng: template_queries(
+                table, "value", ["key"], n_dimensions=1, n_queries=25, rng=rng
+            ),
+        }
+
+    def test_generators_are_deterministic_under_a_fixed_seed(self, skewed_table):
+        for name, generate in self._generators(skewed_table).items():
+            first, second = generate(17), generate(17)
+            assert first.queries == second.queries, name
+            # An equivalent explicit Generator draws the same workload.
+            from_generator = generate(np.random.default_rng(17))
+            assert from_generator.queries == first.queries, name
+
+    def test_different_seeds_draw_different_workloads(self, skewed_table):
+        for name, generate in self._generators(skewed_table).items():
+            assert generate(17).queries != generate(18).queries, name
+
+    def test_emitted_boxes_are_valid_and_inside_the_data(self, skewed_table):
+        low, high = skewed_table.column_bounds("key")
+        for name, generate in self._generators(skewed_table).items():
+            for query in generate(23):
+                for column in query.predicate_columns:
+                    interval = query.predicate.interval(column)
+                    assert interval.low <= interval.high, name
+                    assert np.isfinite(interval.low) and np.isfinite(interval.high)
+                    # Endpoints are drawn from attribute values, so every
+                    # emitted box stays inside the data's bounding range.
+                    assert low <= interval.low and interval.high <= high, name
+
+    def test_multi_column_boxes_are_valid(self, multi_table):
+        workload = random_range_queries(
+            multi_table, "value", ["a", "b", "c"], n_queries=20, rng=9
+        )
+        for query in workload:
+            assert set(query.predicate_columns) == {"a", "b", "c"}
+            for column in ("a", "b", "c"):
+                interval = query.predicate.interval(column)
+                col_low, col_high = multi_table.column_bounds(column)
+                assert col_low <= interval.low <= interval.high <= col_high

@@ -88,7 +88,9 @@ class TestReservoirUniformity:
         assert abs(frequencies[:20].mean() - expected) < 0.05
         assert abs(frequencies[-20:].mean() - expected) < 0.05
 
-    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=200))
+    @given(
+        st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=200)
+    )
     @settings(max_examples=50)
     def test_size_invariant(self, capacity, n_items):
         reservoir = ReservoirSample(capacity, rng=7)

@@ -31,7 +31,9 @@ def serving_table() -> Table:
 
 @pytest.fixture(scope="module")
 def catalog(serving_table: Table) -> SynopsisCatalog:
-    config = PASSConfig(n_partitions=16, partitioner="equal", opt_sample_size=500, seed=0)
+    config = PASSConfig(
+        n_partitions=16, partitioner="equal", opt_sample_size=500, seed=0
+    )
     catalog = SynopsisCatalog()
     catalog.register(
         "value_by_a",
@@ -40,7 +42,9 @@ def catalog(serving_table: Table) -> SynopsisCatalog:
     )
     catalog.register(
         "value_by_ab",
-        build_pass(serving_table, "value", ["a", "b"], config.with_overrides(partitioner="kd")),
+        build_pass(
+            serving_table, "value", ["a", "b"], config.with_overrides(partitioner="kd")
+        ),
         table_name="serving",
     )
     catalog.register(

@@ -77,7 +77,9 @@ class TestExecute:
     def test_cache_hit_returns_same_result_and_counts(self, served_setup):
         _, _, catalog = served_setup
         engine = ServingEngine(catalog)
-        query = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(100.0, 900.0)))
+        query = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(key=(100.0, 900.0))
+        )
         first = engine.execute(query)
         second = engine.execute(query)
         assert first is second
@@ -89,9 +91,12 @@ class TestExecute:
     def test_cache_keys_are_canonical(self, served_setup):
         _, _, catalog = served_setup
         engine = ServingEngine(catalog)
-        engine.execute(AggregateQuery.sum("value", RectPredicate.from_bounds(key=(0, 500))))
+        engine.execute(
+            AggregateQuery.sum("value", RectPredicate.from_bounds(key=(0, 500)))
+        )
         spelled_differently = AggregateQuery.sum(
-            "value", RectPredicate({"key": Interval(0.0, 500.0), "other": Interval.unbounded()})
+            "value",
+            RectPredicate({"key": Interval(0.0, 500.0), "other": Interval.unbounded()}),
         )
         engine.execute(spelled_differently)
         assert engine.stats()["value_by_key"].cache_hits == 1
@@ -149,7 +154,9 @@ class TestExecuteBatch:
     def test_duplicates_answered_once(self, served_setup):
         _, _, catalog = served_setup
         engine = ServingEngine(catalog)
-        query = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(10.0, 400.0)))
+        query = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(key=(10.0, 400.0))
+        )
         results = engine.execute_batch([query] * 5)
         assert all(result is results[0] for result in results)
         stats = engine.stats()["value_by_key"]
@@ -168,8 +175,12 @@ class TestExecuteBatch:
     def test_batch_mixes_synopsis_and_fallback(self, served_setup):
         _, _, catalog = served_setup
         engine = ServingEngine(catalog)
-        routed = AggregateQuery.sum("value", RectPredicate.from_bounds(key=(0.0, 300.0)))
-        fallback = AggregateQuery.sum("key", RectPredicate.from_bounds(value=(0.0, 50.0)))
+        routed = AggregateQuery.sum(
+            "value", RectPredicate.from_bounds(key=(0.0, 300.0))
+        )
+        fallback = AggregateQuery.sum(
+            "key", RectPredicate.from_bounds(value=(0.0, 50.0))
+        )
         results = engine.execute_batch([routed, fallback])
         assert results[1].exact
         stats = engine.stats()
@@ -225,7 +236,9 @@ class TestUpdatesAndInvalidation:
     def test_delete_invalidates_too(self, dynamic_engine):
         dynamic, engine = dynamic_engine
         box = dynamic.synopsis.tree.leaves[2].box
-        query = AggregateQuery.count("value", RectPredicate({"key": box.interval("key")}))
+        query = AggregateQuery.count(
+            "value", RectPredicate({"key": box.interval("key")})
+        )
         before = engine.execute(query)
         row_key = float(box.interval("key").high)
         engine.insert("dyn", {"key": row_key, "value": 9.0})
@@ -315,7 +328,9 @@ class TestConcurrency:
                 with lock.read_locked():
                     with guard:
                         state["readers"] += 1
-                        state["max_readers"] = max(state["max_readers"], state["readers"])
+                        state["max_readers"] = max(
+                            state["max_readers"], state["readers"]
+                        )
                         if state["writers"]:
                             state["violations"] += 1
                     with guard:

@@ -70,14 +70,19 @@ def workload(table: Table) -> list[AggregateQuery]:
 class TestTreeArrays:
     def test_round_trip_preserves_structure_and_stats(self, table):
         synopsis = build_pass(
-            table, "value", ["a"], PASSConfig(n_partitions=16, partitioner="equal", seed=0)
+            table,
+            "value",
+            ["a"],
+            PASSConfig(n_partitions=16, partitioner="equal", seed=0),
         )
         tree = synopsis.tree
         rebuilt = PartitionTree.from_arrays(tree.to_arrays())
         assert rebuilt.n_leaves == tree.n_leaves
         assert rebuilt.n_nodes == tree.n_nodes
         assert rebuilt.height == tree.height
-        for original, loaded in zip(tree.root.iter_subtree(), rebuilt.root.iter_subtree()):
+        for original, loaded in zip(
+            tree.root.iter_subtree(), rebuilt.root.iter_subtree()
+        ):
             assert loaded.stats == original.stats
             assert loaded.box == original.box
             assert loaded.leaf_index == original.leaf_index
@@ -104,7 +109,10 @@ class TestTreeArrays:
 class TestSynopsisRoundTrip:
     def test_estimates_bit_exact_after_reload(self, table, workload, tmp_path):
         synopsis = build_pass(
-            table, "value", ["a"], PASSConfig(n_partitions=32, opt_sample_size=800, seed=3)
+            table,
+            "value",
+            ["a"],
+            PASSConfig(n_partitions=32, opt_sample_size=800, seed=3),
         )
         path = save_synopsis(synopsis, tmp_path / "static.pass")
         loaded = load_synopsis(path)
@@ -129,7 +137,10 @@ class TestSynopsisRoundTrip:
 
     def test_npz_suffix_appended(self, table, tmp_path):
         synopsis = build_pass(
-            table, "value", ["a"], PASSConfig(n_partitions=4, partitioner="equal", seed=0)
+            table,
+            "value",
+            ["a"],
+            PASSConfig(n_partitions=4, partitioner="equal", seed=0),
         )
         path = save_synopsis(synopsis, tmp_path / "plain")
         assert path.suffix == ".npz"
@@ -147,7 +158,11 @@ class TestDynamicRoundTrip:
         rng = np.random.default_rng(2)
         for _ in range(50):
             dynamic.insert(
-                {"a": float(rng.uniform(0, 100)), "b": 1.0, "value": float(rng.uniform(1, 30))}
+                {
+                    "a": float(rng.uniform(0, 100)),
+                    "b": 1.0,
+                    "value": float(rng.uniform(1, 30)),
+                }
             )
         loaded = load_synopsis(save_synopsis(dynamic, tmp_path / "dynamic"))
         assert isinstance(loaded, DynamicPASS)
@@ -159,7 +174,10 @@ class TestDynamicRoundTrip:
 
     def test_reloaded_instance_accepts_further_updates(self, table, tmp_path):
         dynamic = DynamicPASS(
-            table, "value", ["a"], PASSConfig(n_partitions=4, partitioner="equal", seed=0)
+            table,
+            "value",
+            ["a"],
+            PASSConfig(n_partitions=4, partitioner="equal", seed=0),
         )
         loaded = load_synopsis(save_synopsis(dynamic, tmp_path / "resume"))
         before = loaded.population_size
@@ -169,14 +187,18 @@ class TestDynamicRoundTrip:
 
 
 class TestCatalogRoundTrip:
-    def test_catalog_round_trip_serves_identical_estimates(self, table, workload, tmp_path):
+    def test_catalog_round_trip_serves_identical_estimates(
+        self, table, workload, tmp_path
+    ):
         config = PASSConfig(n_partitions=16, partitioner="equal", seed=0)
         catalog = SynopsisCatalog()
         catalog.register(
             "static", build_pass(table, "value", ["a"], config), table_name="persisted"
         )
         catalog.register(
-            "dynamic", DynamicPASS(table, "value", ["a", "b"], config), table_name="persisted"
+            "dynamic",
+            DynamicPASS(table, "value", ["a", "b"], config),
+            table_name="persisted",
         )
         catalog.register_table(table, "persisted")
         save_catalog(catalog, tmp_path / "catalog")
@@ -190,7 +212,8 @@ class TestCatalogRoundTrip:
             loaded_entry = loaded.route(query)
             assert loaded_entry.name == entry.name
             assert_identical(
-                entry.pass_synopsis.query(query), loaded_entry.pass_synopsis.query(query)
+                entry.pass_synopsis.query(query),
+                loaded_entry.pass_synopsis.query(query),
             )
 
 
@@ -199,7 +222,10 @@ class TestFormatVersioning:
         import json
 
         synopsis = build_pass(
-            table, "value", ["a"], PASSConfig(n_partitions=4, partitioner="equal", seed=0)
+            table,
+            "value",
+            ["a"],
+            PASSConfig(n_partitions=4, partitioner="equal", seed=0),
         )
         path = save_synopsis(synopsis, tmp_path / "versioned")
         with np.load(path, allow_pickle=False) as data:
@@ -210,7 +236,10 @@ class TestFormatVersioning:
         import json
 
         synopsis = build_pass(
-            table, "value", ["a"], PASSConfig(n_partitions=4, partitioner="equal", seed=0)
+            table,
+            "value",
+            ["a"],
+            PASSConfig(n_partitions=4, partitioner="equal", seed=0),
         )
         path = save_synopsis(synopsis, tmp_path / "future")
         with np.load(path, allow_pickle=False) as data:

@@ -114,7 +114,10 @@ def test_readers_never_observe_torn_or_regressing_state(engine_and_synopsis):
 
     rng = np.random.default_rng(5)
     rows = [
-        {"key": float(rng.uniform(0.0, 50.0)), "value": float(abs(rng.normal(20.0, 5.0)))}
+        {
+            "key": float(rng.uniform(0.0, 50.0)),
+            "value": float(abs(rng.normal(20.0, 5.0))),
+        }
         for _ in range(N_INSERTS)
     ]
 
@@ -177,7 +180,10 @@ def test_concurrent_batch_readers_with_writer(engine_and_synopsis):
     for _ in range(60):
         engine.insert(
             "stress_value",
-            {"key": float(rng.uniform(0.0, 50.0)), "value": float(abs(rng.normal(20.0, 5.0)))},
+            {
+                "key": float(rng.uniform(0.0, 50.0)),
+                "value": float(abs(rng.normal(20.0, 5.0))),
+            },
         )
     stop.set()
     for thread in readers:

@@ -11,7 +11,7 @@ from repro.distributed.parallel import ParallelBuilder
 from repro.distributed.planner import ShardPlanner
 from repro.distributed.router import StreamingShardRouter
 from repro.query.predicate import RectPredicate
-from repro.query.query import AggregateQuery, ExactEngine
+from repro.query.query import AggregateQuery
 
 
 @pytest.fixture

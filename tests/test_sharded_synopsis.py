@@ -18,8 +18,7 @@ from repro.core.builder import build_pass
 from repro.core.config import PASSConfig
 from repro.core.updates import DynamicPASS
 from repro.data.table import Table
-from repro.distributed.parallel import ParallelBuilder, build_sharded_pass
-from repro.distributed.planner import ShardPlanner
+from repro.distributed.parallel import build_sharded_pass
 from repro.distributed.sharded import ShardedSynopsis
 from repro.query.predicate import RectPredicate
 from repro.query.query import AggregateQuery, ExactEngine
@@ -213,9 +212,7 @@ class TestPruning:
         assert result.hard_lower <= truth <= result.hard_upper
         assert result.relative_error(truth) < 0.25
 
-    def test_shard_column_predicate_on_shards_partitioned_elsewhere(
-        self, config
-    ):
+    def test_shard_column_predicate_on_shards_partitioned_elsewhere(self, config):
         # Shards split on `key` but partitioned/sampled on `a`: a predicate
         # constraining the shard column must still be answerable — the shard
         # samples retain the shard column for exactly this case.

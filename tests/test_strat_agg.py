@@ -129,7 +129,9 @@ class TestStratifiedAggregationSynopsis:
         assert result.estimate == pytest.approx(truth)
         assert result.ci_half_width == 0.0
 
-    def test_partial_query_bounds_contain_truth(self, synopsis, skewed_table, range_query_factory):
+    def test_partial_query_bounds_contain_truth(
+        self, synopsis, skewed_table, range_query_factory
+    ):
         engine = ExactEngine(skewed_table)
         for agg in ("SUM", "COUNT", "AVG"):
             query = range_query_factory(agg, 123.0, 1833.0)

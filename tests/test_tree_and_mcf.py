@@ -79,7 +79,11 @@ class TestMCF:
         # A query whose bounds coincide with partition boundaries (the paper's
         # "aligned" case) is answered exactly: no partial leaves remain.
         predicate = RectPredicate(
-            {"key": Interval(boxes[1].interval("key").low, boxes[2].interval("key").high)}
+            {
+                "key": Interval(
+                    boxes[1].interval("key").low, boxes[2].interval("key").high
+                )
+            }
         )
         result = tree.minimal_coverage_frontier(predicate)
         assert result.is_exact

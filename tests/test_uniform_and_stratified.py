@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.data.table import Table
-from repro.query.aggregates import AggregateType
 from repro.query.predicate import Box, Interval, RectPredicate
 from repro.query.query import AggregateQuery, ExactEngine
 from repro.sampling.stratified import (
@@ -20,7 +19,9 @@ from repro.sampling.uniform import UniformSampleSynopsis
 
 
 class TestUniformSampleSynopsis:
-    def test_full_sample_is_exact_for_sum_count(self, skewed_table, range_query_factory):
+    def test_full_sample_is_exact_for_sum_count(
+        self, skewed_table, range_query_factory
+    ):
         synopsis = UniformSampleSynopsis(
             skewed_table, "value", ["key"], sample_rate=1.0, rng=0
         )
@@ -127,14 +128,18 @@ class TestStratifiedSampleSynopsis:
         assert sum(s.size for s in synopsis.strata) == skewed_table.n_rows
         assert synopsis.n_strata == 10
 
-    def test_sum_estimate_close_to_truth(self, synopsis, skewed_table, range_query_factory):
+    def test_sum_estimate_close_to_truth(
+        self, synopsis, skewed_table, range_query_factory
+    ):
         engine = ExactEngine(skewed_table)
         query = range_query_factory("SUM", 0.0, 1900.0)
         result = synopsis.query(query)
         truth = engine.execute(query)
         assert result.relative_error(truth) < 0.25
 
-    def test_avg_weighted_combination(self, synopsis, skewed_table, range_query_factory):
+    def test_avg_weighted_combination(
+        self, synopsis, skewed_table, range_query_factory
+    ):
         engine = ExactEngine(skewed_table)
         query = range_query_factory("AVG", 1500.0, 1999.0)
         result = synopsis.query(query)
@@ -167,7 +172,12 @@ class TestStratifiedSampleSynopsis:
             )
         with pytest.raises(ValueError):
             StratifiedSampleSynopsis(
-                skewed_table, "value", ["key"], boxes, sample_rate=0.1, allocation="bogus"
+                skewed_table,
+                "value",
+                ["key"],
+                boxes,
+                sample_rate=0.1,
+                allocation="bogus",
             )
 
     def test_proportional_allocation_tracks_sizes(self, skewed_table):

@@ -24,9 +24,7 @@ def dynamic_setup():
         },
         name="dynamic",
     )
-    config = PASSConfig(
-        n_partitions=8, sample_rate=0.1, partitioner="equal", seed=0
-    )
+    config = PASSConfig(n_partitions=8, sample_rate=0.1, partitioner="equal", seed=0)
     dynamic = DynamicPASS(table, "value", ["key"], config=config, rng=1)
     return table, dynamic
 
@@ -64,13 +62,19 @@ class TestInsertions:
         new_rows = [{"key": 123.3 + i, "value": 77.0} for i in range(50)]
         for row in new_rows:
             dynamic.insert(row)
-        query = AggregateQuery.count("value", RectPredicate.from_bounds(key=(0.0, 1999.0)))
+        query = AggregateQuery.count(
+            "value", RectPredicate.from_bounds(key=(0.0, 1999.0))
+        )
         result = dynamic.query(query)
         # COUNT over the whole key range: 2000 original + 50 inserted.
         updated = Table(
             {
-                "key": np.concatenate([table.column("key"), [r["key"] for r in new_rows]]),
-                "value": np.concatenate([table.column("value"), [r["value"] for r in new_rows]]),
+                "key": np.concatenate(
+                    [table.column("key"), [r["key"] for r in new_rows]]
+                ),
+                "value": np.concatenate(
+                    [table.column("value"), [r["value"] for r in new_rows]]
+                ),
             }
         )
         truth = ExactEngine(updated).execute(query)
@@ -85,7 +89,10 @@ class TestInsertions:
 class TestDeletions:
     def test_delete_updates_counts(self, dynamic_setup):
         table, dynamic = dynamic_setup
-        row = {"key": float(table.column("key")[10]), "value": float(table.column("value")[10])}
+        row = {
+            "key": float(table.column("key")[10]),
+            "value": float(table.column("value")[10]),
+        }
         before = dynamic.population_size
         dynamic.delete(row)
         assert dynamic.population_size == before - 1

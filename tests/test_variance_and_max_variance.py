@@ -57,10 +57,12 @@ class TestVarianceFormulas:
         )
 
     def test_dispatch(self):
-        assert query_variance(AggregateType.SUM, 10, 5, 10.0, 30.0) == sum_query_variance(
-            10, 10.0, 30.0
+        assert query_variance(
+            AggregateType.SUM, 10, 5, 10.0, 30.0
+        ) == sum_query_variance(10, 10.0, 30.0)
+        assert query_variance(AggregateType.COUNT, 10, 5, 0, 0) == count_query_variance(
+            10, 5
         )
-        assert query_variance(AggregateType.COUNT, 10, 5, 0, 0) == count_query_variance(10, 5)
         with pytest.raises(ValueError):
             query_variance(AggregateType.MIN, 10, 5, 0, 0)
 
@@ -98,7 +100,9 @@ class TestSparseTable:
         for _ in range(50):
             start = int(rng.integers(0, 257))
             end = int(rng.integers(start, 257))
-            assert table.query(start, end) == pytest.approx(values[start : end + 1].max())
+            assert table.query(start, end) == pytest.approx(
+                values[start : end + 1].max()
+            )
 
     def test_argmax(self, rng):
         values = rng.permutation(64).astype(float)
@@ -148,7 +152,9 @@ class TestMaxVarianceOracle:
         assert oracle.max_variance(0, 99) > 0.0
 
     def test_avg_window_lower_bounds_exact_maximum(self, rng):
-        values = np.concatenate([np.full(50, 5.0), np.abs(rng.normal(100, 30, size=50))])
+        values = np.concatenate(
+            [np.full(50, 5.0), np.abs(rng.normal(100, 30, size=50))]
+        )
         delta = 0.1
         fast = MaxVarianceOracle(values, agg="AVG", delta=delta, exact=False)
         exact = MaxVarianceOracle(values, agg="AVG", delta=delta, exact=True)
