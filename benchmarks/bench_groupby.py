@@ -58,6 +58,17 @@ def make_groupby(n_groups: int) -> GroupByQuery:
     )
 
 
+def make_quantile_groupby(n_groups: int) -> GroupByQuery:
+    """A percentile-dashboard shape: p50 / p95 / p99 per group."""
+    edges = np.linspace(0.0, KEY_HIGH, n_groups + 1)
+    return GroupByQuery(
+        groupings=(GroupingColumn.bins("key", [float(e) for e in edges]),),
+        aggregates=tuple(
+            AggregateSpec("QUANTILE", "value", q) for q in (0.5, 0.95, 0.99)
+        ),
+    )
+
+
 def _timed(run) -> float:
     start = time.perf_counter()
     run()
@@ -96,6 +107,22 @@ def bench_single_synopsis(
         )
         print(f"  {n_groups:>6} {naive_ms:>10.2f} {grouped_ms:>11.2f} {speedup:>7.1f}x")
     return rows
+
+
+def bench_quantile_groupby(synopsis, n_groups: int, repeats: int) -> dict:
+    """Sketch-aggregate group-by latency: p50/p95/p99 per group, one frontier
+    per cell, answered from the mergeable per-leaf quantile sketches."""
+    plan = make_quantile_groupby(n_groups).compile()
+    grouped = grouped_query(synopsis, plan)
+    assert len(grouped) == n_groups
+    elapsed_ms = 1e3 * min(
+        _timed(lambda: grouped_query(synopsis, plan)) for _ in range(repeats)
+    )
+    print(
+        f"\n== Quantile group-by: {n_groups} groups x 3 percentiles: "
+        f"{elapsed_ms:.2f} ms ({elapsed_ms / n_groups:.3f} ms/group) =="
+    )
+    return {"groups": n_groups, "total_ms": elapsed_ms}
 
 
 def bench_sharded(
@@ -157,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
     synopsis = build_pass(table, "value", ["key"], config)
 
     rows = bench_single_synopsis(synopsis, group_counts, repeats)
+    quantile_row = bench_quantile_groupby(synopsis, 64, repeats)
     sharded_row = bench_sharded(table, config, n_shards, max(group_counts))
 
     at_64 = next((row for row in rows if row["groups"] == 64), rows[-1])
@@ -174,6 +202,10 @@ def main(argv: list[str] | None = None) -> int:
             },
             "groupby_sharded_ms_per_group": {
                 "value": sharded_row["total_ms"] / sharded_row["groups"],
+                "direction": "lower",
+            },
+            "groupby_quantile_ms_64_groups": {
+                "value": quantile_row["total_ms"],
                 "direction": "lower",
             },
         }

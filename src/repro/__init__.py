@@ -60,6 +60,7 @@ from repro.serving.persistence import (
     save_catalog,
     save_synopsis,
 )
+from repro.sketches import DistinctSketch, QuantileSketch
 
 __version__ = "1.0.0"
 
@@ -94,5 +95,7 @@ __all__ = [
     "load_synopsis",
     "save_catalog",
     "load_catalog",
+    "QuantileSketch",
+    "DistinctSketch",
     "__version__",
 ]

@@ -36,9 +36,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.aggregation.strat_agg import hard_bounds
-from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.pass_synopsis import PASSSynopsis, sketch_union_result
 from repro.core.tree import MCFResult
-from repro.query.aggregates import AggregateType
+from repro.query.aggregates import SKETCH_AGGREGATES, AggregateType
 from repro.query.groupby import (
     GroupByPlan,
     GroupedResult,
@@ -186,6 +186,13 @@ def grouped_query(
     the cell's shared frontier, skipping the AVG-only zero-variance shortcut
     (Section 3.4) — answers stay valid and only partially-overlapped
     constant-valued partitions would ever notice.
+
+    Sketch aggregates (QUANTILE / COUNT_DISTINCT) ride the same per-cell
+    frontier: each surviving cell reduces to its mergeable sketch union
+    (:meth:`PASSSynopsis.sketch_union`) over the frontier already computed
+    for the classic aggregates, so a mixed plan still costs one index lookup
+    per cell and the sketch answers equal sequential ``synopsis.query``
+    execution exactly.
     """
     lam = synopsis.lam if lam is None else lam
     with_fpc = synopsis.with_fpc
@@ -196,10 +203,22 @@ def grouped_query(
                 f"synopsis was built for column {value_column!r}, "
                 f"aggregate targets {spec.value_column!r}"
             )
+    classic_slots = [
+        i for i, spec in enumerate(plan.aggregates) if spec.agg not in SKETCH_AGGREGATES
+    ]
+    sketch_slots = [
+        i for i, spec in enumerate(plan.aggregates) if spec.agg in SKETCH_AGGREGATES
+    ]
+    if sketch_slots and not synopsis.has_sketches:
+        raise ValueError(
+            "synopsis was built without sketches and cannot answer "
+            "QUANTILE / COUNT_DISTINCT aggregates; rebuild with "
+            "PASSConfig(with_sketches=True)"
+        )
     population = synopsis.population_size
     need_extrema = any(
-        spec.agg in (AggregateType.MIN, AggregateType.MAX)
-        for spec in plan.aggregates
+        plan.aggregates[i].agg in (AggregateType.MIN, AggregateType.MAX)
+        for i in classic_slots
     )
 
     surviving: list[tuple[int, "object", MCFResult]] = []
@@ -208,14 +227,47 @@ def grouped_query(
         if frontier_count(frontier) > 0:
             surviving.append((index, cell, frontier))
 
-    moments = _grouped_leaf_moments(synopsis, surviving, value_column, need_extrema)
+    moments = (
+        _grouped_leaf_moments(synopsis, surviving, value_column, need_extrema)
+        if classic_slots
+        else {}
+    )
 
-    aggs = tuple(spec.agg for spec in plan.aggregates)
+    classic_aggs = tuple(plan.aggregates[i].agg for i in classic_slots)
+    strata = synopsis.leaf_samples
     answers: dict[int, tuple[AQPResult, ...]] = {}
-    for slot, (index, _, frontier) in enumerate(surviving):
-        answers[index] = _assemble_cell_row(
-            aggs, frontier, moments, slot, lam, with_fpc, population
-        )
+    for slot, (index, cell, frontier) in enumerate(surviving):
+        row: list[AQPResult | None] = [None] * len(plan.aggregates)
+        if classic_slots:
+            classic_row = _assemble_cell_row(
+                classic_aggs, frontier, moments, slot, lam, with_fpc, population
+            )
+            for position, result in zip(classic_slots, classic_row):
+                row[position] = result
+        # One union per sketch kind per cell: the reduction depends only on
+        # the predicate, so p50/p95/p99 specs share a single QuantileSketch
+        # merge pass and differ only in result assembly; the partial-leaf
+        # sample masks are likewise evaluated once per cell and shared by
+        # the quantile and distinct unions.
+        if sketch_slots:
+            mask_query = plan.cell_query(cell, plan.aggregates[sketch_slots[0]])
+            cell_masks = {
+                node.leaf_index: strata[node.leaf_index].match_mask(mask_query)
+                for node in frontier.partial
+                if strata[node.leaf_index].sample_size
+            }
+            cell_unions: dict[AggregateType, object] = {}
+            for position in sketch_slots:
+                spec = plan.aggregates[position]
+                query = plan.cell_query(cell, spec)
+                union = cell_unions.get(spec.agg)
+                if union is None:
+                    union = synopsis.sketch_union(
+                        query, frontier=frontier, match_masks=cell_masks
+                    )
+                    cell_unions[spec.agg] = union
+                row[position] = sketch_union_result(query, union, population)
+        answers[index] = tuple(row)
 
     empty = tuple(empty_group_result(spec.agg, population) for spec in plan.aggregates)
     return GroupedResult(

@@ -3,8 +3,10 @@
 The builder performs the offline phase of Section 4: it runs the configured
 partitioning optimizer to obtain the leaf partitioning, computes the exact
 SUM / COUNT / MIN / MAX of every leaf, assembles the partition tree
-bottom-up, and draws the per-leaf stratified samples under the configured
-sampling budget and mode (ESS or BSS).
+bottom-up, draws the per-leaf stratified samples under the configured
+sampling budget and mode (ESS or BSS), and (unless disabled via
+``with_sketches=False``) attaches the mergeable per-leaf quantile and
+distinct-count sketches that answer QUANTILE / COUNT_DISTINCT queries.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.partitioning.hill_climbing import hill_climbing_partition
 from repro.partitioning.kdtree import kd_partition
 from repro.query.predicate import Box
 from repro.sampling.stratified import Stratum
+from repro.sketches import LeafSketches
 
 __all__ = [
     "build_pass",
@@ -253,9 +256,19 @@ def build_pass(
 
     values = table.column(value_column).astype(float)
     stats: list[PartitionStats] = []
+    leaf_sketches: list[LeafSketches] | None = [] if config.with_sketches else None
     for box in leaf_boxes:
         mask = box.mask(table.columns(box.columns))
-        stats.append(PartitionStats.from_values(values[mask]))
+        leaf_values = values[mask]
+        stats.append(PartitionStats.from_values(leaf_values))
+        if leaf_sketches is not None:
+            leaf_sketches.append(
+                LeafSketches.from_values(
+                    leaf_values,
+                    quantile_k=config.sketch_quantile_k,
+                    distinct_k=config.sketch_distinct_k,
+                )
+            )
 
     fanout = config.fanout
     if fanout is None:
@@ -281,4 +294,5 @@ def build_pass(
         with_fpc=config.with_fpc,
         build_seconds=build_seconds,
         effective_partitioner=effective_partitioner,
+        leaf_sketches=leaf_sketches,
     )

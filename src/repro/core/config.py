@@ -78,6 +78,19 @@ class PASSConfig:
     seed:
         Seed for every random choice of the build (optimization sample and
         per-leaf samples).
+    with_sketches:
+        Attach mergeable per-leaf sketches (:mod:`repro.sketches`) so the
+        synopsis can answer QUANTILE / COUNT_DISTINCT queries.  Costs one
+        extra pass over the aggregation column at build time plus
+        ``O(k log n)`` floats per leaf of storage.
+    sketch_quantile_k:
+        Compactor capacity of the per-leaf quantile sketches (rank error
+        shrinks roughly as ``log(n/k) * n / k``; each sketch certifies its
+        own bound).
+    sketch_distinct_k:
+        Minimum-hash capacity of the per-leaf distinct-count sketches
+        (exact up to ``k`` distinct values, ``1/sqrt(k-2)`` relative
+        standard error beyond).
     """
 
     n_partitions: int = 64
@@ -95,6 +108,9 @@ class PASSConfig:
     lam: float = LAMBDA_99
     fanout: int | None = None
     seed: int = 0
+    with_sketches: bool = True
+    sketch_quantile_k: int = 200
+    sketch_distinct_k: int = 1024
 
     def __post_init__(self) -> None:
         if self.n_partitions <= 0:
@@ -118,6 +134,10 @@ class PASSConfig:
             raise ValueError("bss_multiplier must be positive")
         if not 0.0 < self.delta <= 1.0:
             raise ValueError("delta must be in (0, 1]")
+        if self.sketch_quantile_k < 8:
+            raise ValueError("sketch_quantile_k must be at least 8")
+        if self.sketch_distinct_k < 16:
+            raise ValueError("sketch_distinct_k must be at least 16")
         object.__setattr__(self, "agg_template", AggregateType.parse(self.agg_template))
 
     def with_overrides(self, **overrides) -> "PASSConfig":

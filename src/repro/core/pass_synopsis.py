@@ -30,7 +30,7 @@ from repro.core.tree import (
     boxes_from_arrays,
     boxes_to_arrays,
 )
-from repro.query.aggregates import AggregateType
+from repro.query.aggregates import SKETCH_AGGREGATES, AggregateType
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult, LAMBDA_99
 from repro.sampling.estimators import (
@@ -40,8 +40,15 @@ from repro.sampling.estimators import (
     stratum_sum_contribution,
 )
 from repro.sampling.stratified import Stratum
+from repro.sketches import (
+    DistinctSketch,
+    DistinctSketchUnion,
+    LeafSketches,
+    QuantileSketch,
+    QuantileSketchUnion,
+)
 
-__all__ = ["PASSSynopsis"]
+__all__ = ["PASSSynopsis", "sketch_union_result"]
 
 
 class PASSSynopsis:
@@ -70,6 +77,10 @@ class PASSSynopsis:
         configured one — 1-D optimizers fall back to ``"kd"`` on
         multi-dimensional inputs), ``"precomputed"`` when the leaf boxes were
         supplied, or ``None`` for hand-assembled synopses.
+    leaf_sketches:
+        Optional mergeable per-leaf sketches (:class:`LeafSketches`, aligned
+        with the tree leaves) enabling QUANTILE / COUNT_DISTINCT queries;
+        ``None`` for synopses built without sketch support.
     """
 
     def __init__(
@@ -82,14 +93,21 @@ class PASSSynopsis:
         with_fpc: bool = False,
         build_seconds: float = 0.0,
         effective_partitioner: str | None = None,
+        leaf_sketches: Sequence[LeafSketches] | None = None,
     ) -> None:
         if tree.n_leaves != len(leaf_samples):
             raise ValueError(
                 f"tree has {tree.n_leaves} leaves "
                 f"but {len(leaf_samples)} samples were given"
             )
+        if leaf_sketches is not None and len(leaf_sketches) != tree.n_leaves:
+            raise ValueError(
+                f"tree has {tree.n_leaves} leaves "
+                f"but {len(leaf_sketches)} leaf sketches were given"
+            )
         self._tree = tree
         self._leaf_samples = list(leaf_samples)
+        self._leaf_sketches = None if leaf_sketches is None else list(leaf_sketches)
         self._value_column = value_column
         self._lam = lam
         self._zero_variance_rule = zero_variance_rule
@@ -109,6 +127,22 @@ class PASSSynopsis:
     def leaf_samples(self) -> list[Stratum]:
         """The stratified samples attached to the leaves (leaf-index order)."""
         return list(self._leaf_samples)
+
+    @property
+    def leaf_sketches(self) -> list[LeafSketches] | None:
+        """The per-leaf sketches (leaf-index order), or None when absent."""
+        return None if self._leaf_sketches is None else list(self._leaf_sketches)
+
+    def leaf_sketches_at(self, leaf_index: int) -> LeafSketches:
+        """The sketches of one leaf, without copying the list (hot path)."""
+        if self._leaf_sketches is None:
+            raise ValueError("synopsis was built without sketches")
+        return self._leaf_sketches[leaf_index]
+
+    @property
+    def has_sketches(self) -> bool:
+        """True when the synopsis can answer QUANTILE / COUNT_DISTINCT."""
+        return self._leaf_sketches is not None
 
     @property
     def value_column(self) -> str:
@@ -145,9 +179,12 @@ class PASSSynopsis:
         return sum(stratum.sample_size for stratum in self._leaf_samples)
 
     def storage_bytes(self) -> int:
-        """Approximate synopsis footprint: tree aggregates plus leaf samples."""
+        """Approximate footprint: tree aggregates, leaf samples, and sketches."""
         samples = sum(stratum.storage_bytes() for stratum in self._leaf_samples)
-        return self._tree.storage_bytes() + samples
+        sketches = sum(
+            sketches.storage_bytes() for sketches in self._leaf_sketches or ()
+        )
+        return self._tree.storage_bytes() + samples + sketches
 
     def replace_leaf_sample(self, leaf_index: int, stratum: Stratum) -> None:
         """Swap the stratified sample of one leaf (dynamic-update support)."""
@@ -189,6 +226,11 @@ class PASSSynopsis:
                 np.concatenate(parts) if parts else np.zeros(0, dtype=float)
             )
 
+        if self._leaf_sketches is not None:
+            for i, sketches in enumerate(self._leaf_sketches):
+                for key, value in sketches.to_arrays().items():
+                    arrays[f"sketches/{i}/{key}"] = value
+
         header = {
             "format": 1,
             "value_column": self._value_column,
@@ -198,6 +240,7 @@ class PASSSynopsis:
             "build_seconds": self.build_seconds,
             "effective_partitioner": self.effective_partitioner,
             "sample_columns": sample_columns,
+            "with_sketches": self._leaf_sketches is not None,
         }
         return arrays, header
 
@@ -236,6 +279,19 @@ class PASSSynopsis:
                     },
                 )
             )
+        leaf_sketches = None
+        if header.get("with_sketches"):
+            # One pass over the archive: bucket "sketches/<i>/<rest>" keys by
+            # leaf index instead of rescanning all keys once per leaf.
+            buckets: dict[int, dict[str, np.ndarray]] = {}
+            for key, value in arrays.items():
+                if not key.startswith("sketches/"):
+                    continue
+                index, _, rest = key[len("sketches/") :].partition("/")
+                buckets.setdefault(int(index), {})[rest] = value
+            leaf_sketches = [
+                LeafSketches.from_arrays(buckets[i]) for i in range(tree.n_leaves)
+            ]
         return cls(
             tree=tree,
             leaf_samples=strata,
@@ -245,6 +301,7 @@ class PASSSynopsis:
             with_fpc=bool(header["with_fpc"]),
             build_seconds=float(header["build_seconds"]),
             effective_partitioner=header.get("effective_partitioner"),
+            leaf_sketches=leaf_sketches,
         )
 
     # ------------------------------------------------------------------
@@ -292,6 +349,9 @@ class PASSSynopsis:
         lam = self._lam if lam is None else lam
         if frontier is None:
             frontier = self.lookup(query)
+        if query.agg in SKETCH_AGGREGATES:
+            union = self.sketch_union(query, frontier=frontier, match_masks=match_masks)
+            return sketch_union_result(query, union, self.population_size)
         covered_stats = [node.stats for node in frontier.covered]
         partial_nodes = list(frontier.partial)
         partial_stats = [node.stats for node in partial_nodes]
@@ -341,6 +401,134 @@ class PASSSynopsis:
         frontier = self.lookup(query)
         partial_population = sum(node.size for node in frontier.partial)
         return 1.0 - partial_population / self.population_size
+
+    # ------------------------------------------------------------------
+    # Sketch aggregates (QUANTILE / COUNT_DISTINCT)
+    # ------------------------------------------------------------------
+    def sketch_union(
+        self,
+        query: AggregateQuery,
+        frontier: MCFResult | None = None,
+        match_masks: Mapping[int, np.ndarray] | None = None,
+    ) -> QuantileSketchUnion | DistinctSketchUnion:
+        """Reduce a sketch-aggregate query to its mergeable frontier union.
+
+        Fully covered frontier nodes contribute the pre-built sketches of
+        their leaves (an exact summary of the region, up to sketch error);
+        partially overlapped leaves contribute through their stratified
+        sample — the matched sample values re-weighted to the leaf's
+        estimated matching population for QUANTILE, and a lower (matched
+        samples) / upper (whole leaf) sketch pair for COUNT_DISTINCT — plus
+        the leaf's population as *boundary weight* widening the certified
+        bounds.
+
+        The union is the scatter-gather hand-off: per-shard unions merge
+        with :meth:`QuantileSketchUnion.merge` /
+        :meth:`DistinctSketchUnion.merge`, and
+        :func:`sketch_union_result` turns any union into an
+        :class:`~repro.result.AQPResult`, so sharded and single-synopsis
+        answers share one code path.
+        """
+        if query.agg not in SKETCH_AGGREGATES:
+            raise ValueError(
+                f"{query.agg.value} is not a sketch aggregate; use query()"
+            )
+        if query.value_column != self._value_column:
+            raise ValueError(
+                f"synopsis was built for column {self._value_column!r}, "
+                f"query aggregates {query.value_column!r}"
+            )
+        if self._leaf_sketches is None:
+            raise ValueError(
+                "synopsis was built without sketches and cannot answer "
+                f"{query.agg.value} queries; rebuild with "
+                "PASSConfig(with_sketches=True)"
+            )
+        if frontier is None:
+            frontier = self.lookup(query)
+        covered_leaves = [
+            node
+            for covered in frontier.covered
+            for node in covered.iter_subtree()
+            if node.is_leaf
+        ]
+        if query.agg == AggregateType.QUANTILE:
+            return self._quantile_union(query, frontier, covered_leaves, match_masks)
+        return self._distinct_union(query, frontier, covered_leaves, match_masks)
+
+    def _quantile_union(
+        self,
+        query: AggregateQuery,
+        frontier: MCFResult,
+        covered_leaves: Sequence[PartitionNode],
+        match_masks: Mapping[int, np.ndarray] | None,
+    ) -> QuantileSketchUnion:
+        merged = QuantileSketch(self._leaf_sketches[0].quantile.k)
+        for node in covered_leaves:
+            merged = merged.merge(self._leaf_sketches[node.leaf_index].quantile)
+        boundary = 0
+        floor, ceil = math.inf, -math.inf
+        processed = 0
+        for node in frontier.partial:
+            if node.size == 0:
+                continue
+            boundary += node.size
+            floor = min(floor, node.stats.min)
+            ceil = max(ceil, node.stats.max)
+            stratum = self._leaf_samples[node.leaf_index]
+            processed += stratum.sample_size
+            if stratum.sample_size == 0:
+                continue
+            mask = self._leaf_match_mask(node, query, match_masks)
+            matched = stratum.sample_values(self._value_column)[mask]
+            if matched.shape[0] == 0:
+                continue
+            weight = int(round(node.size * matched.shape[0] / stratum.sample_size))
+            if weight > 0:
+                merged.update_weighted(matched, weight)
+        return QuantileSketchUnion(
+            sketch=merged,
+            boundary_weight=boundary,
+            value_floor=floor,
+            value_ceil=ceil,
+            processed=processed,
+        )
+
+    def _distinct_union(
+        self,
+        query: AggregateQuery,
+        frontier: MCFResult,
+        covered_leaves: Sequence[PartitionNode],
+        match_masks: Mapping[int, np.ndarray] | None,
+    ) -> DistinctSketchUnion:
+        covered = DistinctSketch(self._leaf_sketches[0].distinct.k)
+        for node in covered_leaves:
+            covered = covered.merge(self._leaf_sketches[node.leaf_index].distinct)
+        lower = covered
+        upper = covered
+        boundary = 0
+        processed = 0
+        for node in frontier.partial:
+            if node.size == 0:
+                continue
+            boundary += node.size
+            upper = upper.merge(self._leaf_sketches[node.leaf_index].distinct)
+            stratum = self._leaf_samples[node.leaf_index]
+            processed += stratum.sample_size
+            if stratum.sample_size == 0:
+                continue
+            mask = self._leaf_match_mask(node, query, match_masks)
+            matched = stratum.sample_values(self._value_column)[mask]
+            if matched.shape[0]:
+                sample_sketch = DistinctSketch(lower.k)
+                sample_sketch.update_array(matched)
+                lower = lower.merge(sample_sketch)
+        return DistinctSketchUnion(
+            lower=lower,
+            upper=upper,
+            boundary_weight=boundary,
+            processed=processed,
+        )
 
     # ------------------------------------------------------------------
     # Estimation pieces
@@ -468,3 +656,98 @@ class PASSSynopsis:
             tuples_skipped=skipped,
             exact=exact,
         )
+
+
+def sketch_union_result(
+    query: AggregateQuery,
+    union: "QuantileSketchUnion | DistinctSketchUnion",
+    population: int,
+) -> AQPResult:
+    """Turn a (possibly merged) sketch union into an :class:`AQPResult`.
+
+    The same assembly serves the single-synopsis path and the distributed
+    scatter-gather path (which merges per-shard unions first), so sharded
+    answers follow the exact same sketch algebra as single-synopsis ones.
+
+    * **QUANTILE** — the estimate is the merged sketch's value at rank
+      ``ceil(q * n)`` (the nearest-rank / ``percentile_disc`` convention).
+      The hard bounds are *certified*: the true quantile's rank differs
+      from the target by at most the sketch's accumulated compaction error
+      plus twice the boundary weight (misattributed boundary mass plus the
+      shifted rank target), plus one rank of slack so the bounds also
+      contain linearly *interpolated* quantiles (``percentile_cont`` /
+      ``numpy.quantile``, which lie between the order statistics at
+      ``target - 1`` and ``target + 1``).  The values at that widened rank
+      window — stretched to the partial leaves' known extrema when it
+      reaches past the represented range — therefore always contain the
+      true answer under either convention.
+    * **COUNT_DISTINCT** — the estimate is the midpoint of the lower
+      (covered + matched samples) and upper (covered + whole partial leaves)
+      sketch estimates; the hard bounds stretch each envelope end by the
+      KMV error margin (exactly 0 while the sketches are unsaturated, a
+      >99.7%-probability margin otherwise).
+
+    No CLT interval exists for sketch aggregates: ``ci_half_width`` and
+    ``variance`` are 0 for exact answers and NaN otherwise.
+    """
+    skipped = population - union.boundary_weight
+    exact = union.is_exact
+    if query.agg == AggregateType.QUANTILE:
+        sketch = union.sketch
+        n = sketch.n
+        if n == 0:
+            # Nothing represented: either a provably empty region (exact
+            # NULL) or only unsampled boundary mass (bounded by partial
+            # extrema when they exist).
+            empty = union.boundary_weight == 0
+            return AQPResult(
+                estimate=float("nan"),
+                ci_half_width=0.0 if empty else float("nan"),
+                variance=0.0 if empty else float("nan"),
+                hard_lower=float("nan") if empty else union.value_floor,
+                hard_upper=float("nan") if empty else union.value_ceil,
+                tuples_processed=union.processed,
+                tuples_skipped=skipped,
+                exact=empty,
+            )
+        q = query.quantile if query.quantile is not None else 0.5
+        estimate = sketch.quantile(q)
+        # +1 rank of slack: an interpolated (percentile_cont-style) true
+        # quantile lies between the order statistics adjacent to the
+        # nearest-rank target, so the certified window must straddle them.
+        bound = union.rank_error_bound() + 1
+        target = max(1, min(math.ceil(q * n), n))
+        if target - bound >= 1:
+            hard_lower = sketch.value_at_rank(target - bound)
+        else:
+            hard_lower = min(sketch.min, union.value_floor)
+        if target + bound <= n:
+            hard_upper = sketch.value_at_rank(target + bound)
+        else:
+            hard_upper = max(sketch.max, union.value_ceil)
+        return AQPResult(
+            estimate=estimate,
+            ci_half_width=0.0 if exact else float("nan"),
+            variance=0.0 if exact else float("nan"),
+            hard_lower=hard_lower,
+            hard_upper=hard_upper,
+            tuples_processed=union.processed,
+            tuples_skipped=skipped,
+            exact=exact,
+        )
+
+    lower_estimate = union.lower.estimate()
+    upper_estimate = union.upper.estimate()
+    estimate = upper_estimate if exact else 0.5 * (lower_estimate + upper_estimate)
+    hard_lower = max(0.0, lower_estimate * (1.0 - union.lower.error_fraction()))
+    hard_upper = upper_estimate * (1.0 + union.upper.error_fraction())
+    return AQPResult(
+        estimate=estimate,
+        ci_half_width=0.0 if exact else float("nan"),
+        variance=0.0 if exact else float("nan"),
+        hard_lower=hard_lower,
+        hard_upper=hard_upper,
+        tuples_processed=union.processed,
+        tuples_skipped=skipped,
+        exact=exact,
+    )

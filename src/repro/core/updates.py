@@ -25,6 +25,20 @@ first deletion that can cause this emits a :class:`StaleExtremaWarning`, and
 :attr:`DynamicPASS.minmax_possibly_stale` reports the condition;
 :meth:`DynamicPASS.rebuild` clears it.  SUM / COUNT / AVG statistics are
 maintained exactly and are never affected.
+
+Known limitation — sketches under deletions
+-------------------------------------------
+The per-leaf QUANTILE / COUNT_DISTINCT sketches absorb every *insert*
+exactly (they are mergeable stream summaries), but a linear sketch cannot
+un-see a value: deletions leave the sketches summarizing a slightly larger
+multiset than the live data.  Instead of silently drifting, the synopsis
+counts ignored deletions and reports the normalized drift as
+:attr:`DynamicPASS.sketch_staleness` — the certified quantile rank bounds
+and the distinct-count envelope remain *valid for the inserted multiset*,
+and the answer for the live data is off by at most the deleted mass.
+Serving layers use the ratio the same way as :attr:`DynamicPASS.staleness`:
+to decide when a shard is due for a :meth:`DynamicPASS.rebuild`, which
+reconstructs the sketches from the current data and resets the counter.
 """
 
 from __future__ import annotations
@@ -118,6 +132,7 @@ class DynamicPASS:
         self._updates_since_build = 0
         self._build_population = self.population_size
         self._minmax_possibly_stale = False
+        self._sketch_stale_deletes = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -173,15 +188,31 @@ class DynamicPASS:
         """True when deletions may have left MIN / MAX node stats loose."""
         return self._minmax_possibly_stale
 
+    @property
+    def sketch_staleness(self) -> float:
+        """Deletions the sketches could not absorb, normalized by build size.
+
+        QUANTILE / COUNT_DISTINCT sketches absorb inserts exactly but cannot
+        remove deleted values; this ratio (``ignored deletes / max(1, build
+        population)``) bounds how far sketch answers can drift from the live
+        data.  0.0 right after a (re)build and while the workload is
+        insert-only.
+        """
+        return self._sketch_stale_deletes / max(1, self._build_population)
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def insert(self, row: Mapping[str, float]) -> None:
-        """Insert one tuple: update path statistics and the leaf reservoir."""
+        """Insert one tuple: update path statistics, sketches, and the reservoir."""
         leaf = self._route(row)
         value = float(row[self._value_column])
         for node in self._synopsis.tree.path_to_leaf(leaf):
             node.stats = node.stats.add_value(value)
+        if self._synopsis.has_sketches and not np.isnan(value):
+            sketches = self._synopsis.leaf_sketches_at(leaf.leaf_index)
+            sketches.quantile.update(value)
+            sketches.distinct.update(value)
         reservoir = self._reservoirs[leaf.leaf_index]
         reservoir.offer({column: float(row[column]) for column in self._sample_columns})
         self._refresh_leaf_sample(leaf)
@@ -210,6 +241,10 @@ class DynamicPASS:
             self._minmax_possibly_stale = True
         for node in self._synopsis.tree.path_to_leaf(leaf):
             node.stats = node.stats.remove_value(value)
+        if self._synopsis.has_sketches and not np.isnan(value):
+            # Sketches cannot un-see a value; track the drift instead (see
+            # the module docstring and sketch_staleness).
+            self._sketch_stale_deletes += 1
         reservoir = self._reservoirs[leaf.leaf_index]
         reservoir.discard(
             {column: float(row[column]) for column in self._sample_columns}
@@ -269,6 +304,7 @@ class DynamicPASS:
                 "updates_since_build": self._updates_since_build,
                 "build_population": self._build_population,
                 "minmax_possibly_stale": self._minmax_possibly_stale,
+                "sketch_stale_deletes": self._sketch_stale_deletes,
             }
         )
         return arrays, header
@@ -314,6 +350,7 @@ class DynamicPASS:
         instance._updates_since_build = int(header["updates_since_build"])
         instance._build_population = int(header["build_population"])
         instance._minmax_possibly_stale = bool(header["minmax_possibly_stale"])
+        instance._sketch_stale_deletes = int(header.get("sketch_stale_deletes", 0))
         return instance
 
     # ------------------------------------------------------------------

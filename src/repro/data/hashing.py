@@ -1,0 +1,40 @@
+"""Shared deterministic value hashing (SplitMix64 finalizer).
+
+One implementation of the SplitMix64 mixing core serves both consumers that
+must agree on a value's hash forever:
+
+* shard routing (:func:`repro.distributed.planner.hash_assign`) — workers,
+  reloads, and the streaming router all need the same owner for a key;
+* distinct-count sketching (:class:`repro.sketches.distinct.DistinctSketch`)
+  — merged KMV sketches are only comparable because every shard hashes a
+  value identically.
+
+The function is pure (no process salt) and hashes the float's bit pattern,
+with ``-0.0`` collapsed onto ``+0.0`` so numerically equal keys always
+collide on purpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["splitmix64"]
+
+#: SplitMix64 finalizer multipliers.
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64-mixed 64-bit hashes of an array of float values."""
+    # +0.0 collapses -0.0 onto +0.0 so numerically equal values share a hash.
+    normalized = np.asarray(values, dtype=np.float64) + 0.0
+    bits = np.ascontiguousarray(normalized).view(np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = bits.copy()
+        mixed ^= mixed >> np.uint64(30)
+        mixed *= _MIX_1
+        mixed ^= mixed >> np.uint64(27)
+        mixed *= _MIX_2
+        mixed ^= mixed >> np.uint64(31)
+    return mixed

@@ -28,6 +28,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.data.hashing import splitmix64
 from repro.data.table import Table
 from repro.query.predicate import Box, Interval
 
@@ -36,32 +37,18 @@ __all__ = ["ShardPlan", "ShardPlanner", "ShardRouting", "hash_assign", "STRATEGI
 #: Valid values of :attr:`ShardPlanner.strategy`.
 STRATEGIES = ("range", "hash")
 
-#: SplitMix64 multipliers used for the deterministic shard hash.
-_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX_2 = np.uint64(0x94D049BB133111EB)
-
-
 def hash_assign(values: np.ndarray, n_buckets: int) -> np.ndarray:
     """Deterministic bucket assignment for an array of key values.
 
-    The float key's bit pattern is mixed with the SplitMix64 finalizer so
-    nearby keys land on unrelated buckets; the function is pure (no process
-    salt), so workers, reloads, and the streaming router all agree on the
-    owner of any key.
+    The float key's bit pattern is mixed with the shared SplitMix64
+    finalizer (:func:`repro.data.hashing.splitmix64` — the same hash the
+    distinct-count sketches use) so nearby keys land on unrelated buckets;
+    the function is pure (no process salt), so workers, reloads, and the
+    streaming router all agree on the owner of any key.
     """
     if n_buckets <= 0:
         raise ValueError("n_buckets must be positive")
-    # +0.0 collapses -0.0 onto +0.0 so numerically equal keys share a bucket.
-    normalized = np.asarray(values, dtype=np.float64) + 0.0
-    bits = np.ascontiguousarray(normalized).view(np.uint64)
-    with np.errstate(over="ignore"):
-        mixed = bits.copy()
-        mixed ^= mixed >> np.uint64(30)
-        mixed *= _MIX_1
-        mixed ^= mixed >> np.uint64(27)
-        mixed *= _MIX_2
-        mixed ^= mixed >> np.uint64(31)
-    return (mixed % np.uint64(n_buckets)).astype(np.int64)
+    return (splitmix64(values) % np.uint64(n_buckets)).astype(np.int64)
 
 
 @dataclass(frozen=True)

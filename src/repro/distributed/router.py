@@ -57,6 +57,11 @@ class ShardUpdateStats:
         normalized by its build-time population).
     population:
         The shard's current tuple count.
+    sketch_staleness:
+        The shard's QUANTILE / COUNT_DISTINCT sketch drift: deletions the
+        mergeable sketches could not absorb, normalized by the build-time
+        population (see :attr:`repro.core.updates.DynamicPASS.sketch_staleness`).
+        A rebuild reconstructs the sketches and resets it to 0.0.
     """
 
     inserts: int
@@ -64,6 +69,7 @@ class ShardUpdateStats:
     rebuilds: int
     staleness: float
     population: int
+    sketch_staleness: float = 0.0
 
 
 class StreamingShardRouter:
@@ -247,6 +253,11 @@ class StreamingShardRouter:
                         shard.staleness if isinstance(shard, DynamicPASS) else 0.0
                     ),
                     population=shard.population_size,
+                    sketch_staleness=(
+                        shard.sketch_staleness
+                        if isinstance(shard, DynamicPASS)
+                        else 0.0
+                    ),
                 )
             )
         return snapshots

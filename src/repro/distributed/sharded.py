@@ -25,6 +25,16 @@ engine would:
    the deterministic tree components merge exactly because PASS's partition
    statistics are mergeable.
 
+Sketch aggregates (QUANTILE / COUNT_DISTINCT) follow the same discipline
+one level lower: scalar per-shard answers cannot merge (a quantile of
+quantiles is meaningless), so each surviving shard reduces the query to its
+mergeable *sketch union* (:meth:`PASSSynopsis.sketch_union`), the gather
+phase merges the unions — sketch merges plus additive boundary slack — and
+one :func:`~repro.core.pass_synopsis.sketch_union_result` call produces the
+answer.  The merged certified bounds therefore cover the same rank / count
+error terms as a single synopsis over the union of the shards' data, which
+is exactly the metamorphic property the hypothesis test layer asserts.
+
 Because the shard population statistics are exact, the merged estimate of a
 SUM / COUNT query equals the sum of the per-shard estimates bit for bit, and
 the merged variance the sum of the per-shard variances — the property the
@@ -44,11 +54,11 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.batching import batch_query
-from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.pass_synopsis import PASSSynopsis, sketch_union_result
 from repro.core.tree import PartitionNode, boxes_from_arrays, boxes_to_arrays
 from repro.core.updates import DynamicPASS
 from repro.distributed.planner import ShardRouting
-from repro.query.aggregates import AggregateType
+from repro.query.aggregates import SKETCH_AGGREGATES, AggregateType
 from repro.query.groupby import GroupByPlan, GroupByQuery, GroupedResult, execute_plan
 from repro.query.predicate import Box
 from repro.query.query import AggregateQuery
@@ -198,6 +208,24 @@ class ShardedSynopsis:
             for shard in self._shards
         ]
 
+    @property
+    def supports_sketches(self) -> bool:
+        """True when every shard can answer QUANTILE / COUNT_DISTINCT."""
+        return all(_pass_of(shard).has_sketches for shard in self._shards)
+
+    @property
+    def sketch_staleness(self) -> float:
+        """Worst per-shard sketch drift from unabsorbed deletions."""
+        stalenesses = self.per_shard_sketch_staleness()
+        return max(stalenesses) if stalenesses else 0.0
+
+    def per_shard_sketch_staleness(self) -> list[float]:
+        """Sketch drift of each shard (0.0 for static shards)."""
+        return [
+            shard.sketch_staleness if isinstance(shard, DynamicPASS) else 0.0
+            for shard in self._shards
+        ]
+
     def storage_bytes(self) -> int:
         """Total synopsis footprint across all shards."""
         return sum(_pass_of(shard).storage_bytes() for shard in self._shards)
@@ -299,7 +327,9 @@ class ShardedSynopsis:
         shard answers all of its subqueries through the vectorized
         :func:`~repro.core.batching.batch_query` path in one pass (AVG
         queries fan out into SUM / COUNT / AVG subqueries whose combined
-        estimates and bounds are merged in the gather phase).
+        estimates and bounds are merged in the gather phase).  Sketch
+        aggregates (QUANTILE / COUNT_DISTINCT) gather per-shard *sketch
+        unions* instead of scalar answers (see the module docstring).
         """
         queries = list(queries)
         lam = self._lam if lam is None else lam
@@ -311,6 +341,7 @@ class ShardedSynopsis:
                 )
 
         # Scatter planning: per shard, the deduplicated subquery list.
+        # Sketch aggregates take the union-merging gather path instead.
         survivors: list[list[int]] = [self.surviving_shards(q) for q in queries]
         shard_slots: list[dict[tuple, int]] = [{} for _ in self._shards]
         shard_queries: list[list[AggregateQuery]] = [[] for _ in self._shards]
@@ -323,6 +354,8 @@ class ShardedSynopsis:
                 shard_queries[shard_index].append(subquery)
 
         for query, shard_indices in zip(queries, survivors):
+            if query.agg in SKETCH_AGGREGATES:
+                continue
             for sub in self._subqueries(query):
                 for shard_index in shard_indices:
                     enqueue(shard_index, sub)
@@ -343,6 +376,9 @@ class ShardedSynopsis:
         total_population = sum(populations)
         results = []
         for query, shard_indices in zip(queries, survivors):
+            if query.agg in SKETCH_AGGREGATES:
+                results.append(self._gather_sketch(query, shard_indices))
+                continue
             pruned_population = total_population - sum(
                 populations[i] for i in shard_indices
             )
@@ -377,6 +413,38 @@ class ShardedSynopsis:
     # ------------------------------------------------------------------
     # Gather math
     # ------------------------------------------------------------------
+    def _gather_sketch(
+        self, query: AggregateQuery, shard_indices: Sequence[int]
+    ) -> AQPResult:
+        """Merged QUANTILE / COUNT_DISTINCT answer from per-shard sketch unions.
+
+        Each surviving shard reduces the query to its mergeable sketch union
+        along its own frontier; the unions merge exactly (sketch merges plus
+        additive boundary slack) and one result assembly produces the
+        answer — the same algebra a single synopsis over the union of the
+        shards' data would run, which keeps sharded and single-synopsis
+        estimates within each other's certified bounds.
+        """
+        union = None
+        for index in shard_indices:
+            shard_union = _pass_of(self._shards[index]).sketch_union(query)
+            union = shard_union if union is None else union.merge(shard_union)
+        if union is None:
+            # Every shard pruned: the predicate region is provably empty.
+            empty = query.agg == AggregateType.COUNT_DISTINCT
+            value = 0.0 if empty else float("nan")
+            return AQPResult(
+                estimate=value,
+                ci_half_width=0.0,
+                variance=0.0,
+                hard_lower=value,
+                hard_upper=value,
+                tuples_processed=0,
+                tuples_skipped=self.population_size,
+                exact=True,
+            )
+        return sketch_union_result(query, union, self.population_size)
+
     @staticmethod
     def _subqueries(query: AggregateQuery) -> list[AggregateQuery]:
         """The per-shard subqueries a query fans out into.

@@ -5,6 +5,16 @@ dataset, generate a workload, compute ground truths once, build each
 competing synopsis while timing the construction, evaluate the workload, and
 return uniform :class:`SynopsisEvaluation` rows the reporting module can
 render.
+
+Sketch-aggregate workloads (QUANTILE / COUNT_DISTINCT, see
+:mod:`repro.sketches`) evaluate through every path here unchanged: the
+exact engine computes their NaN-aware ground truths (the QUANTILE parameter
+travels on each query), and the relative-error / hard-bound metrics apply
+as-is — only the CLT-interval metrics (``ci_ratio`` and friends) come back
+NaN, because sketch answers carry certified bounds instead of variances.
+Generate such workloads with
+:func:`repro.query.workload.random_range_queries` (``agg="QUANTILE",
+quantile=0.95`` or ``agg="COUNT_DISTINCT"``).
 """
 
 from __future__ import annotations

@@ -37,7 +37,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.query.aggregates import AggregateType
+from repro.query.aggregates import AggregateType, normalize_quantile
 from repro.query.predicate import Interval, RectPredicate
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult
@@ -61,17 +61,29 @@ MAX_DISTINCT_VALUES = 1024
 
 @dataclass(frozen=True)
 class AggregateSpec:
-    """One aggregate of a group-by query: ``agg(value_column)``."""
+    """One aggregate of a group-by query: ``agg(value_column)``.
+
+    ``quantile`` is the QUANTILE parameter (default 0.5, the median) and
+    must be ``None`` for every other aggregate — the same contract as
+    :class:`~repro.query.query.AggregateQuery`, so specs with different
+    quantiles are distinct aggregates of the same plan.
+    """
 
     agg: AggregateType
     value_column: str
+    quantile: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "agg", AggregateType.parse(self.agg))
+        object.__setattr__(
+            self, "quantile", normalize_quantile(self.agg, self.quantile)
+        )
 
     @property
     def name(self) -> str:
-        """SQL-ish display name, e.g. ``"SUM(value)"``."""
+        """SQL-ish display name, e.g. ``"SUM(value)"`` or ``"P95(value)"``."""
+        if self.agg == AggregateType.QUANTILE:
+            return f"P{self.quantile * 100:g}({self.value_column})"
         return f"{self.agg.value}({self.value_column})"
 
 
@@ -219,7 +231,11 @@ class GroupByQuery:
         aggregates = tuple(
             spec
             if isinstance(spec, AggregateSpec)
-            else AggregateSpec(agg=spec[0], value_column=spec[1])
+            else AggregateSpec(
+                agg=spec[0],
+                value_column=spec[1],
+                quantile=spec[2] if len(spec) > 2 else None,
+            )
             for spec in self.aggregates
         )
         if not groupings:
@@ -336,7 +352,9 @@ class GroupByPlan:
         """The canonical query of one (cell, aggregate) pair."""
         if cell.predicate is None:
             raise ValueError("cannot build a query for a provably empty cell")
-        return AggregateQuery(spec.agg, spec.value_column, cell.predicate)
+        return AggregateQuery(
+            spec.agg, spec.value_column, cell.predicate, quantile=spec.quantile
+        )
 
     def queries(self, skip: Iterable[int] = ()) -> list[AggregateQuery]:
         """The compiled batch, cell-major: every aggregate of cell 0, then 1, ..."""
@@ -350,12 +368,17 @@ class GroupByPlan:
 def empty_group_result(agg: AggregateType, population: int = 0) -> AQPResult:
     """The exact answer of an aggregate over a provably empty group.
 
-    SQL semantics for an empty group: COUNT is 0, SUM is 0, and AVG / MIN /
-    MAX are NaN (NULL).  ``population`` feeds ``tuples_skipped`` so the
-    skip-rate telemetry credits the pruning.
+    SQL semantics for an empty group: COUNT / COUNT_DISTINCT are 0, SUM is
+    0, and AVG / MIN / MAX / QUANTILE are NaN (NULL).  ``population`` feeds
+    ``tuples_skipped`` so the skip-rate telemetry credits the pruning.
     """
     agg = AggregateType.parse(agg)
-    value = 0.0 if agg in (AggregateType.SUM, AggregateType.COUNT) else float("nan")
+    zero_valued = (
+        AggregateType.SUM,
+        AggregateType.COUNT,
+        AggregateType.COUNT_DISTINCT,
+    )
+    value = 0.0 if agg in zero_valued else float("nan")
     return AQPResult(
         estimate=value,
         ci_half_width=0.0,

@@ -19,7 +19,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.data.table import Table
-from repro.query.aggregates import AggregateType, exact_aggregate
+from repro.query.aggregates import AggregateType, exact_aggregate, normalize_quantile
 from repro.query.predicate import RectPredicate
 
 __all__ = ["AggregateQuery", "ExactEngine"]
@@ -32,20 +32,30 @@ class AggregateQuery:
     Attributes
     ----------
     agg:
-        Which aggregate to compute (SUM / COUNT / AVG / MIN / MAX).
+        Which aggregate to compute (SUM / COUNT / AVG / MIN / MAX, or the
+        sketch aggregates QUANTILE / COUNT_DISTINCT).
     value_column:
         Name of the aggregation column ``A``.
     predicate:
         Rectangular predicate over the predicate columns; use
         :meth:`RectPredicate.everything` for an unfiltered aggregate.
+    quantile:
+        The QUANTILE parameter ``q`` in ``[0, 1]``; defaults to 0.5 (the
+        median) for QUANTILE queries and must be ``None`` for every other
+        aggregate.  Part of the canonical identity: ``QUANTILE(0.5)`` and
+        ``QUANTILE(0.95)`` hash, compare, and cache as different queries.
     """
 
     agg: AggregateType
     value_column: str
     predicate: RectPredicate
+    quantile: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "agg", AggregateType.parse(self.agg))
+        object.__setattr__(
+            self, "quantile", normalize_quantile(self.agg, self.quantile)
+        )
 
     @classmethod
     def sum(cls, value_column: str, predicate: RectPredicate) -> "AggregateQuery":
@@ -62,9 +72,37 @@ class AggregateQuery:
         """Convenience constructor for an AVG query."""
         return cls(AggregateType.AVG, value_column, predicate)
 
-    def with_aggregate(self, agg: AggregateType | str) -> "AggregateQuery":
-        """A copy of this query computing a different aggregate."""
-        return replace(self, agg=AggregateType.parse(agg))
+    @classmethod
+    def at_quantile(
+        cls, value_column: str, q: float, predicate: RectPredicate
+    ) -> "AggregateQuery":
+        """Convenience constructor for a QUANTILE(q) query."""
+        return cls(AggregateType.QUANTILE, value_column, predicate, quantile=q)
+
+    @classmethod
+    def median(cls, value_column: str, predicate: RectPredicate) -> "AggregateQuery":
+        """Convenience constructor for a MEDIAN (QUANTILE(0.5)) query."""
+        return cls.at_quantile(value_column, 0.5, predicate)
+
+    @classmethod
+    def count_distinct(
+        cls, value_column: str, predicate: RectPredicate
+    ) -> "AggregateQuery":
+        """Convenience constructor for a COUNT_DISTINCT query."""
+        return cls(AggregateType.COUNT_DISTINCT, value_column, predicate)
+
+    def with_aggregate(
+        self, agg: AggregateType | str, quantile: float | None = None
+    ) -> "AggregateQuery":
+        """A copy of this query computing a different aggregate.
+
+        ``quantile`` sets the parameter when re-targeting at QUANTILE
+        (default: the median); it is dropped when re-targeting elsewhere.
+        """
+        agg = AggregateType.parse(agg)
+        if agg != AggregateType.QUANTILE:
+            quantile = None
+        return replace(self, agg=agg, quantile=quantile)
 
     def cache_key(self) -> tuple:
         """A canonical, hashable identity for result caching.
@@ -72,11 +110,16 @@ class AggregateQuery:
         Two queries that compute the same aggregate of the same column over
         the same region get the same key, regardless of predicate spelling
         (column order, int vs float bounds, explicit unbounded intervals).
-        The frozen dataclass hash/equality already delegate to the canonical
+        QUANTILE keys additionally carry the quantile parameter, so each
+        requested percentile caches separately.  The frozen dataclass
+        hash/equality already delegate to the canonical
         :meth:`RectPredicate.canonical_key`, so ``cache_key()`` is simply the
         explicit tuple form for callers that want to key external stores.
         """
-        return (self.agg.value, self.value_column, self.predicate.canonical_key())
+        agg_key: object = self.agg.value
+        if self.quantile is not None:
+            agg_key = (self.agg.value, self.quantile)
+        return (agg_key, self.value_column, self.predicate.canonical_key())
 
     @property
     def predicate_columns(self) -> list[str]:
@@ -118,7 +161,7 @@ class ExactEngine:
         """Exact result of the query (ground truth)."""
         mask = self.predicate_mask(query)
         values = self._table.column(query.value_column)[mask]
-        return exact_aggregate(query.agg, values)
+        return exact_aggregate(query.agg, values, quantile=query.quantile)
 
     def execute_many(self, queries: Iterable[AggregateQuery]) -> list[float]:
         """Exact results for a sequence of queries."""

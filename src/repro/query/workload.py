@@ -56,11 +56,19 @@ class WorkloadSpec:
     def __iter__(self):
         return iter(self.queries)
 
-    def with_aggregate(self, agg: AggregateType | str) -> "WorkloadSpec":
-        """The same predicates, re-targeted at a different aggregate."""
+    def with_aggregate(
+        self, agg: AggregateType | str, quantile: float | None = None
+    ) -> "WorkloadSpec":
+        """The same predicates, re-targeted at a different aggregate.
+
+        ``quantile`` applies when re-targeting at QUANTILE (default: the
+        median) and is ignored otherwise.
+        """
         agg = AggregateType.parse(agg)
         return WorkloadSpec(
-            queries=tuple(query.with_aggregate(agg) for query in self.queries),
+            queries=tuple(
+                query.with_aggregate(agg, quantile=quantile) for query in self.queries
+            ),
             description=f"{self.description} [{agg.value}]",
         )
 
@@ -98,6 +106,7 @@ def random_range_queries(
     rng: np.random.Generator | int | None = 0,
     min_fraction: float = 0.01,
     max_fraction: float = 0.5,
+    quantile: float | None = None,
 ) -> WorkloadSpec:
     """Generate random rectangular range queries over the given columns.
 
@@ -117,6 +126,8 @@ def random_range_queries(
         Numpy generator or seed.
     min_fraction, max_fraction:
         Range of per-column rank widths; controls query selectivity.
+    quantile:
+        The QUANTILE parameter when ``agg`` is QUANTILE (default: median).
     """
     if n_queries <= 0:
         raise ValueError("n_queries must be positive")
@@ -133,7 +144,14 @@ def random_range_queries(
             column: _random_interval(values, generator, min_fraction, max_fraction)
             for column, values in column_values.items()
         }
-        queries.append(AggregateQuery(agg, value_column, RectPredicate(intervals)))
+        queries.append(
+            AggregateQuery(
+                agg,
+                value_column,
+                RectPredicate(intervals),
+                quantile=quantile if agg == AggregateType.QUANTILE else None,
+            )
+        )
     description = (
         f"{n_queries} random {agg.value} queries over {list(predicate_columns)} "
         f"on {table.name}"

@@ -24,6 +24,7 @@ from repro.core.pass_synopsis import PASSSynopsis
 from repro.core.updates import DynamicPASS
 from repro.data.table import Table
 from repro.distributed.sharded import ShardedSynopsis
+from repro.query.aggregates import SKETCH_AGGREGATES
 from repro.query.query import AggregateQuery, ExactEngine
 
 __all__ = ["CatalogEntry", "SynopsisCatalog"]
@@ -97,11 +98,26 @@ class CatalogEntry:
             return self.synopsis.staleness
         return 0.0
 
+    @property
+    def supports_sketches(self) -> bool:
+        """True when the entry can answer QUANTILE / COUNT_DISTINCT queries."""
+        if isinstance(self.synopsis, ShardedSynopsis):
+            return self.synopsis.supports_sketches
+        return self.pass_synopsis.has_sketches
+
     def can_answer(self, query: AggregateQuery, table_name: str | None = None) -> bool:
-        """True when the entry can answer the query (column-wise)."""
+        """True when the entry can answer the query (column-wise).
+
+        Sketch aggregates (QUANTILE / COUNT_DISTINCT) additionally require
+        the synopsis to carry per-leaf sketches — entries built with
+        ``with_sketches=False`` refuse them, so the planner falls back to
+        another synopsis or the exact engine instead of erroring.
+        """
         if table_name is not None and table_name != self.table_name:
             return False
         if query.value_column != self.value_column:
+            return False
+        if query.agg in SKETCH_AGGREGATES and not self.supports_sketches:
             return False
         constrained = {column for column, _, _ in query.predicate.canonical_key()}
         return constrained <= set(self.predicate_columns)

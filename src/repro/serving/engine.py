@@ -10,8 +10,17 @@ into something that can serve query traffic:
 * **Result caching** — answers are memoized in an LRU cache keyed on the
   canonical query form (:meth:`AggregateQuery.cache_key`), so repeated
   queries — the common case in dashboard traffic — skip the synopsis
-  entirely.  Updates invalidate exactly the cached results whose predicate
-  region overlaps the updated partition.
+  entirely.  The canonical key carries the quantile parameter, so a p50 /
+  p95 / p99 dashboard caches each percentile separately while identical
+  percentile queries still collapse onto one entry.  Updates invalidate
+  exactly the cached results whose predicate region overlaps the updated
+  partition.
+
+Sketch aggregates (QUANTILE / COUNT_DISTINCT) serve through the same three
+mechanisms unchanged: the catalog routes them only to synopses carrying
+per-leaf sketches (:attr:`CatalogEntry.supports_sketches`) and otherwise
+falls back to the exact engine, batches reduce them along shared frontiers,
+and sharded entries gather mergeable sketch unions across shards.
 * **Batch execution** — :meth:`execute_batch` deduplicates the batch,
   groups cache misses by routed synopsis, and evaluates the sample match
   masks of all queries touching a leaf in one vectorized pass, then feeds

@@ -16,8 +16,11 @@ the declarative group-by form and the single-aggregate batch executors:
 3. **Dispatch** — the surviving cell-major batch runs through
    :meth:`~repro.serving.engine.ServingEngine.execute_batch`, so grouped
    traffic inherits the per-group result cache (every compiled query's
-   canonical cache key embeds its group cell's predicate), the vectorized
-   shared-mask execution, and the exact-scan fallback.
+   canonical cache key embeds its group cell's predicate — and, for
+   QUANTILE aggregates, the quantile parameter), the vectorized shared-mask
+   execution, and the exact-scan fallback.  Sketch aggregates ride the same
+   plan: a ``P95(value)`` spec compiles into per-cell QUANTILE queries the
+   routed synopsis answers from its mergeable per-leaf sketches.
 
 The planner is a stateless strategy object over a catalog; the thread-safe
 entry point for applications is

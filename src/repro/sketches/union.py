@@ -1,0 +1,176 @@
+"""Per-leaf sketch attachment and mergeable frontier unions.
+
+:class:`LeafSketches` is what the builder attaches to every leaf partition:
+one quantile sketch and one distinct-count sketch over the leaf's aggregation
+values.  A query then reduces, along its MCF frontier, to a *union* object:
+
+* fully covered nodes contribute the merged sketches of their leaves
+  (an exact summary of the region's rows, up to sketch error);
+* partially overlapped leaves contribute through their stratified sample
+  (quantiles: the matched sample values re-weighted to the leaf's estimated
+  matching population; distinct counts: a lower sketch from the matched
+  samples and an upper sketch from the whole leaf) plus a *boundary weight*
+  — the total population of partial leaves — that widens the certified
+  bounds to cover any misattribution at the predicate boundary.
+
+Union objects are mergeable with the same discipline as the sketches
+themselves, which is exactly what the distributed scatter-gather path needs:
+each shard reduces its frontier to a union, the gather phase merges the
+unions, and :func:`repro.core.pass_synopsis.sketch_union_result` turns the
+merged union into an :class:`~repro.result.AQPResult` — so a sharded answer
+is, by construction, the same sketch algebra as a single-synopsis answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketches.distinct import DEFAULT_DISTINCT_K, DistinctSketch
+from repro.sketches.quantile import DEFAULT_QUANTILE_K, QuantileSketch
+
+__all__ = ["LeafSketches", "QuantileSketchUnion", "DistinctSketchUnion"]
+
+
+@dataclass
+class LeafSketches:
+    """The mergeable sketches attached to one leaf partition."""
+
+    quantile: QuantileSketch
+    distinct: DistinctSketch
+
+    @classmethod
+    def from_values(
+        cls,
+        values: np.ndarray,
+        quantile_k: int = DEFAULT_QUANTILE_K,
+        distinct_k: int = DEFAULT_DISTINCT_K,
+    ) -> "LeafSketches":
+        """Build both sketches over a leaf's aggregation values (NaN ignored)."""
+        quantile = QuantileSketch(quantile_k)
+        quantile.update_array(values)
+        distinct = DistinctSketch(distinct_k)
+        distinct.update_array(values)
+        return cls(quantile=quantile, distinct=distinct)
+
+    def storage_bytes(self) -> int:
+        """Approximate combined footprint of both sketches."""
+        return self.quantile.storage_bytes() + self.distinct.storage_bytes()
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Export both sketches as namespaced flat arrays (exact round trip)."""
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in self.quantile.to_arrays().items():
+            arrays[f"quantile/{key}"] = value
+        for key, value in self.distinct.to_arrays().items():
+            arrays[f"distinct/{key}"] = value
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "LeafSketches":
+        """Rebuild an attachment exported with :meth:`to_arrays`."""
+        quantile = {
+            key[len("quantile/") :]: value
+            for key, value in arrays.items()
+            if key.startswith("quantile/")
+        }
+        distinct = {
+            key[len("distinct/") :]: value
+            for key, value in arrays.items()
+            if key.startswith("distinct/")
+        }
+        return cls(
+            quantile=QuantileSketch.from_arrays(quantile),
+            distinct=DistinctSketch.from_arrays(distinct),
+        )
+
+
+@dataclass
+class QuantileSketchUnion:
+    """A QUANTILE query reduced to one mergeable sketch plus boundary slack.
+
+    Attributes
+    ----------
+    sketch:
+        Merged quantile summary: exact leaf sketches of the covered region
+        plus the re-weighted matched samples of partially overlapped leaves.
+    boundary_weight:
+        Total population of the partially overlapped leaves.  Any rank can be
+        misattributed by at most this much mass (wrong sample-weight
+        estimate, wrong values at the boundary) plus as much again for the
+        shifted rank target, so certified bounds widen by
+        ``2 * boundary_weight``.
+    value_floor / value_ceil:
+        Extrema of the partial leaves' node statistics (``+inf`` / ``-inf``
+        when there are none): deterministic envelopes for boundary mass the
+        sketch never saw.
+    processed:
+        Sample tuples touched while reducing the query.
+    """
+
+    sketch: QuantileSketch
+    boundary_weight: int = 0
+    value_floor: float = math.inf
+    value_ceil: float = -math.inf
+    processed: int = 0
+
+    def rank_error_bound(self) -> int:
+        """Certified additive rank-error bound of the reduced query."""
+        return self.sketch.rank_error_bound() + 2 * self.boundary_weight
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the union provably holds the exact matching multiset."""
+        return self.boundary_weight == 0 and self.sketch.is_exact
+
+    def merge(self, other: "QuantileSketchUnion") -> "QuantileSketchUnion":
+        """Union of two reduced queries (the scatter-gather merge)."""
+        return QuantileSketchUnion(
+            sketch=self.sketch.merge(other.sketch),
+            boundary_weight=self.boundary_weight + other.boundary_weight,
+            value_floor=min(self.value_floor, other.value_floor),
+            value_ceil=max(self.value_ceil, other.value_ceil),
+            processed=self.processed + other.processed,
+        )
+
+
+@dataclass
+class DistinctSketchUnion:
+    """A COUNT_DISTINCT query reduced to a lower / upper sketch envelope.
+
+    Attributes
+    ----------
+    lower:
+        Covered-region leaf sketches merged with the *matched sample values*
+        of partial leaves — a subset of the matching rows, so its estimate
+        lower-bounds the true distinct count (within sketch error).
+    upper:
+        Covered-region leaf sketches merged with the *entire* sketches of
+        partial leaves — a superset of the matching rows, so its estimate
+        upper-bounds the true distinct count (within sketch error).  With no
+        partial leaves both sketches coincide and the answer is a plain
+        mergeable estimate.
+    boundary_weight / processed:
+        As in :class:`QuantileSketchUnion`.
+    """
+
+    lower: DistinctSketch
+    upper: DistinctSketch
+    boundary_weight: int = 0
+    processed: int = 0
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the envelope collapses to an exact distinct count."""
+        return self.boundary_weight == 0 and self.upper.is_exact
+
+    def merge(self, other: "DistinctSketchUnion") -> "DistinctSketchUnion":
+        """Union of two reduced queries (the scatter-gather merge)."""
+        return DistinctSketchUnion(
+            lower=self.lower.merge(other.lower),
+            upper=self.upper.merge(other.upper),
+            boundary_weight=self.boundary_weight + other.boundary_weight,
+            processed=self.processed + other.processed,
+        )

@@ -7,8 +7,29 @@ reduced sizes.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+else:
+    # The "ci" profile makes property tests deterministic: derandomize=True
+    # derives every example from the test body (a fixed seed), and the
+    # deadline is dropped because shared CI runners stall unpredictably.
+    # Select it with HYPOTHESIS_PROFILE=ci (the CI workflow does).
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.data.generators import adversarial, intel_wireless_like, nyc_taxi_like
 from repro.data.table import Table

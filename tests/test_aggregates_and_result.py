@@ -9,7 +9,9 @@ import pytest
 
 from repro.query.aggregates import (
     ALL_AGGREGATES,
+    CLASSIC_AGGREGATES,
     SAMPLING_SUPPORTED,
+    SKETCH_AGGREGATES,
     AggregateType,
     exact_aggregate,
 )
@@ -24,13 +26,25 @@ class TestAggregateType:
     def test_parse_passthrough(self):
         assert AggregateType.parse(AggregateType.MIN) == AggregateType.MIN
 
+    def test_parse_sketch_aggregates_and_aliases(self):
+        assert AggregateType.parse("quantile") == AggregateType.QUANTILE
+        assert AggregateType.parse("median") == AggregateType.QUANTILE
+        assert AggregateType.parse("count_distinct") == AggregateType.COUNT_DISTINCT
+        assert AggregateType.parse("Count Distinct") == AggregateType.COUNT_DISTINCT
+
     def test_parse_unknown_raises(self):
         with pytest.raises(ValueError, match="unknown aggregate"):
-            AggregateType.parse("median")
+            AggregateType.parse("mode")
 
     def test_constant_sets(self):
         assert AggregateType.MIN not in SAMPLING_SUPPORTED
-        assert len(ALL_AGGREGATES) == 5
+        assert len(ALL_AGGREGATES) == 7
+        assert len(CLASSIC_AGGREGATES) == 5
+        assert set(SKETCH_AGGREGATES) == {
+            AggregateType.QUANTILE,
+            AggregateType.COUNT_DISTINCT,
+        }
+        assert set(CLASSIC_AGGREGATES) | set(SKETCH_AGGREGATES) == set(ALL_AGGREGATES)
 
 
 class TestExactAggregate:
@@ -66,6 +80,44 @@ class TestExactAggregate:
         assert math.isnan(exact_aggregate(AggregateType.MIN, values))
         assert math.isnan(exact_aggregate(AggregateType.MAX, values))
         assert exact_aggregate(AggregateType.COUNT, values) == 2.0
+
+    def test_quantile_on_known_values(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert exact_aggregate(AggregateType.QUANTILE, values) == 2.5
+        assert exact_aggregate(AggregateType.QUANTILE, values, quantile=0.0) == 1.0
+        assert exact_aggregate(AggregateType.QUANTILE, values, quantile=1.0) == 4.0
+        assert exact_aggregate(
+            AggregateType.QUANTILE, values, quantile=0.25
+        ) == pytest.approx(1.75)
+
+    def test_quantile_ignores_nan_like_sql_null(self):
+        values = np.array([1.0, float("nan"), 3.0, float("nan"), 5.0])
+        assert exact_aggregate(AggregateType.QUANTILE, values, quantile=0.5) == 3.0
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            exact_aggregate(AggregateType.QUANTILE, np.array([1.0]), quantile=1.5)
+
+    def test_quantile_empty_and_all_nan_are_null(self):
+        assert math.isnan(exact_aggregate(AggregateType.QUANTILE, np.array([])))
+        assert math.isnan(
+            exact_aggregate(
+                AggregateType.QUANTILE, np.array([float("nan")]), quantile=0.9
+            )
+        )
+
+    def test_count_distinct_on_known_values(self):
+        values = np.array([1.0, 2.0, 2.0, 3.0, 3.0, 3.0])
+        assert exact_aggregate(AggregateType.COUNT_DISTINCT, values) == 3.0
+
+    def test_count_distinct_ignores_nan(self):
+        values = np.array([1.0, float("nan"), 1.0, float("nan"), 2.0])
+        assert exact_aggregate(AggregateType.COUNT_DISTINCT, values) == 2.0
+
+    def test_count_distinct_empty_and_all_nan_are_zero(self):
+        assert exact_aggregate(AggregateType.COUNT_DISTINCT, np.array([])) == 0.0
+        nans = np.array([float("nan"), float("nan")])
+        assert exact_aggregate(AggregateType.COUNT_DISTINCT, nans) == 0.0
 
 
 class TestAQPResult:

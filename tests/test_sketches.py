@@ -1,0 +1,303 @@
+"""Unit tests for the mergeable sketch primitives and their query plumbing.
+
+Deterministic, example-based coverage of :mod:`repro.sketches`; the
+adversarial / randomized law checking lives in the hypothesis layer
+(``test_sketch_properties.py``) and the four serving paths in
+``test_sketch_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.query.aggregates import AggregateType
+from repro.query.groupby import AggregateSpec, empty_group_result
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+from repro.sketches import (
+    DistinctSketch,
+    DistinctSketchUnion,
+    LeafSketches,
+    QuantileSketch,
+    QuantileSketchUnion,
+)
+
+
+class TestQuantileSketch:
+    def test_small_input_is_exact(self):
+        sketch = QuantileSketch(k=64)
+        sketch.update_array(np.arange(1, 51, dtype=float))
+        assert sketch.is_exact
+        assert sketch.n == 50
+        assert sketch.rank_error_bound() == 0
+        assert sketch.quantile(0.5) == 25.0
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 50.0
+        assert sketch.rank(25.0) == 25
+
+    def test_nan_values_are_ignored(self):
+        sketch = QuantileSketch(k=64)
+        sketch.update_array(np.array([1.0, float("nan"), 3.0]))
+        sketch.update(float("nan"))
+        assert sketch.n == 2
+        assert sketch.quantile(1.0) == 3.0
+
+    def test_empty_sketch_answers_nan(self):
+        sketch = QuantileSketch(k=64)
+        assert sketch.n == 0
+        assert math.isnan(sketch.quantile(0.5))
+        assert math.isnan(sketch.min) and math.isnan(sketch.max)
+        assert sketch.rank(10.0) == 0
+
+    def test_quantile_out_of_range_raises(self):
+        sketch = QuantileSketch(k=64)
+        with pytest.raises(ValueError, match="quantile"):
+            sketch.quantile(1.5)
+
+    def test_compaction_certifies_its_error(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 1, size=20_000)
+        sketch = QuantileSketch(k=32)
+        sketch.update_array(data)
+        assert not sketch.is_exact
+        bound = sketch.rank_error_bound()
+        assert 0 < bound < sketch.n
+        ordered = np.sort(data)
+        for q in (0.1, 0.5, 0.9):
+            estimate = sketch.quantile(q)
+            target = max(1, min(math.ceil(q * sketch.n), sketch.n))
+            lo = np.searchsorted(ordered, estimate, side="left") + 1
+            hi = np.searchsorted(ordered, estimate, side="right")
+            assert lo <= target + bound and hi >= target - bound
+
+    def test_extrema_stay_exact_after_compaction(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(0, 100, size=5_000)
+        sketch = QuantileSketch(k=16)
+        sketch.update_array(data)
+        assert sketch.min == data.min()
+        assert sketch.max == data.max()
+
+    def test_weighted_update_preserves_total_weight(self):
+        sketch = QuantileSketch(k=64)
+        sketch.update_weighted(np.array([1.0, 2.0, 3.0]), 300)
+        assert sketch.n == 300
+        assert sketch.quantile(0.5) == 2.0
+        # Fewer weight units than values: deterministic truncation.
+        other = QuantileSketch(k=64)
+        other.update_weighted(np.array([5.0, 1.0, 3.0]), 2)
+        assert other.n == 2
+        assert other.quantile(1.0) == 3.0
+
+    def test_merge_is_commutative_and_conserves_state(self):
+        rng = np.random.default_rng(5)
+        a, b = QuantileSketch(k=32), QuantileSketch(k=32)
+        a.update_array(rng.normal(0, 1, 3_000))
+        b.update_array(rng.normal(5, 2, 3_000))
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.n == ba.n == 6_000
+        assert ab.rank_error_bound() == ba.rank_error_bound()
+        for q in np.linspace(0, 1, 21):
+            assert ab.quantile(q) == ba.quantile(q)
+        # inputs untouched
+        assert a.n == 3_000 and b.n == 3_000
+
+    def test_merge_k_mismatch_raises(self):
+        with pytest.raises(ValueError, match="different k"):
+            QuantileSketch(k=32).merge(QuantileSketch(k=64))
+        with pytest.raises(TypeError):
+            QuantileSketch(k=32).merge(object())
+
+    def test_round_trip_is_identical(self):
+        rng = np.random.default_rng(6)
+        sketch = QuantileSketch(k=16)
+        sketch.update_array(rng.uniform(0, 10, 2_000))
+        loaded = QuantileSketch.from_arrays(sketch.to_arrays())
+        assert loaded.n == sketch.n
+        assert loaded.rank_error_bound() == sketch.rank_error_bound()
+        assert loaded.min == sketch.min and loaded.max == sketch.max
+        for q in np.linspace(0, 1, 51):
+            assert loaded.quantile(q) == sketch.quantile(q)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            QuantileSketch(k=4)
+
+    def test_storage_grows_sublinearly(self):
+        rng = np.random.default_rng(7)
+        sketch = QuantileSketch(k=64)
+        sketch.update_array(rng.uniform(0, 1, 100_000))
+        # 100k floats raw = 800kB; the sketch keeps O(k log(n/k)).
+        assert sketch.storage_bytes() < 50_000
+
+
+class TestDistinctSketch:
+    def test_exact_below_capacity(self):
+        sketch = DistinctSketch(k=64)
+        sketch.update_array(np.array([1.0, 2.0, 2.0, 3.0, -0.0, 0.0]))
+        assert sketch.is_exact
+        # -0.0 and 0.0 are numerically equal: one distinct value.
+        assert sketch.estimate() == 4.0
+        assert sketch.error_fraction() == 0.0
+
+    def test_nan_values_are_ignored(self):
+        sketch = DistinctSketch(k=64)
+        sketch.update_array(np.array([float("nan"), 1.0, float("nan")]))
+        sketch.update(float("nan"))
+        assert sketch.estimate() == 1.0
+
+    def test_empty_sketch_estimates_zero(self):
+        assert DistinctSketch(k=64).estimate() == 0.0
+
+    def test_saturated_estimate_within_margin(self):
+        rng = np.random.default_rng(8)
+        values = rng.integers(0, 50_000, size=120_000).astype(float)
+        truth = float(np.unique(values).shape[0])
+        sketch = DistinctSketch(k=1024)
+        sketch.update_array(values)
+        assert not sketch.is_exact
+        margin = sketch.error_fraction()
+        assert 0 < margin < 0.2
+        assert abs(sketch.estimate() - truth) <= margin * truth
+
+    def test_merge_is_bit_exact_associative_and_commutative(self):
+        rng = np.random.default_rng(9)
+        parts = [
+            rng.integers(low, low + 400, size=3_000).astype(float)
+            for low in (0, 250, 500)
+        ]
+        a, b, c = (DistinctSketch(k=64) for _ in range(3))
+        for sketch, part in zip((a, b, c), parts):
+            sketch.update_array(part)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(b).merge(a)
+        assert left.estimate() == right.estimate() == swapped.estimate()
+        assert np.array_equal(
+            left.to_arrays()["hashes"], right.to_arrays()["hashes"]
+        )
+
+    def test_merge_k_mismatch_raises(self):
+        with pytest.raises(ValueError, match="different k"):
+            DistinctSketch(k=32).merge(DistinctSketch(k=64))
+
+    def test_round_trip_is_identical(self):
+        rng = np.random.default_rng(10)
+        sketch = DistinctSketch(k=32)
+        sketch.update_array(rng.integers(0, 10_000, 5_000).astype(float))
+        loaded = DistinctSketch.from_arrays(sketch.to_arrays())
+        assert loaded.estimate() == sketch.estimate()
+        assert loaded.is_exact == sketch.is_exact
+        assert np.array_equal(
+            loaded.to_arrays()["hashes"], sketch.to_arrays()["hashes"]
+        )
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            DistinctSketch(k=8)
+
+
+class TestLeafSketchesAndUnions:
+    def test_leaf_sketches_round_trip(self):
+        rng = np.random.default_rng(11)
+        sketches = LeafSketches.from_values(
+            rng.uniform(0, 100, 4_000), quantile_k=32, distinct_k=64
+        )
+        loaded = LeafSketches.from_arrays(sketches.to_arrays())
+        assert loaded.quantile.quantile(0.5) == sketches.quantile.quantile(0.5)
+        assert loaded.distinct.estimate() == sketches.distinct.estimate()
+        assert sketches.storage_bytes() > 0
+
+    def test_quantile_union_merge_adds_slack(self):
+        a = QuantileSketchUnion(
+            sketch=QuantileSketch(k=32),
+            boundary_weight=10,
+            value_floor=1.0,
+            value_ceil=5.0,
+            processed=3,
+        )
+        b = QuantileSketchUnion(
+            sketch=QuantileSketch(k=32),
+            boundary_weight=7,
+            value_floor=0.5,
+            value_ceil=9.0,
+            processed=4,
+        )
+        merged = a.merge(b)
+        assert merged.boundary_weight == 17
+        assert merged.value_floor == 0.5 and merged.value_ceil == 9.0
+        assert merged.processed == 7
+        assert merged.rank_error_bound() == 2 * 17
+        assert not merged.is_exact
+
+    def test_distinct_union_exactness(self):
+        sketch = DistinctSketch(k=32)
+        sketch.update_array(np.array([1.0, 2.0]))
+        union = DistinctSketchUnion(lower=sketch, upper=sketch)
+        assert union.is_exact
+        widened = union.merge(
+            DistinctSketchUnion(
+                lower=DistinctSketch(k=32),
+                upper=DistinctSketch(k=32),
+                boundary_weight=5,
+            )
+        )
+        assert not widened.is_exact
+        assert widened.boundary_weight == 5
+
+
+class TestQuantileQueryModel:
+    def test_quantile_defaults_to_median(self):
+        query = AggregateQuery("QUANTILE", "value", RectPredicate.everything())
+        assert query.quantile == 0.5
+        assert AggregateQuery("median", "value", RectPredicate.everything()) == query
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError, match="quantile must be"):
+            AggregateQuery(
+                "QUANTILE", "value", RectPredicate.everything(), quantile=1.2
+            )
+        with pytest.raises(ValueError, match="applies only to QUANTILE"):
+            AggregateQuery("SUM", "value", RectPredicate.everything(), quantile=0.5)
+
+    def test_cache_key_carries_quantile(self):
+        predicate = RectPredicate.everything()
+        p50 = AggregateQuery.median("value", predicate)
+        p95 = AggregateQuery.at_quantile("value", 0.95, predicate)
+        assert p50.cache_key() != p95.cache_key()
+        assert p50 != p95
+        again = AggregateQuery("QUANTILE", "value", predicate, quantile=0.95)
+        assert again.cache_key() == p95.cache_key() and hash(again) == hash(p95)
+        # Classic aggregates keep their pre-sketch key shape.
+        assert AggregateQuery.sum("value", predicate).cache_key()[0] == "SUM"
+
+    def test_with_aggregate_drops_or_sets_quantile(self):
+        base = AggregateQuery.at_quantile("value", 0.9, RectPredicate.everything())
+        as_sum = base.with_aggregate("SUM")
+        assert as_sum.quantile is None
+        back = as_sum.with_aggregate("QUANTILE", quantile=0.75)
+        assert back.quantile == 0.75
+        defaulted = as_sum.with_aggregate("QUANTILE")
+        assert defaulted.quantile == 0.5
+
+    def test_count_distinct_constructor(self):
+        query = AggregateQuery.count_distinct("value", RectPredicate.everything())
+        assert query.agg == AggregateType.COUNT_DISTINCT
+        assert query.quantile is None
+
+    def test_aggregate_spec_names_and_validation(self):
+        assert AggregateSpec("QUANTILE", "value", 0.95).name == "P95(value)"
+        assert AggregateSpec("QUANTILE", "value").name == "P50(value)"
+        assert AggregateSpec("COUNT_DISTINCT", "value").name == "COUNT_DISTINCT(value)"
+        with pytest.raises(ValueError, match="applies only to QUANTILE"):
+            AggregateSpec("MAX", "value", 0.5)
+
+    def test_empty_group_results_for_sketch_aggregates(self):
+        quantile = empty_group_result(AggregateType.QUANTILE, population=10)
+        assert math.isnan(quantile.estimate) and quantile.exact
+        distinct = empty_group_result(AggregateType.COUNT_DISTINCT, population=10)
+        assert distinct.estimate == 0.0 and distinct.exact
+        assert distinct.tuples_skipped == 10
