@@ -20,14 +20,23 @@ The 2x headroom absorbs runner-to-runner hardware variance while still
 catching the order-of-magnitude regressions a broken batch path produces.
 Metrics missing from the baseline are reported but never fail the gate, so
 adding a new benchmark does not require regenerating the baseline in the
-same commit.  Refresh the baseline by re-running the smoke benchmarks and
-passing ``--write-baseline``::
+same commit.  A metric present in the baseline but *missing from the
+current run* is reported as a missing metric and fails the gate — an
+unwatched regression guard is itself a regression.  Refresh the baseline by
+re-running the smoke benchmarks and passing ``--write-baseline``::
 
     python benchmarks/bench_serving_throughput.py --tiny --json /tmp/serving.json
     python benchmarks/bench_distributed.py --tiny --json /tmp/distributed.json
     python benchmarks/bench_groupby.py --tiny --json /tmp/groupby.json
+    python benchmarks/bench_async_serving.py --tiny --json /tmp/async.json
     python benchmarks/perf_gate.py --inputs /tmp/serving.json /tmp/distributed.json \
-        /tmp/groupby.json --write-baseline benchmarks/BENCH_baseline.json
+        /tmp/groupby.json /tmp/async.json \
+        --write-baseline benchmarks/BENCH_baseline.json
+
+The nightly pipeline runs the same comparison in ``--trend`` mode: per-metric
+drift is reported (and written to the ``--out`` report) without ever failing
+the run, so gradual drift is visible in the nightly artifacts long before it
+trips the 2x PR gate.
 """
 
 from __future__ import annotations
@@ -53,25 +62,40 @@ def load_metrics(paths: list[str]) -> dict[str, dict]:
                     f"metric {name!r} has direction {direction!r}; "
                     f"expected one of {DIRECTIONS}"
                 )
+            if "value" not in entry:
+                raise ValueError(f"metric {name!r} in {path} has no 'value' field")
             merged[name] = {"value": float(entry["value"]), "direction": direction}
     return merged
 
 
 def compare(
     current: dict[str, dict], baseline: dict[str, dict], threshold: float
-) -> list[str]:
-    """Human-readable comparison rows; regressions are marked ``REGRESSION``."""
+) -> tuple[list[str], list[str]]:
+    """Comparison rows plus the names of failing metrics.
+
+    A metric in the baseline that the current run did not produce is a
+    *missing metric*: the benchmark emitting it broke or was disconnected
+    from the gate, so it fails with an explicit message instead of silently
+    shrinking the gate (or crashing on the absent entry).
+    """
     rows = []
+    failed = []
     for name in sorted(baseline):
         if name not in current:
-            # A baseline metric no benchmark emits any more is an unwatched
-            # regression guard — fail loudly rather than shrink the gate.
-            rows.append(f"  {name}: MISSING from current run -> REGRESSION")
+            rows.append(
+                f"  {name}: missing metric — present in the baseline but not "
+                f"produced by this run -> REGRESSION"
+            )
+            failed.append(name)
     for name in sorted(current):
         entry = current[name]
         base = baseline.get(name)
         if base is None:
             rows.append(f"  {name}: {entry['value']:.4g} (no baseline; informational)")
+            continue
+        if "value" not in base:
+            rows.append(f"  {name}: baseline entry has no 'value' field -> REGRESSION")
+            failed.append(name)
             continue
         value, reference = entry["value"], float(base["value"])
         if entry["direction"] == "higher":
@@ -81,10 +105,45 @@ def compare(
             regressed = value > reference * threshold
             ratio = value / reference if reference else float("inf")
         status = "REGRESSION" if regressed else "ok"
+        if regressed:
+            failed.append(name)
         rows.append(
             f"  {name}: {value:.4g} vs baseline {reference:.4g} "
             f"({ratio:.2f}x of allowed {threshold:.1f}x, {entry['direction']} "
             f"is better) -> {status}"
+        )
+    return rows, failed
+
+
+def trend_report(current: dict[str, dict], baseline: dict[str, dict]) -> list[str]:
+    """Per-metric drift vs the baseline (informational; never fails).
+
+    Drift is signed so that positive always means *worse*: a throughput
+    (``direction: higher``) that dropped and a latency (``direction:
+    lower``) that rose both report positive drift.
+    """
+    rows = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            rows.append(f"  {name}: missing metric (not produced by this run)")
+            continue
+        entry = current[name]
+        base = baseline.get(name)
+        if base is None or "value" not in base:
+            rows.append(f"  {name}: {entry['value']:.4g} (new metric; no baseline)")
+            continue
+        value, reference = entry["value"], float(base["value"])
+        if reference == 0 or value == 0:
+            rows.append(f"  {name}: {value:.4g} vs {reference:.4g} (degenerate)")
+            continue
+        if entry["direction"] == "higher":
+            drift = (reference / value - 1.0) * 100.0
+        else:
+            drift = (value / reference - 1.0) * 100.0
+        tag = "worse" if drift > 0 else "better"
+        rows.append(
+            f"  {name}: {value:.4g} vs baseline {reference:.4g} "
+            f"({abs(drift):.1f}% {tag})"
         )
     return rows
 
@@ -119,6 +178,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the merged metrics as a new baseline and exit",
     )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="report per-metric drift vs the baseline without failing "
+        "(the nightly pipeline's mode)",
+    )
     args = parser.parse_args(argv)
 
     current = load_metrics(args.inputs)
@@ -138,13 +203,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     baseline = json.loads(baseline_path.read_text()).get("metrics", {})
 
-    rows = compare(current, baseline, args.threshold)
+    if args.trend:
+        print(f"perf trend vs {args.baseline} (informational, never fails):")
+        for row in trend_report(current, baseline):
+            print(row)
+        return 0
+
+    rows, failed = compare(current, baseline, args.threshold)
     print(f"perf gate vs {args.baseline} (threshold {args.threshold:.1f}x):")
     for row in rows:
         print(row)
-    regressions = [row for row in rows if row.endswith("REGRESSION")]
-    if regressions:
-        print(f"FAIL: {len(regressions)} metric(s) regressed > {args.threshold:.1f}x")
+    if failed:
+        print(
+            f"FAIL: {len(failed)} metric(s) regressed > {args.threshold:.1f}x "
+            f"or went missing: {', '.join(failed)}"
+        )
         return 1
     print("perf gate passed")
     return 0

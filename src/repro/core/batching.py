@@ -37,13 +37,14 @@ import numpy as np
 
 from repro.aggregation.strat_agg import hard_bounds
 from repro.core.pass_synopsis import PASSSynopsis, sketch_union_result
-from repro.core.tree import MCFResult
+from repro.core.tree import BatchFrontiers, MCFResult
 from repro.query.aggregates import SKETCH_AGGREGATES, AggregateType
 from repro.query.groupby import (
     GroupByPlan,
     GroupedResult,
     empty_group_result,
 )
+from repro.query.predicate import RectPredicate
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult
 from repro.sampling.estimators import (
@@ -52,23 +53,212 @@ from repro.sampling.estimators import (
     ratio_estimate,
 )
 
-__all__ = ["batch_query", "batch_leaf_masks", "grouped_query", "frontier_count"]
+__all__ = [
+    "BatchPlan",
+    "compile_batch",
+    "batch_query",
+    "batch_leaf_masks",
+    "grouped_query",
+    "frontier_count",
+]
+
+
+class BatchPlan:
+    """A compiled batch against one synopsis: frontiers, masks, dedup slots.
+
+    Compilation (:func:`compile_batch`) is separated from execution so a
+    scheduler can pre-compile a micro-batch — one *vectorized* MCF pass for
+    the whole batch (:meth:`~repro.core.tree.PartitionTree.
+    batch_coverage_frontiers`), with one frontier slot per distinct
+    predicate (queries sharing a predicate, e.g. the SUM / COUNT / AVG
+    triple of one dashboard panel, share a frontier object) — and then
+    execute the plan under whatever locking regime the serving layer
+    requires.  Sample match masks are computed lazily on first use: the
+    per-query exact path needs them for every query, while the vectorized
+    path reduces masks and moments in one fused pass and only materializes
+    per-query masks for sketch aggregates.
+
+    A plan reads node statistics and leaf samples at *execution* time, so
+    compile and execute must happen within one update-free scope (the
+    serving engine runs both under a single read-lock acquisition); a plan
+    compiled before a dynamic update must not be executed after it.
+
+    Attributes
+    ----------
+    synopsis:
+        The synopsis the plan was compiled against.
+    queries:
+        The batch, in input order.
+    frontiers:
+        Per-query MCF frontiers; queries with equal canonical predicates
+        (and equal AVG-ness, see :func:`compile_batch`) share the same
+        frontier object.
+    slots:
+        Per-query frontier-slot index (slot order follows
+        :attr:`slot_queries`, the first query compiled for each slot).
+    """
+
+    def __init__(
+        self,
+        synopsis: PASSSynopsis,
+        queries: list[AggregateQuery],
+        slots: list[int],
+        slot_queries: list[AggregateQuery],
+        batch_frontiers: BatchFrontiers,
+    ) -> None:
+        self.synopsis = synopsis
+        self.queries = queries
+        self.slots = slots
+        self.slot_queries = slot_queries
+        self.batch_frontiers = batch_frontiers
+        self._slot_frontiers: list[MCFResult] | None = None
+        self._frontiers: list[MCFResult] | None = None
+        self._masks: list[dict[int, np.ndarray]] | None = None
+
+    @property
+    def slot_frontiers(self) -> list[MCFResult]:
+        """Per-slot materialized MCF frontiers (lazy; shared objects)."""
+        if self._slot_frontiers is None:
+            self._slot_frontiers = self.batch_frontiers.results()
+        return self._slot_frontiers
+
+    @property
+    def frontiers(self) -> list[MCFResult]:
+        """Per-query MCF frontiers (lazy; slot-mates share one object)."""
+        if self._frontiers is None:
+            slot_frontiers = self.slot_frontiers
+            self._frontiers = [slot_frontiers[slot] for slot in self.slots]
+        return self._frontiers
+
+    @property
+    def masks(self) -> list[dict[int, np.ndarray]]:
+        """Per-query per-leaf sample match masks (computed lazily, shared
+        across queries with equal canonical predicates)."""
+        if self._masks is None:
+            self._masks = batch_leaf_masks(self.synopsis, self.queries, self.frontiers)
+        return self._masks
+
+    def execute(self) -> list[AQPResult]:
+        """Answer the batch through the per-query estimator path.
+
+        Results align with the input order and are bit-identical to calling
+        ``synopsis.query(query)`` per query.
+        """
+        return [
+            self.synopsis.query(query, match_masks=mask, frontier=frontier)
+            for query, mask, frontier in zip(self.queries, self.masks, self.frontiers)
+        ]
+
+    def execute_vectorized(self) -> list[AQPResult]:
+        """Answer the batch straight from the frontier mask matrices.
+
+        Instead of running the stratified estimator once per query, the
+        whole batch assembles array-at-a-time: covered-node totals and hard
+        bounds come from matrix products of the frontier masks with fresh
+        per-node statistic arrays, and the partially-overlapped leaves are
+        reduced to per-slot sufficient statistics (matched count, value
+        sum, sum of squares, extrema) with one broadcasted mask pass per
+        touched leaf — the same reduction :func:`grouped_query` uses per
+        group cell.  Estimates follow the same stratified formulas as
+        :meth:`PASSSynopsis.query` and agree with sequential execution up
+        to floating-point summation order, with the one semantic difference
+        documented on :func:`grouped_query`: AVG combines the shared SUM /
+        COUNT totals through the ratio estimator instead of the AVG-only
+        zero-variance shortcut.  Sketch aggregates (QUANTILE /
+        COUNT_DISTINCT) fall back to the per-query path over the shared
+        frontiers.
+        """
+        synopsis = self.synopsis
+        results: list[AQPResult | None] = [None] * len(self.queries)
+        # Aggregates requested per distinct-predicate slot (classic only).
+        slot_aggs: list[list[AggregateType]] = [[] for _ in self.slot_queries]
+        slot_members: list[list[int]] = [[] for _ in self.slot_queries]
+        sketch_indices = []
+        for index, (query, slot) in enumerate(zip(self.queries, self.slots)):
+            if query.agg in SKETCH_AGGREGATES:
+                sketch_indices.append(index)
+            else:
+                slot_aggs[slot].append(query.agg)
+                slot_members[slot].append(index)
+        if sketch_indices:
+            # Sketch aggregates keep the per-query estimator; their masks
+            # are materialized for just this subset of the batch.
+            sketch_queries = [self.queries[i] for i in sketch_indices]
+            sketch_frontiers = [self.frontiers[i] for i in sketch_indices]
+            sketch_masks = batch_leaf_masks(synopsis, sketch_queries, sketch_frontiers)
+            for index, query, frontier, mask in zip(
+                sketch_indices, sketch_queries, sketch_frontiers, sketch_masks
+            ):
+                results[index] = synopsis.query(
+                    query, match_masks=mask, frontier=frontier
+                )
+
+        if any(slot_members):
+            rows = _assemble_from_masks(
+                synopsis,
+                self.batch_frontiers,
+                [query.predicate for query in self.slot_queries],
+                slot_aggs,
+            )
+            for slot, members in enumerate(slot_members):
+                for index, result in zip(members, rows[slot]):
+                    results[index] = result
+        return results  # type: ignore[return-value]
+
+
+def compile_batch(
+    synopsis: PASSSynopsis, queries: Sequence[AggregateQuery]
+) -> BatchPlan:
+    """Compile a batch: one vectorized MCF pass over deduplicated slots.
+
+    Frontier slots dedupe per (canonical predicate, AVG-ness): AVG lookups
+    may descend differently under the zero-variance rule (Section 3.4), so
+    an AVG query never shares a frontier slot with a SUM / COUNT over the
+    same predicate — keeping :meth:`BatchPlan.execute` bit-identical to
+    sequential execution.
+    """
+    queries = list(queries)
+    slots: list[int] = []
+    slot_by_key: dict[tuple, int] = {}
+    slot_queries: list[AggregateQuery] = []
+    for query in queries:
+        key = (query.predicate.canonical_key(), query.agg == AggregateType.AVG)
+        slot = slot_by_key.get(key)
+        if slot is None:
+            slot = len(slot_queries)
+            slot_by_key[key] = slot
+            slot_queries.append(query)
+        slots.append(slot)
+    zero_variance = synopsis.zero_variance_rule
+    batch_frontiers = synopsis.tree.batch_coverage_frontiers(
+        [query.predicate for query in slot_queries],
+        [zero_variance and query.agg == AggregateType.AVG for query in slot_queries],
+        with_masks=True,
+    )
+    assert isinstance(batch_frontiers, BatchFrontiers)
+    return BatchPlan(
+        synopsis=synopsis,
+        queries=queries,
+        slots=slots,
+        slot_queries=slot_queries,
+        batch_frontiers=batch_frontiers,
+    )
 
 
 def batch_query(
-    synopsis: PASSSynopsis, queries: Sequence[AggregateQuery]
+    synopsis: PASSSynopsis,
+    queries: Sequence[AggregateQuery],
+    vectorized: bool = False,
 ) -> list[AQPResult]:
     """Answer several queries against one synopsis with shared mask work.
 
     Results align with the input order and are identical to calling
-    ``synopsis.query(query)`` per query.
+    ``synopsis.query(query)`` per query; with ``vectorized=True`` the batch
+    runs through :meth:`BatchPlan.execute_vectorized` instead (equal up to
+    floating-point summation order, faster for batches of tens of queries).
     """
-    frontiers = [synopsis.lookup(query) for query in queries]
-    masks = batch_leaf_masks(synopsis, queries, frontiers)
-    return [
-        synopsis.query(query, match_masks=mask, frontier=frontier)
-        for query, mask, frontier in zip(queries, masks, frontiers)
-    ]
+    plan = compile_batch(synopsis, queries)
+    return plan.execute_vectorized() if vectorized else plan.execute()
 
 
 def batch_leaf_masks(
@@ -141,6 +331,309 @@ def batch_leaf_masks(
                 for index in unique[key]:
                     masks[index][leaf_index] = shared
     return masks
+
+
+def _assemble_from_masks(
+    synopsis: PASSSynopsis,
+    batch_frontiers: BatchFrontiers,
+    predicates: Sequence[RectPredicate],
+    slot_aggs: Sequence[Sequence[AggregateType]],
+) -> list[tuple[AQPResult, ...]]:
+    """Assemble per-slot classic-aggregate answers from frontier masks.
+
+    Mirrors the stratified estimator formulas of ``PASSSynopsis.query`` /
+    :func:`_assemble_cell_row` array-at-a-time: covered-node totals and
+    hard bounds are matrix products of the (nodes x slots) frontier masks
+    with fresh node statistic arrays, and each partially-overlapped leaf
+    contributes per-slot sample moments through one broadcasted comparison.
+    Returns one result tuple per slot, aligned with ``slot_aggs``.
+    """
+    geometry = batch_frontiers.geometry
+    covered = batch_frontiers.covered_mask
+    partial = batch_frontiers.partial_mask
+    n_slots = len(predicates)
+    node_sum, node_count, node_min, node_max = geometry.node_stat_arrays()
+    lam = synopsis.lam
+    with_fpc = synopsis.with_fpc
+    population = synopsis.population_size
+    value_column = synopsis.value_column
+
+    classic = np.fromiter((bool(aggs) for aggs in slot_aggs), dtype=bool, count=n_slots)
+    need_extrema = any(
+        agg in (AggregateType.MIN, AggregateType.MAX)
+        for aggs in slot_aggs
+        for agg in aggs
+    )
+    need_avg = any(agg == AggregateType.AVG for aggs in slot_aggs for agg in aggs)
+
+    covered_f = covered.astype(float)
+    partial_f = partial.astype(float)
+    cov_sum = node_sum @ covered_f
+    cov_count = node_count @ covered_f
+    par_sum = node_sum @ partial_f
+    par_count = node_count @ partial_f
+    exact = ~partial.any(axis=0)
+
+    # Non-empty masks drive the extremum bounds (hard_bounds drops empty
+    # partitions before taking minima / maxima).
+    nonempty = node_count > 0
+    cov_ne = covered & nonempty[:, None]
+    par_ne = partial & nonempty[:, None]
+    has_cov_ne = cov_ne.any(axis=0)
+    has_par_ne = par_ne.any(axis=0)
+    if need_extrema or need_avg:
+        cov_min = np.where(cov_ne, node_min[:, None], np.inf).min(axis=0)
+        cov_max = np.where(cov_ne, node_max[:, None], -np.inf).max(axis=0)
+        bnd_par_min = np.where(par_ne, node_min[:, None], np.inf).min(axis=0)
+        bnd_par_max = np.where(par_ne, node_max[:, None], -np.inf).max(axis=0)
+    else:
+        cov_min = cov_max = bnd_par_min = bnd_par_max = np.zeros(n_slots)
+
+    # Partial-leaf sample moments, accumulated per slot.
+    est_sum = np.zeros(n_slots)
+    var_sum = np.zeros(n_slots)
+    est_cnt = np.zeros(n_slots)
+    var_cnt = np.zeros(n_slots)
+    nan_var = np.zeros(n_slots, dtype=bool)
+    processed = np.zeros(n_slots)
+    sample_min = np.full(n_slots, np.inf)
+    sample_max = np.full(n_slots, -np.inf)
+
+    strata = synopsis.leaf_samples
+    # Per-slot predicate bounds, hoisted out of the leaf loop: slots that do
+    # not constrain a column get ±inf (their comparisons are all-true).
+    batch_columns: dict[str, None] = {}
+    for slot in np.flatnonzero(classic):
+        for column, _, _ in predicates[slot].canonical_key():
+            batch_columns.setdefault(column, None)
+    slot_lows = {}
+    slot_highs = {}
+    for column in batch_columns:
+        intervals = [predicate.interval(column) for predicate in predicates]
+        slot_lows[column] = np.array([interval.low for interval in intervals])
+        slot_highs[column] = np.array([interval.high for interval in intervals])
+    partial_classic = partial & classic[None, :]
+    sampled_rows = []
+    for row in np.flatnonzero(partial_classic.any(axis=1)):
+        size = node_count[row]
+        if size == 0:
+            # Sequential estimators skip empty partial leaves entirely.
+            continue
+        if strata[geometry.leaf_index[row]].sample_size == 0:
+            # Unsampled leaf: hard-bound midpoint, unknown variance.
+            touching = np.flatnonzero(partial_classic[row])
+            est_sum[touching] += 0.5 * node_sum[row]
+            est_cnt[touching] += 0.5 * size
+            nan_var[touching] = True
+        else:
+            sampled_rows.append(row)
+
+    if sampled_rows:
+        # One fused mask + moments pass over the *concatenation* of every
+        # sampled partial leaf: the (slots x samples) match matrix is
+        # pre-zeroed where a slot does not overlap a sample's leaf, and
+        # np.add.reduceat folds it back into per-(slot, leaf) sufficient
+        # statistics without any per-leaf Python looping.
+        rows_arr = np.asarray(sampled_rows)
+        leaf_strata = [strata[i] for i in geometry.leaf_index[rows_arr]]
+        seg_sizes = np.array([stratum.sample_size for stratum in leaf_strata])
+        offsets = np.zeros(len(seg_sizes), dtype=np.int64)
+        np.cumsum(seg_sizes[:-1], out=offsets[1:])
+        allowed = partial_classic[rows_arr].T  # (n_slots, n_leaves)
+        matrix = np.repeat(allowed, seg_sizes, axis=1)
+        for column in batch_columns:
+            col_values = np.concatenate(
+                [
+                    np.asarray(stratum.sample_columns[column], dtype=float)
+                    for stratum in leaf_strata
+                ]
+            )
+            matrix &= (col_values[None, :] >= slot_lows[column][:, None]) & (
+                col_values[None, :] <= slot_highs[column][:, None]
+            )
+        values_all = np.concatenate(
+            [stratum.sample_values(value_column) for stratum in leaf_strata]
+        )
+        matrix_f = matrix.astype(float)
+        matched = np.add.reduceat(matrix_f, offsets, axis=1)
+        sums = np.add.reduceat(matrix_f * values_all[None, :], offsets, axis=1)
+        sums_sq = np.add.reduceat(
+            matrix_f * (values_all * values_all)[None, :], offsets, axis=1
+        )
+        mean = sums / seg_sizes[None, :]
+        mean_cnt = matched / seg_sizes[None, :]
+        multi = (seg_sizes > 1)[None, :]
+        variance_s = np.where(
+            multi, np.maximum(sums_sq / seg_sizes[None, :] - mean * mean, 0.0), 0.0
+        )
+        variance_c = np.where(
+            multi, np.maximum(mean_cnt - mean_cnt * mean_cnt, 0.0), 0.0
+        )
+        leaf_sizes = node_count[rows_arr]
+        scale = leaf_sizes * leaf_sizes / seg_sizes
+        if with_fpc:
+            safe_denominator = np.maximum(leaf_sizes - 1.0, 1.0)
+            scale = scale * np.where(
+                leaf_sizes > 1,
+                np.maximum((leaf_sizes - seg_sizes) / safe_denominator, 0.0),
+                1.0,
+            )
+        est_sum += (leaf_sizes[None, :] * mean).sum(axis=1)
+        var_sum += (scale[None, :] * variance_s).sum(axis=1)
+        est_cnt += (leaf_sizes[None, :] * mean_cnt).sum(axis=1)
+        var_cnt += (scale[None, :] * variance_c).sum(axis=1)
+        processed += allowed @ seg_sizes
+        if need_extrema:
+            sample_min = np.minimum(
+                sample_min,
+                np.minimum.reduceat(
+                    np.where(matrix, values_all[None, :], np.inf), offsets, axis=1
+                ).min(axis=1),
+            )
+            sample_max = np.maximum(
+                sample_max,
+                np.maximum.reduceat(
+                    np.where(matrix, values_all[None, :], -np.inf), offsets, axis=1
+                ).max(axis=1),
+            )
+
+    total_sum = cov_sum + est_sum
+    total_cnt = cov_count + est_cnt
+    skipped = population - par_count
+
+    rows: list[tuple[AQPResult, ...]] = []
+    for slot in range(n_slots):
+        aggs = slot_aggs[slot]
+        if not aggs:
+            rows.append(())
+            continue
+        is_exact = bool(exact[slot])
+        slot_nan = bool(nan_var[slot])
+        slot_processed = int(processed[slot])
+        slot_skipped = int(skipped[slot])
+        row = []
+        for agg in aggs:
+            if agg in (AggregateType.MIN, AggregateType.MAX):
+                row.append(
+                    _extremum_result_from_arrays(
+                        agg, slot, is_exact, slot_processed, slot_skipped,
+                        cov_min, cov_max, bnd_par_min, bnd_par_max,
+                        has_cov_ne, has_par_ne, sample_min, sample_max,
+                    )
+                )
+                continue
+            if agg == AggregateType.AVG:
+                num, num_var = total_sum[slot], var_sum[slot]
+                den, den_var = total_cnt[slot], var_cnt[slot]
+                if slot_nan:
+                    num_var = den_var = float("nan")
+                if den == 0:
+                    estimate, variance = float("nan"), float("nan")
+                elif is_exact:
+                    estimate, variance = num / den, 0.0
+                else:
+                    combined = ratio_estimate(
+                        EstimateWithVariance(num, num_var),
+                        EstimateWithVariance(den, den_var),
+                    )
+                    estimate, variance = combined.estimate, combined.variance
+                # hard_bounds AVG: covered average vs non-empty partial extrema.
+                cov_avg = (
+                    cov_sum[slot] / cov_count[slot]
+                    if cov_count[slot]
+                    else float("nan")
+                )
+                if cov_count[slot] and has_par_ne[slot]:
+                    lower = min(cov_avg, bnd_par_min[slot])
+                    upper = max(cov_avg, bnd_par_max[slot])
+                elif cov_count[slot]:
+                    lower = upper = cov_avg
+                elif has_par_ne[slot]:
+                    lower, upper = bnd_par_min[slot], bnd_par_max[slot]
+                else:
+                    lower = upper = float("nan")
+            else:
+                is_sum = agg == AggregateType.SUM
+                estimate = total_sum[slot] if is_sum else total_cnt[slot]
+                variance = (
+                    float("nan")
+                    if slot_nan
+                    else (var_sum[slot] if is_sum else var_cnt[slot])
+                )
+                base = cov_sum[slot] if is_sum else cov_count[slot]
+                extra = par_sum[slot] if is_sum else par_count[slot]
+                lower, upper = base, base + extra
+            if is_exact:
+                half_width, variance = 0.0, 0.0
+            elif math.isnan(variance):
+                half_width = float("nan")
+            else:
+                half_width = lam * math.sqrt(max(variance, 0.0))
+            row.append(
+                AQPResult(
+                    estimate=float(estimate),
+                    ci_half_width=half_width,
+                    variance=float(variance),
+                    hard_lower=float(lower),
+                    hard_upper=float(upper),
+                    tuples_processed=slot_processed,
+                    tuples_skipped=slot_skipped,
+                    exact=is_exact,
+                )
+            )
+        rows.append(tuple(row))
+    return rows
+
+
+def _extremum_result_from_arrays(
+    agg: AggregateType,
+    slot: int,
+    is_exact: bool,
+    processed: int,
+    skipped: int,
+    cov_min: np.ndarray,
+    cov_max: np.ndarray,
+    bnd_par_min: np.ndarray,
+    bnd_par_max: np.ndarray,
+    has_cov_ne: np.ndarray,
+    has_par_ne: np.ndarray,
+    sample_min: np.ndarray,
+    sample_max: np.ndarray,
+) -> AQPResult:
+    """One MIN / MAX answer from the per-slot extremum arrays."""
+    is_max = agg == AggregateType.MAX
+    candidates = []
+    if is_max:
+        if not math.isinf(cov_max[slot]):
+            candidates.append(cov_max[slot])
+        if not math.isinf(sample_max[slot]):
+            candidates.append(sample_max[slot])
+        estimate = max(candidates) if candidates else float("nan")
+    else:
+        if not math.isinf(cov_min[slot]):
+            candidates.append(cov_min[slot])
+        if not math.isinf(sample_min[slot]):
+            candidates.append(sample_min[slot])
+        estimate = min(candidates) if candidates else float("nan")
+    # hard_bounds MIN / MAX over non-empty covered and partial partitions.
+    if not has_cov_ne[slot] and not has_par_ne[slot]:
+        lower = upper = float("nan")
+    elif is_max:
+        lower = cov_max[slot] if has_cov_ne[slot] else float("-inf")
+        upper = max(cov_max[slot], bnd_par_max[slot])
+    else:
+        upper = cov_min[slot] if has_cov_ne[slot] else float("inf")
+        lower = min(cov_min[slot], bnd_par_min[slot])
+    return AQPResult(
+        estimate=float(estimate),
+        ci_half_width=0.0 if is_exact else float("nan"),
+        variance=0.0 if is_exact else float("nan"),
+        hard_lower=float(lower),
+        hard_upper=float(upper),
+        tuples_processed=processed,
+        tuples_skipped=skipped,
+        exact=is_exact,
+    )
 
 
 def frontier_count(frontier: MCFResult) -> int:
@@ -228,7 +721,12 @@ def grouped_query(
             surviving.append((index, cell, frontier))
 
     moments = (
-        _grouped_leaf_moments(synopsis, surviving, value_column, need_extrema)
+        _grouped_leaf_moments(
+            synopsis,
+            [(cell.predicate, frontier) for _, cell, frontier in surviving],
+            value_column,
+            need_extrema,
+        )
         if classic_slots
         else {}
     )
@@ -280,17 +778,18 @@ def grouped_query(
 
 def _grouped_leaf_moments(
     synopsis: PASSSynopsis,
-    surviving: Sequence[tuple],
+    items: Sequence[tuple[RectPredicate, MCFResult]],
     value_column: str,
     need_extrema: bool,
 ) -> dict[tuple[int, int], _LeafMoments | None]:
-    """Per-(cell slot, leaf) masked-sample moments, one matrix pass per leaf.
+    """Per-(predicate slot, leaf) masked-sample moments, one matrix pass per leaf.
 
-    ``None`` marks an unsampled leaf (the caller falls back to the hard-bound
+    ``items`` holds one ``(predicate, frontier)`` pair per slot.  ``None``
+    marks an unsampled leaf (the caller falls back to the hard-bound
     midpoint, exactly like the sequential estimator).
     """
     per_leaf: dict[int, list[int]] = {}
-    for slot, (_, _, frontier) in enumerate(surviving):
+    for slot, (_, frontier) in enumerate(items):
         for node in frontier.partial:
             per_leaf.setdefault(node.leaf_index, []).append(slot)
 
@@ -306,13 +805,11 @@ def _grouped_leaf_moments(
         matrix = np.ones((len(slots), n_samples), dtype=bool)
         columns: dict[str, None] = {}
         for slot in slots:
-            for column, _, _ in surviving[slot][1].predicate.canonical_key():
+            for column, _, _ in items[slot][0].canonical_key():
                 columns.setdefault(column, None)
         for column in columns:
             values = stratum.sample_columns[column]
-            intervals = [
-                surviving[slot][1].predicate.interval(column) for slot in slots
-            ]
+            intervals = [items[slot][0].interval(column) for slot in slots]
             lows = np.array([interval.low for interval in intervals])
             highs = np.array([interval.high for interval in intervals])
             matrix &= (values[None, :] >= lows[:, None]) & (

@@ -124,6 +124,11 @@ class PASSSynopsis:
         return self._tree
 
     @property
+    def zero_variance_rule(self) -> bool:
+        """Whether AVG lookups apply the zero-variance descent rule (3.4)."""
+        return self._zero_variance_rule
+
+    @property
     def leaf_samples(self) -> list[Stratum]:
         """The stratified samples attached to the leaves (leaf-index order)."""
         return list(self._leaf_samples)

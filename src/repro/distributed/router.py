@@ -30,6 +30,7 @@ updates applied through the engine invalidate its cache automatically.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -140,6 +141,83 @@ class StreamingShardRouter:
     def delete(self, row: Mapping[str, float]) -> int:
         """Delete one tuple from its owning shard; returns the shard index."""
         return self._apply(row, "delete")
+
+    def apply_many(
+        self,
+        rows: Sequence[Mapping[str, float]],
+        kinds: str | Sequence[str] = "insert",
+        max_workers: int | None = None,
+    ) -> list[int]:
+        """Apply a batch of updates with one fan-out pass per owning shard.
+
+        This is the async tier's bulk write entry point: rows are grouped by
+        owning shard first, each shard's slice is applied in arrival order
+        under a *single* acquisition of that shard's lock, and — when
+        ``max_workers`` asks for it — different shards apply their slices
+        concurrently on a thread pool.  The per-shard locks make the fan-out
+        safe to run from any thread (asyncio executor threads included), and
+        per-shard ordering matches :meth:`insert` / :meth:`delete` call
+        order because grouping preserves arrival order within a shard.
+
+        Parameters
+        ----------
+        rows:
+            The update payloads (every row must carry the shard's full
+            schema, as with single-row updates).
+        kinds:
+            ``"insert"`` or ``"delete"`` applied to every row, or one kind
+            per row.
+        max_workers:
+            When given (> 1), shard groups apply concurrently on a thread
+            pool of at most this many workers; None applies shard groups
+            sequentially in the calling thread.
+
+        Returns the owning shard index per row, aligned with the input.
+        """
+        rows = list(rows)
+        if isinstance(kinds, str):
+            row_kinds = [kinds] * len(rows)
+        else:
+            row_kinds = list(kinds)
+            if len(row_kinds) != len(rows):
+                raise ValueError(f"{len(rows)} rows but {len(row_kinds)} update kinds")
+        for kind in row_kinds:
+            if kind not in ("insert", "delete"):
+                raise ValueError(f"unknown update kind {kind!r}")
+
+        indices = [self._sharded.shard_for_row(row) for row in rows]
+        per_shard: dict[int, list[tuple[dict[str, float], str]]] = {}
+        for index, row, kind in zip(indices, rows, row_kinds):
+            per_shard.setdefault(index, []).append((self._full_row(index, row), kind))
+
+        def apply_shard(index: int) -> None:
+            with self._locks[index]:
+                shard = self._sharded.shards[index]
+                for record, kind in per_shard[index]:
+                    if kind == "insert":
+                        shard.insert(record)
+                        self._inserted[index].append(record)
+                        self._insert_counts[index] += 1
+                    else:
+                        shard.delete(record)
+                        self._deleted[index].append(record)
+                        self._delete_counts[index] += 1
+                if (
+                    self._rebuild_threshold is not None
+                    and shard.staleness >= self._rebuild_threshold
+                ):
+                    self._rebuild_locked(index)
+
+        if max_workers is not None and max_workers > 1 and len(per_shard) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(max_workers, len(per_shard))
+            ) as pool:
+                for future in [pool.submit(apply_shard, index) for index in per_shard]:
+                    future.result()
+        else:
+            for index in per_shard:
+                apply_shard(index)
+        return indices
 
     def _apply(self, row: Mapping[str, float], kind: str) -> int:
         index = self._sharded.shard_for_row(row)

@@ -1,8 +1,11 @@
 """Evaluation: metrics, the comparison harness, and per-figure experiments."""
 
 from repro.evaluation.harness import (
+    AsyncWorkloadReport,
     ComparisonRun,
     SynopsisEvaluation,
+    arrival_offsets,
+    evaluate_async_workload,
     evaluate_grouped_workload,
     evaluate_served_workload,
     evaluate_sharded_workload,
@@ -24,8 +27,11 @@ from repro.evaluation.reporting import (
 )
 
 __all__ = [
+    "AsyncWorkloadReport",
     "ComparisonRun",
     "SynopsisEvaluation",
+    "arrival_offsets",
+    "evaluate_async_workload",
     "run_comparison",
     "evaluate_served_workload",
     "evaluate_sharded_workload",

@@ -19,9 +19,12 @@ quantile=0.95`` or ``agg="COUNT_DISTINCT"``).
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Sequence
+
+import numpy as np
 
 from repro.data.loaders import DatasetSpec, load_dataset
 from repro.evaluation.metrics import QueryRecord, WorkloadMetrics, evaluate_workload
@@ -37,6 +40,9 @@ __all__ = [
     "evaluate_served_workload",
     "evaluate_sharded_workload",
     "evaluate_grouped_workload",
+    "AsyncWorkloadReport",
+    "arrival_offsets",
+    "evaluate_async_workload",
 ]
 
 
@@ -221,6 +227,191 @@ def evaluate_grouped_workload(
             )
             position += 1
     return WorkloadMetrics.from_records(records)
+
+
+@dataclass(frozen=True)
+class AsyncWorkloadReport:
+    """What an open-loop client population observed from the async tier.
+
+    Attributes
+    ----------
+    n_requests / completed / rejected:
+        Offered requests, requests answered, and requests shed by admission
+        control (:class:`~repro.serving.scheduler.Overloaded`).
+    coalesced:
+        Completed requests that shared another request's in-flight
+        execution.
+    duration_seconds:
+        Wall clock from the first scheduled arrival to the last completion.
+    offered_qps / achieved_qps:
+        The configured arrival rate and ``completed / duration``.
+    p50_latency_ms / p99_latency_ms:
+        Percentiles of per-request latency measured from the *scheduled*
+        arrival time (open-loop convention: queueing delay caused by an
+        overloaded server counts against it), NaN when nothing completed.
+    """
+
+    n_requests: int
+    completed: int
+    rejected: int
+    coalesced: int
+    duration_seconds: float
+    offered_qps: float
+    achieved_qps: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+
+
+#: Supported open-loop arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "bursty", "adversarial")
+
+
+def arrival_offsets(
+    process: str,
+    n_requests: int,
+    rate: float,
+    rng: np.random.Generator,
+    burst_size: int = 16,
+) -> np.ndarray:
+    """Arrival-time offsets (seconds from epoch start) for an open-loop run.
+
+    ``poisson`` draws exponential inter-arrival gaps (memoryless traffic at
+    the given mean rate); ``bursty`` releases ``burst_size`` requests
+    back-to-back with exponential gaps between bursts (same mean rate, but
+    the instantaneous load spikes stress the batch window); ``adversarial``
+    is the bursty timeline — the adversarial part is what the requests
+    *are*: :func:`evaluate_async_workload` makes every request inside a
+    burst the same canonical query, the duplicate-stampede worst case for
+    an uncoalesced server.
+    """
+    if process not in ARRIVAL_PROCESSES:
+        raise ValueError(
+            f"unknown arrival process {process!r}; expected one of "
+            f"{ARRIVAL_PROCESSES}"
+        )
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if process == "poisson":
+        return np.cumsum(rng.exponential(1.0 / rate, size=n_requests))
+    if burst_size <= 0:
+        raise ValueError("burst_size must be positive")
+    n_bursts = -(-n_requests // burst_size)
+    burst_starts = np.cumsum(rng.exponential(burst_size / rate, size=n_bursts))
+    offsets = np.repeat(burst_starts, burst_size)[:n_requests]
+    return offsets
+
+
+def evaluate_async_workload(
+    async_engine,
+    queries: Sequence[AggregateQuery],
+    rate: float,
+    n_requests: int | None = None,
+    arrival: str = "poisson",
+    duplicate_ratio: float = 0.0,
+    burst_size: int = 16,
+    seed: int = 0,
+    table: str | None = None,
+) -> AsyncWorkloadReport:
+    """Drive an async serving tier with an open-loop arrival process.
+
+    Open-loop means arrivals are scheduled ahead of time at the offered
+    rate and do **not** wait for earlier requests to finish — exactly the
+    regime where admission control and micro-batching matter.  The driver
+    owns the event loop (``asyncio.run``), so it composes with the rest of
+    the synchronous evaluation harness.
+
+    Parameters
+    ----------
+    async_engine:
+        A **not yet started** :class:`~repro.serving.async_engine.
+        AsyncServingEngine`; the driver starts and stops it around the run.
+    queries:
+        The pool of distinct canonical queries the workload draws from.
+    rate:
+        Offered arrival rate, requests/second.
+    n_requests:
+        Total requests to offer (defaults to ``len(queries)``).
+    arrival:
+        ``"poisson"``, ``"bursty"``, or ``"adversarial"`` (see
+        :func:`arrival_offsets`).  Adversarial runs make every request in a
+        burst the same query, so they measure the coalescing path
+        regardless of ``duplicate_ratio``.
+    duplicate_ratio:
+        For poisson / bursty arrivals: probability that a request repeats
+        the previous request's query instead of advancing through the pool.
+    burst_size:
+        Burst length for the bursty / adversarial processes.
+    seed / table:
+        Workload RNG seed, and the routing table forwarded per request.
+    """
+    from repro.serving.scheduler import Overloaded
+
+    queries = list(queries)
+    if not queries:
+        raise ValueError("need at least one query")
+    if not 0.0 <= duplicate_ratio <= 1.0:
+        raise ValueError("duplicate_ratio must be in [0, 1]")
+    total = len(queries) if n_requests is None else n_requests
+    rng = np.random.default_rng(seed)
+    offsets = arrival_offsets(arrival, total, rate, rng, burst_size=burst_size)
+
+    issued: list[AggregateQuery] = []
+    if arrival == "adversarial":
+        # Every request of a burst duplicates the burst's canonical query.
+        for position in range(total):
+            issued.append(queries[(position // burst_size) % len(queries)])
+    else:
+        cursor = 0
+        for position in range(total):
+            if position > 0 and rng.random() < duplicate_ratio:
+                issued.append(issued[-1])
+            else:
+                issued.append(queries[cursor % len(queries)])
+                cursor += 1
+
+    latencies: list[float] = []
+    rejected = 0
+
+    async def drive() -> float:
+        nonlocal rejected
+        async with async_engine:
+            start = time.perf_counter()
+
+            async def one(offset: float, query: AggregateQuery) -> None:
+                nonlocal rejected
+                delay = start + offset - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                try:
+                    await async_engine.execute(query, table=table)
+                except Overloaded:
+                    rejected += 1
+                    return
+                latencies.append(time.perf_counter() - (start + offset))
+
+            await asyncio.gather(
+                *(one(float(offset), query) for offset, query in zip(offsets, issued))
+            )
+            return time.perf_counter() - start
+
+    duration = asyncio.run(drive())
+    completed = len(latencies)
+    if latencies:
+        p50, p99 = np.percentile(np.array(latencies), [50.0, 99.0])
+        p50_ms, p99_ms = float(p50) * 1e3, float(p99) * 1e3
+    else:
+        p50_ms = p99_ms = float("nan")
+    return AsyncWorkloadReport(
+        n_requests=total,
+        completed=completed,
+        rejected=rejected,
+        coalesced=async_engine.stats().coalesced,
+        duration_seconds=duration,
+        offered_qps=rate,
+        achieved_qps=completed / duration if duration > 0 else float("nan"),
+        p50_latency_ms=p50_ms,
+        p99_latency_ms=p99_ms,
+    )
 
 
 def _evaluate_timed_workload(

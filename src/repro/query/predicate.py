@@ -49,8 +49,8 @@ class Interval:
     # -- constructors ---------------------------------------------------
     @classmethod
     def unbounded(cls) -> "Interval":
-        """The interval covering the whole real line."""
-        return cls(-math.inf, math.inf)
+        """The interval covering the whole real line (a shared singleton)."""
+        return _UNBOUNDED
 
     @classmethod
     def at_least(cls, low: float) -> "Interval":
@@ -102,6 +102,13 @@ class Interval:
         return f"[{self.low:g}, {self.high:g}]"
 
 
+#: Shared unbounded interval: the MCF descent classifies every tree node
+#: against the query predicate, so the per-lookup allocation churn of a fresh
+#: ``Interval(-inf, inf)`` per unconstrained column is measurable on the
+#: serving hot path.
+_UNBOUNDED = Interval(-math.inf, math.inf)
+
+
 class Relation:
     """Symbolic result of comparing a predicate against a box."""
 
@@ -133,7 +140,7 @@ class _IntervalMapping:
 
     def interval(self, column: str) -> Interval:
         """The interval constraining ``column`` (unbounded when unconstrained)."""
-        return self._intervals.get(column, Interval.unbounded())
+        return self._intervals.get(column, _UNBOUNDED)
 
     def __contains__(self, column: str) -> bool:
         return column in self._intervals
@@ -259,6 +266,9 @@ class RectPredicate(_IntervalMapping):
     queries built from them) safe keys for result caches.
     """
 
+    #: Lazily-memoized canonical key (instance attribute shadows this).
+    _canonical_key: "tuple[tuple[str, float, float], ...] | None" = None
+
     def canonical_key(self) -> tuple[tuple[str, float, float], ...]:
         """The predicate's constraints as a canonical, hashable tuple.
 
@@ -266,12 +276,20 @@ class RectPredicate(_IntervalMapping):
         sorted, and bounds are coerced to float, so two predicates that match
         exactly the same tuples map to the same key regardless of how they
         were spelled.
+
+        The key is memoized on the instance: predicates are immutable after
+        construction and the serving path (cache probes, routing, batch
+        compilation) recomputes the key several times per request.
         """
-        return tuple(
-            (column, float(interval.low), float(interval.high))
-            for column, interval in sorted(self._intervals.items())
-            if not (interval.low == -math.inf and interval.high == math.inf)
-        )
+        key = self._canonical_key
+        if key is None:
+            key = tuple(
+                (column, float(interval.low), float(interval.high))
+                for column, interval in sorted(self._intervals.items())
+                if not (interval.low == -math.inf and interval.high == math.inf)
+            )
+            self._canonical_key = key
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RectPredicate):
@@ -309,11 +327,17 @@ class RectPredicate(_IntervalMapping):
         :data:`Relation.PARTIAL`.
         """
         covers = True
+        box_intervals = box._intervals
         for column, interval in self._intervals.items():
-            box_interval = box.interval(column)
-            if not interval.overlaps(box_interval):
+            box_interval = box_intervals.get(column, _UNBOUNDED)
+            # Inlined Interval.overlaps / contains_interval: this classifier
+            # runs once per visited tree node per lookup, where the attribute
+            # and method dispatch overhead is measurable.
+            if interval.low > box_interval.high or box_interval.low > interval.high:
                 return Relation.DISJOINT
-            if not interval.contains_interval(box_interval):
+            if covers and (
+                interval.low > box_interval.low or box_interval.high > interval.high
+            ):
                 covers = False
         return Relation.COVER if covers else Relation.PARTIAL
 

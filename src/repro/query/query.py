@@ -115,11 +115,19 @@ class AggregateQuery:
         hash/equality already delegate to the canonical
         :meth:`RectPredicate.canonical_key`, so ``cache_key()`` is simply the
         explicit tuple form for callers that want to key external stores.
+
+        The key is memoized on the (frozen) instance: the serving tier
+        computes it on every cache probe, coalescing-admission, and batch
+        deduplication step.
         """
-        agg_key: object = self.agg.value
-        if self.quantile is not None:
-            agg_key = (self.agg.value, self.quantile)
-        return (agg_key, self.value_column, self.predicate.canonical_key())
+        key = getattr(self, "_cache_key_memo", None)
+        if key is None:
+            agg_key: object = self.agg.value
+            if self.quantile is not None:
+                agg_key = (self.agg.value, self.quantile)
+            key = (agg_key, self.value_column, self.predicate.canonical_key())
+            object.__setattr__(self, "_cache_key_memo", key)
+        return key
 
     @property
     def predicate_columns(self) -> list[str]:

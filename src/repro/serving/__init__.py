@@ -6,12 +6,21 @@ register them in a :class:`SynopsisCatalog`, and serve traffic through a
 :class:`ServingEngine` that routes queries, caches results, executes batches
 with vectorized mask evaluation, and applies dynamic updates under a
 reader-writer lock.
+
+For concurrent traffic, :class:`AsyncServingEngine` layers an asyncio tier
+on top: in-flight request coalescing by canonical cache key, micro-batch
+scheduling into the vectorized batch path, bounded-queue backpressure with
+typed :class:`Overloaded` rejections, and writes serialized through the
+same scheduler with atomic box-overlap invalidation of coalesced futures.
 """
 
+from repro.serving.async_engine import AsyncServingEngine, AsyncServingStats
 from repro.serving.catalog import CatalogEntry, SynopsisCatalog
+from repro.serving.coalesce import CoalescedRequest, RequestCoalescer
 from repro.serving.engine import ServingEngine
 from repro.serving.locks import ReadWriteLock
 from repro.serving.planner import GroupByPlanner
+from repro.serving.scheduler import MicroBatchScheduler, Overloaded, SchedulerStats
 from repro.serving.persistence import (
     FORMAT_VERSION,
     load_catalog,
@@ -22,7 +31,14 @@ from repro.serving.persistence import (
 from repro.serving.stats import ServingStats, StatsSnapshot
 
 __all__ = [
+    "AsyncServingEngine",
+    "AsyncServingStats",
     "CatalogEntry",
+    "CoalescedRequest",
+    "MicroBatchScheduler",
+    "Overloaded",
+    "RequestCoalescer",
+    "SchedulerStats",
     "SynopsisCatalog",
     "ServingEngine",
     "ReadWriteLock",

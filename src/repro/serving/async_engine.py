@@ -1,0 +1,296 @@
+"""The asyncio serving front end: coalescing, micro-batching, backpressure.
+
+:class:`AsyncServingEngine` turns a synchronous
+:class:`~repro.serving.engine.ServingEngine` into an asyncio service shaped
+for duplicate-heavy concurrent traffic:
+
+* **Request coalescing** — concurrent canonically-identical queries share
+  one execution future (:mod:`repro.serving.coalesce`), so a dashboard
+  stampede costs one synopsis pass instead of N.
+* **Micro-batch scheduling** — distinct requests accumulate under a
+  configurable time/size window (:mod:`repro.serving.scheduler`) and
+  dispatch through the engine's vectorized ``execute_batch`` path: one lock
+  acquisition and one shared frontier + mask pass per window per synopsis.
+  Because every PASS aggregate is a commutative/associative reduction over
+  partition statistics and stratified samples, batching changes *where* the
+  work happens, never the answers.
+* **Backpressure** — past ``max_pending`` outstanding requests, new work is
+  rejected with a typed :class:`~repro.serving.scheduler.Overloaded` error
+  rather than queued unboundedly.
+* **Serialized writes** — :meth:`insert` / :meth:`delete` run through the
+  same scheduler queue, so every write has a definite position among the
+  read batches, and the moment a write is applied it atomically detaches
+  in-flight coalesced futures whose predicate region overlaps the updated
+  partition (the PR-1 box-overlap invalidation, lifted to futures).
+  Waiters that joined before the write keep their pre-write answer — they
+  are linearized before it — while any request admitted after the write
+  re-executes against the updated synopsis.
+
+The engine is event-loop-local: all coroutine methods must be awaited on
+the loop that started it.  The blocking synopsis work itself runs on an
+executor thread, so the loop stays responsive while a batch executes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.query.predicate import Box
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult
+from repro.serving.coalesce import CoalescedRequest, RequestCoalescer
+from repro.serving.engine import ServingEngine
+from repro.serving.scheduler import MicroBatchScheduler, Overloaded, SchedulerStats
+
+__all__ = ["AsyncServingEngine", "AsyncServingStats"]
+
+
+@dataclass(frozen=True)
+class AsyncServingStats:
+    """Telemetry snapshot of the async tier (engine stats live one level down).
+
+    Attributes
+    ----------
+    scheduler:
+        Queue/batch counters from the micro-batch scheduler.
+    coalesced:
+        Requests that attached to an already-in-flight identical query.
+    invalidated_futures:
+        In-flight coalesced futures detached by writer box-overlap
+        invalidation.
+    inflight:
+        Coalesced executions currently outstanding.
+    """
+
+    scheduler: SchedulerStats
+    coalesced: int
+    invalidated_futures: int
+    inflight: int
+
+
+class AsyncServingEngine:
+    """Asyncio front end over a :class:`ServingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The synchronous serving engine to front.  Configure result caching
+        and batch vectorization there (``vectorized_batches=True`` is the
+        recommended pairing — micro-batches then cost one moments pass per
+        touched leaf).
+    max_batch / batch_window / max_pending:
+        Micro-batch window and admission bounds, passed to
+        :class:`~repro.serving.scheduler.MicroBatchScheduler`.
+    executor:
+        Executor for the blocking synopsis work (None uses the loop's
+        default thread pool).
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`::
+
+        async with AsyncServingEngine(engine) as tier:
+            result = await tier.execute(query)
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        max_batch: int = 64,
+        batch_window: float = 0.002,
+        max_pending: int = 4096,
+        executor: Executor | None = None,
+    ) -> None:
+        self._engine = engine
+        self._executor = executor
+        self._coalescer = RequestCoalescer()
+        self._scheduler = MicroBatchScheduler(
+            self._dispatch,
+            max_batch=max_batch,
+            batch_window=batch_window,
+            max_pending=max_pending,
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._invalidated_futures = 0
+
+    @property
+    def engine(self) -> ServingEngine:
+        """The wrapped synchronous serving engine."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncServingEngine":
+        """Bind to the running event loop and start the drain task."""
+        loop = asyncio.get_running_loop()
+        if self._loop is not None and self._loop is not loop:
+            raise RuntimeError(
+                "AsyncServingEngine is bound to another event loop; "
+                "create one engine per loop"
+            )
+        self._loop = loop
+        self._scheduler.start()
+        return self
+
+    async def stop(self) -> None:
+        """Drain queued work and stop the scheduler."""
+        await self._scheduler.stop()
+
+    async def __aenter__(self) -> "AsyncServingEngine":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    async def execute(
+        self, query: AggregateQuery, table: str | None = None
+    ) -> AQPResult:
+        """Answer one query through cache, coalescing, and micro-batching.
+
+        Raises :class:`~repro.serving.scheduler.Overloaded` when admission
+        control rejects the request, and propagates execution errors (e.g.
+        ``LookupError`` for unroutable queries) to every coalesced waiter.
+        """
+        loop = self._require_started()
+        cached = self._engine.peek(query, table)
+        if cached is not None:
+            return cached
+        request, is_leader = self._coalescer.admit(query, table, loop)
+        if is_leader:
+            try:
+                self._scheduler.submit(request)
+            except Overloaded:
+                # Nobody can have joined between admit and submit (both run
+                # synchronously on the loop), so the future dies unobserved.
+                self._coalescer.detach(request)
+                request.future.cancel()
+                raise
+        result = await asyncio.shield(request.future)
+        return result  # type: ignore[return-value]
+
+    async def execute_many(
+        self, queries: Sequence[AggregateQuery], table: str | None = None
+    ) -> list[AQPResult]:
+        """Answer several queries concurrently; results align with the input.
+
+        All requests are admitted together, so duplicates inside ``queries``
+        coalesce and the distinct remainder lands in the same micro-batch
+        window when it fits.
+        """
+        return list(
+            await asyncio.gather(*(self.execute(query, table) for query in queries))
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    async def insert(self, name: str, row: Mapping[str, float]) -> Box:
+        """Insert a tuple through the scheduler's serialized write path.
+
+        Resolves once the update is applied *and* overlapping in-flight
+        coalesced futures are detached; a request issued after this returns
+        observes the update.  Returns the updated leaf partition's box.
+        """
+        return await self._apply_update(name, row, "insert")
+
+    async def delete(self, name: str, row: Mapping[str, float]) -> Box:
+        """Delete a tuple through the scheduler's serialized write path.
+
+        See :meth:`insert` for the ordering guarantee.
+        """
+        return await self._apply_update(name, row, "delete")
+
+    async def _apply_update(
+        self, name: str, row: Mapping[str, float], kind: str
+    ) -> Box:
+        loop = self._require_started()
+        engine_apply = self._engine.insert if kind == "insert" else self._engine.delete
+
+        async def apply() -> Box:
+            return await loop.run_in_executor(self._executor, engine_apply, name, row)
+
+        def on_applied(box: Box) -> None:
+            self._invalidated_futures += self._coalescer.invalidate_overlapping(box)
+
+        future = self._scheduler.submit_write(apply, on_applied)
+        return await asyncio.shield(future)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> AsyncServingStats:
+        """A snapshot of the async tier's coalescing and queue telemetry."""
+        return AsyncServingStats(
+            scheduler=self._scheduler.snapshot(),
+            coalesced=self._coalescer.joined,
+            invalidated_futures=self._invalidated_futures,
+            inflight=len(self._coalescer),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_started(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None or not self._scheduler.running:
+            raise RuntimeError(
+                "AsyncServingEngine is not started; use 'async with' or await start()"
+            )
+        if loop is not self._loop:
+            raise RuntimeError(
+                "AsyncServingEngine methods must run on the loop that started it"
+            )
+        return loop
+
+    async def _dispatch(self, requests: list[CoalescedRequest]) -> None:
+        """Execute one sealed micro-batch on the executor and resolve futures."""
+        assert self._loop is not None
+        groups: dict[str | None, list[CoalescedRequest]] = {}
+        for request in requests:
+            groups.setdefault(request.table, []).append(request)
+
+        def run() -> list[tuple[CoalescedRequest, AQPResult | None, Exception | None]]:
+            outcomes: list[
+                tuple[CoalescedRequest, AQPResult | None, Exception | None]
+            ] = []
+            for table, group in groups.items():
+                try:
+                    results = self._engine.execute_batch(
+                        [request.query for request in group], table=table
+                    )
+                except Exception as exc:  # noqa: BLE001 - forwarded to waiters
+                    outcomes.extend((request, None, exc) for request in group)
+                else:
+                    outcomes.extend(
+                        (request, result, None)
+                        for request, result in zip(group, results)
+                    )
+            return outcomes
+
+        try:
+            outcomes = await self._loop.run_in_executor(self._executor, run)
+        except Exception as exc:
+            # The executor itself failed (e.g. a custom executor was shut
+            # down).  Detach every request so the dead futures cannot
+            # collect further joiners, then fail the waiters.
+            for request in requests:
+                self._coalescer.detach(request)
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        for request, result, exc in outcomes:
+            # Detach before resolving: a resolved future must not collect
+            # further joiners (they would skip the result cache's staleness
+            # guarantees); post-resolution arrivals probe the cache instead.
+            self._coalescer.detach(request)
+            if request.future.done():
+                continue
+            if exc is not None:
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result(result)

@@ -42,6 +42,7 @@ from typing import Mapping, Sequence
 
 from repro.core.batching import batch_query
 from repro.query.groupby import GroupByPlan, GroupByQuery, GroupedResult
+from repro.query.predicate import Box
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult
 from repro.serving.catalog import CatalogEntry, SynopsisCatalog
@@ -69,6 +70,14 @@ class ServingEngine:
     latency_window:
         Per-synopsis number of latency observations retained for the
         telemetry percentiles.
+    vectorized_batches:
+        When True, batch cache misses against non-sharded synopses execute
+        through :meth:`~repro.core.batching.BatchPlan.execute_vectorized`
+        (one moments pass per touched leaf) instead of the per-query
+        estimator path.  Answers agree with sequential execution up to
+        floating-point summation order (see
+        :func:`~repro.core.batching.grouped_query` for the AVG caveat); the
+        default keeps batches bit-identical to sequential execution.
     """
 
     def __init__(
@@ -76,6 +85,7 @@ class ServingEngine:
         catalog: SynopsisCatalog,
         cache_size: int = 4096,
         latency_window: int | None = None,
+        vectorized_batches: bool = False,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -84,6 +94,7 @@ class ServingEngine:
         self._catalog = catalog
         self._lock = ReadWriteLock()
         self._cache_size = cache_size
+        self._vectorized_batches = vectorized_batches
         # key -> (synopsis name or EXACT_FALLBACK, query, result)
         self._cache: OrderedDict[tuple, tuple[str, AggregateQuery, AQPResult]] = (
             OrderedDict()
@@ -97,6 +108,24 @@ class ServingEngine:
     def catalog(self) -> SynopsisCatalog:
         """The catalog being served."""
         return self._catalog
+
+    def peek(
+        self, query: AggregateQuery, table: str | None = None
+    ) -> AQPResult | None:
+        """The cached result for a query, or None on a cache miss.
+
+        A hit is recorded in the serving telemetry exactly like a hit inside
+        :meth:`execute`.  The async serving tier probes this before
+        scheduling, so cached queries never pay a batch-window wait.
+        """
+        if not self._cache_size:
+            return None
+        cached = self._cache_get(self._cache_key(query, table))
+        if cached is None:
+            return None
+        served_by, _, result = cached
+        self._stats_for(served_by).record_hit()
+        return result
 
     # ------------------------------------------------------------------
     # Query execution
@@ -250,7 +279,9 @@ class ServingEngine:
                 # per shard across the whole group.
                 batch_results = entry.synopsis.query_batch(batch)
             else:
-                batch_results = batch_query(entry.pass_synopsis, batch)
+                batch_results = batch_query(
+                    entry.pass_synopsis, batch, vectorized=self._vectorized_batches
+                )
             for index, result in zip(indices, batch_results):
                 answers[index] = (name, result)
         return answers  # type: ignore[return-value]
@@ -276,15 +307,24 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def insert(self, name: str, row: Mapping[str, float]) -> None:
-        """Insert a tuple into a dynamic synopsis and invalidate its region."""
-        self._apply_update(name, row, "insert")
+    def insert(self, name: str, row: Mapping[str, float]) -> Box:
+        """Insert a tuple into a dynamic synopsis and invalidate its region.
 
-    def delete(self, name: str, row: Mapping[str, float]) -> None:
-        """Delete a tuple from a dynamic synopsis and invalidate its region."""
-        self._apply_update(name, row, "delete")
+        Returns the box of the leaf partition the update landed in — the
+        region whose cached results were invalidated — so layered caches
+        (e.g. the async tier's in-flight coalesced futures) can apply the
+        same box-overlap invalidation.
+        """
+        return self._apply_update(name, row, "insert")
 
-    def _apply_update(self, name: str, row: Mapping[str, float], kind: str) -> None:
+    def delete(self, name: str, row: Mapping[str, float]) -> Box:
+        """Delete a tuple from a dynamic synopsis and invalidate its region.
+
+        Returns the updated leaf partition's box (see :meth:`insert`).
+        """
+        return self._apply_update(name, row, "delete")
+
+    def _apply_update(self, name: str, row: Mapping[str, float], kind: str) -> Box:
         entry = self._catalog.get(name)
         if not entry.is_dynamic:
             raise TypeError(
@@ -306,6 +346,7 @@ class ServingEngine:
                 entry.synopsis.delete(row)
             dropped = self._invalidate_overlapping(name, leaf.box)
         self._stats_for(name).record_invalidations(dropped)
+        return leaf.box
 
     def _invalidate_overlapping(self, name: str, box) -> int:
         """Drop cached results of ``name`` whose region overlaps ``box``."""

@@ -30,7 +30,10 @@ class ReadWriteLock:
             ...  # exclusive
 
     The lock is not reentrant: a thread must not acquire it again (in either
-    mode) while already holding it.
+    mode) while already holding it.  Re-entrant acquisition is detected and
+    raises ``RuntimeError`` immediately — a reader re-acquiring while a
+    writer waits (or a thread "upgrading" read to write) would otherwise
+    deadlock silently, because arriving writers block new readers.
     """
 
     def __init__(self) -> None:
@@ -38,24 +41,32 @@ class ReadWriteLock:
         self._active_readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._reader_idents: set[int] = set()
+        self._writer_ident: int | None = None
 
     def acquire_read(self) -> None:
         """Block until shared access is granted."""
+        ident = threading.get_ident()
         with self._condition:
+            self._check_reentrancy(ident, "read")
             while self._writer_active or self._writers_waiting:
                 self._condition.wait()
             self._active_readers += 1
+            self._reader_idents.add(ident)
 
     def release_read(self) -> None:
         """Release shared access."""
         with self._condition:
             self._active_readers -= 1
+            self._reader_idents.discard(threading.get_ident())
             if self._active_readers == 0:
                 self._condition.notify_all()
 
     def acquire_write(self) -> None:
         """Block until exclusive access is granted."""
+        ident = threading.get_ident()
         with self._condition:
+            self._check_reentrancy(ident, "write")
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._active_readers:
@@ -63,12 +74,27 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            self._writer_ident = ident
 
     def release_write(self) -> None:
         """Release exclusive access."""
         with self._condition:
             self._writer_active = False
+            self._writer_ident = None
             self._condition.notify_all()
+
+    def _check_reentrancy(self, ident: int, mode: str) -> None:
+        """Reject re-entrant acquisition (caller holds the condition)."""
+        if ident == self._writer_ident:
+            raise RuntimeError(
+                f"ReadWriteLock is not reentrant: thread already holds the "
+                f"write lock and tried to acquire it for {mode}"
+            )
+        if ident in self._reader_idents:
+            raise RuntimeError(
+                f"ReadWriteLock is not reentrant: thread already holds the "
+                f"read lock and tried to acquire it for {mode}"
+            )
 
     @contextmanager
     def read_locked(self) -> Iterator[None]:

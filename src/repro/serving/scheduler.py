@@ -1,0 +1,295 @@
+"""Micro-batch scheduling with bounded-queue admission control.
+
+The :class:`MicroBatchScheduler` sits between request arrival and execution
+in the async serving tier.  Incoming coalesced requests accumulate in a
+*batch window* — bounded by a time budget (``batch_window`` seconds) and a
+size budget (``max_batch`` requests) — and each sealed window dispatches as
+one batch through the vectorized serving path, so a window's worth of
+queries costs one lock acquisition and one shared frontier + mask pass per
+touched synopsis instead of one per query.
+
+Two further serving-tier concerns live here:
+
+* **Backpressure** — the scheduler tracks every admitted-but-unresolved
+  request; past ``max_pending`` it rejects new work with a typed
+  :class:`Overloaded` error instead of queueing unboundedly.  Open-loop
+  arrival processes (the workloads :func:`~repro.evaluation.harness.
+  evaluate_async_workload` generates) can exceed service capacity
+  indefinitely; shedding load early keeps tail latency of admitted requests
+  bounded.
+* **Write serialization** — streaming updates submit through
+  :meth:`submit_write`.  A write seals the currently-open batch window
+  first (requests that arrived before the write stay ordered before it) and
+  then runs as its own queue item, so the single drain loop gives every
+  reader batch and every write a definite serialization order.
+
+The scheduler is event-loop-local: all methods must be called from the
+owning loop's thread, so its counters need no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable, TypeVar
+
+from repro.serving.coalesce import CoalescedRequest
+
+__all__ = ["Overloaded", "SchedulerStats", "MicroBatchScheduler"]
+
+T = TypeVar("T")
+
+
+class Overloaded(RuntimeError):
+    """Typed admission-control rejection: the serving queue is full.
+
+    Attributes
+    ----------
+    pending:
+        Outstanding (admitted but unresolved) items at rejection time.
+    capacity:
+        The scheduler's ``max_pending`` bound.
+    """
+
+    def __init__(self, pending: int, capacity: int) -> None:
+        super().__init__(
+            f"serving tier overloaded: {pending} pending requests at "
+            f"capacity {capacity}; retry with backoff"
+        )
+        self.pending = pending
+        self.capacity = capacity
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """An immutable snapshot of one scheduler's queue telemetry.
+
+    Attributes
+    ----------
+    submitted:
+        Requests admitted into batch windows (coalesced joiners never reach
+        the scheduler).
+    rejected:
+        Requests (and writes) refused with :class:`Overloaded`.
+    batches / dispatched:
+        Sealed windows, and the total requests they carried.
+    writes:
+        Updates serialized through the queue.
+    pending:
+        Currently outstanding items (buffered, queued, or executing).
+    peak_pending:
+        High-water mark of ``pending``.
+    max_batch_size / mean_batch_size:
+        Size of the largest sealed window, and the mean over all windows
+        (0.0 before any batch).
+    """
+
+    submitted: int
+    rejected: int
+    batches: int
+    dispatched: int
+    writes: int
+    pending: int
+    peak_pending: int
+    max_batch_size: int
+    mean_batch_size: float
+
+
+#: Internal queue items: a sealed batch of requests, or one serialized write.
+_BatchItem = tuple[str, object]
+
+
+class MicroBatchScheduler:
+    """Accumulates requests into micro-batches and serializes writes.
+
+    Parameters
+    ----------
+    dispatch:
+        Async callable executing one sealed batch; it owns resolving (or
+        failing) each request's future.  Called from the drain loop, one
+        batch at a time.
+    max_batch:
+        Seal the open window as soon as it holds this many requests.
+    batch_window:
+        Seconds an open window waits for more requests before sealing
+        (0 seals on the next event-loop tick, which still batches requests
+        submitted in the same tick).
+    max_pending:
+        Bound on outstanding items; beyond it :meth:`submit` and
+        :meth:`submit_write` raise :class:`Overloaded`.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[list[CoalescedRequest]], Awaitable[None]],
+        max_batch: int = 64,
+        batch_window: float = 0.002,
+        max_pending: int = 4096,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self._dispatch = dispatch
+        self._max_batch = max_batch
+        self._batch_window = batch_window
+        self._max_pending = max_pending
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue[_BatchItem] = asyncio.Queue()
+        self._buffer: list[CoalescedRequest] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._drain_task: asyncio.Task[None] | None = None
+
+        self._pending = 0
+        self._peak_pending = 0
+        self._submitted = 0
+        self._rejected = 0
+        self._batches = 0
+        self._dispatched = 0
+        self._writes = 0
+        self._max_batch_size = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the drain loop on the running event loop (idempotent)."""
+        if self._drain_task is not None and not self._drain_task.done():
+            return
+        self._loop = asyncio.get_running_loop()
+        self._drain_task = self._loop.create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Seal the open window, drain every queued item, stop the loop."""
+        if self._drain_task is None:
+            return
+        self._seal()
+        await self._queue.join()
+        self._drain_task.cancel()
+        try:
+            await self._drain_task
+        except asyncio.CancelledError:
+            pass
+        self._drain_task = None
+
+    @property
+    def running(self) -> bool:
+        """True while the drain loop is active."""
+        return self._drain_task is not None and not self._drain_task.done()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request: CoalescedRequest) -> None:
+        """Admit a leader request into the open batch window.
+
+        Raises :class:`Overloaded` when the pending bound is hit; the caller
+        is responsible for detaching the request from its coalescer.
+        """
+        self._admission_check()
+        self._pending += 1
+        self._peak_pending = max(self._peak_pending, self._pending)
+        self._submitted += 1
+        self._buffer.append(request)
+        if len(self._buffer) >= self._max_batch:
+            self._seal()
+        elif self._timer is None:
+            assert self._loop is not None, "scheduler not started"
+            self._timer = self._loop.call_later(self._batch_window, self._seal)
+
+    def submit_write(
+        self,
+        apply: Callable[[], Awaitable[T]],
+        on_applied: Callable[[T], None] | None = None,
+    ) -> "asyncio.Future[T]":
+        """Serialize a write through the queue, behind the open window.
+
+        ``apply`` is awaited by the drain loop; ``on_applied`` then runs —
+        still inside the drain loop, before any later batch or write — so
+        writers can atomically invalidate in-flight coalesced futures the
+        moment the update is visible.  Returns a future resolving to
+        ``apply``'s result.
+        """
+        self._admission_check()
+        assert self._loop is not None, "scheduler not started"
+        self._seal()
+        self._pending += 1
+        self._peak_pending = max(self._peak_pending, self._pending)
+        self._writes += 1
+        future: asyncio.Future[T] = self._loop.create_future()
+        self._queue.put_nowait(("write", (apply, on_applied, future)))
+        return future
+
+    def _admission_check(self) -> None:
+        if self._pending >= self._max_pending:
+            self._rejected += 1
+            raise Overloaded(self._pending, self._max_pending)
+
+    # ------------------------------------------------------------------
+    # Window / drain machinery
+    # ------------------------------------------------------------------
+    def _seal(self) -> None:
+        """Close the open batch window and queue it for dispatch."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._buffer:
+            batch = self._buffer
+            self._buffer = []
+            self._batches += 1
+            self._dispatched += len(batch)
+            self._max_batch_size = max(self._max_batch_size, len(batch))
+            self._queue.put_nowait(("batch", batch))
+
+    async def _drain(self) -> None:
+        while True:
+            kind, payload = await self._queue.get()
+            try:
+                if kind == "batch":
+                    requests = payload
+                    assert isinstance(requests, list)
+                    try:
+                        await self._dispatch(requests)
+                    except Exception as exc:
+                        for request in requests:
+                            if not request.future.done():
+                                request.future.set_exception(exc)
+                    finally:
+                        self._pending -= len(requests)
+                else:
+                    apply, on_applied, future = payload  # type: ignore
+                    try:
+                        result = await apply()
+                        if on_applied is not None:
+                            on_applied(result)
+                    except Exception as exc:
+                        if not future.done():
+                            future.set_exception(exc)
+                    else:
+                        if not future.done():
+                            future.set_result(result)
+                    finally:
+                        self._pending -= 1
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SchedulerStats:
+        """An immutable snapshot of the queue counters."""
+        mean_size = self._dispatched / self._batches if self._batches else 0.0
+        return SchedulerStats(
+            submitted=self._submitted,
+            rejected=self._rejected,
+            batches=self._batches,
+            dispatched=self._dispatched,
+            writes=self._writes,
+            pending=self._pending,
+            peak_pending=self._peak_pending,
+            max_batch_size=self._max_batch_size,
+            mean_batch_size=mean_size,
+        )

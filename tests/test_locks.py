@@ -1,0 +1,169 @@
+"""ReadWriteLock edge cases: writer starvation bound and re-entrancy errors.
+
+The serving engine's reader-writer lock is writer-preferring: an arriving
+writer blocks *new* readers, so a steady query stream cannot starve updates.
+These tests pin that bound down with explicit orderings, and cover the
+re-entrancy detection (a non-reentrant lock that silently deadlocked on
+re-entrant acquisition would be far worse than one that raises).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.locks import ReadWriteLock
+
+
+# ----------------------------------------------------------------------
+# Basic sharing
+# ----------------------------------------------------------------------
+def test_readers_share_the_lock_concurrently():
+    lock = ReadWriteLock()
+    n_readers = 4
+    inside = threading.Barrier(n_readers, timeout=5.0)
+    done = []
+
+    def reader():
+        with lock.read_locked():
+            inside.wait()  # all readers inside simultaneously or we deadlock
+            done.append(True)
+
+    threads = [threading.Thread(target=reader) for _ in range(n_readers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert done == [True] * n_readers
+
+
+# ----------------------------------------------------------------------
+# Writer preference / starvation bound
+# ----------------------------------------------------------------------
+def test_waiting_writer_blocks_new_readers():
+    lock = ReadWriteLock()
+    order: list[str] = []
+    reader_holding = threading.Event()
+    writer_waiting = threading.Event()
+    release_first_reader = threading.Event()
+
+    def first_reader():
+        with lock.read_locked():
+            reader_holding.set()
+            assert release_first_reader.wait(timeout=5.0)
+
+    def writer():
+        assert reader_holding.wait(timeout=5.0)
+        writer_waiting.set()
+        with lock.write_locked():
+            order.append("writer")
+
+    def second_reader():
+        assert writer_waiting.wait(timeout=5.0)
+        time.sleep(0.05)  # give the writer time to register as waiting
+        with lock.read_locked():
+            order.append("second_reader")
+
+    threads = [
+        threading.Thread(target=first_reader),
+        threading.Thread(target=writer),
+        threading.Thread(target=second_reader),
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.15)
+    # Writer waits on the first reader; the second reader must queue behind
+    # the writer even though the lock is only read-held right now.
+    assert order == []
+    release_first_reader.set()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert order == ["writer", "second_reader"]
+
+
+def test_writer_acquires_under_continuous_reader_churn():
+    lock = ReadWriteLock()
+    stop = threading.Event()
+    writer_done = threading.Event()
+
+    def reader_churn():
+        while not stop.is_set():
+            with lock.read_locked():
+                time.sleep(0.001)
+
+    readers = [threading.Thread(target=reader_churn) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    time.sleep(0.05)  # the read side is saturated before the writer arrives
+
+    def writer():
+        with lock.write_locked():
+            writer_done.set()
+
+    writer_thread = threading.Thread(target=writer)
+    start = time.perf_counter()
+    writer_thread.start()
+    acquired = writer_done.wait(timeout=2.0)
+    waited = time.perf_counter() - start
+    stop.set()
+    writer_thread.join(timeout=5.0)
+    for thread in readers:
+        thread.join(timeout=5.0)
+    assert acquired, "writer starved by a continuous reader stream"
+    # Writer preference bounds the wait to roughly one reader critical
+    # section, not the length of the reader stream (which only stops after).
+    assert waited < 1.0
+
+
+# ----------------------------------------------------------------------
+# Re-entrancy detection
+# ----------------------------------------------------------------------
+def test_reentrant_read_raises():
+    lock = ReadWriteLock()
+    with lock.read_locked():
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            lock.acquire_read()
+
+
+def test_read_to_write_upgrade_raises():
+    lock = ReadWriteLock()
+    with lock.read_locked():
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            lock.acquire_write()
+
+
+def test_reentrant_write_raises():
+    lock = ReadWriteLock()
+    with lock.write_locked():
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            lock.acquire_write()
+
+
+def test_write_to_read_downgrade_raises():
+    lock = ReadWriteLock()
+    with lock.write_locked():
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            lock.acquire_read()
+
+
+def test_lock_usable_after_reentrancy_error():
+    lock = ReadWriteLock()
+    with lock.read_locked():
+        with pytest.raises(RuntimeError):
+            lock.acquire_write()
+    # The failed acquisition left no residue: both modes still work.
+    with lock.write_locked():
+        pass
+    with lock.read_locked():
+        pass
+
+
+def test_sequential_reacquisition_is_fine():
+    lock = ReadWriteLock()
+    for _ in range(3):
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass

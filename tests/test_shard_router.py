@@ -158,3 +158,68 @@ def test_deleting_unknown_row_fails_at_rebuild(table, config):
     router._deleted[owner].append({column: -999.0 for column in table.column_names})
     with pytest.raises(ValueError, match="not found"):
         router.rebuild(owner)
+
+
+def test_apply_many_groups_rows_per_shard(table, config):
+    plan, sharded, router = _build(table, config)
+    rng = np.random.default_rng(4)
+    rows = [
+        {"key": float(rng.uniform(0.0, 30.0)), "value": float(rng.uniform(1.0, 5.0))}
+        for _ in range(40)
+    ]
+    populations = [shard.population_size for shard in sharded.shards]
+    indices = router.apply_many(rows, "insert")
+    assert indices == [sharded.shard_for_row(row) for row in rows]
+    for shard_index, shard in enumerate(sharded.shards):
+        expected = populations[shard_index] + indices.count(shard_index)
+        assert shard.population_size == expected
+    stats = router.stats()
+    assert sum(stat.inserts for stat in stats) == len(rows)
+
+
+def test_apply_many_matches_single_row_updates(table, config):
+    plan, sharded_a, router_a = _build(table, config)
+    plan_b, sharded_b, router_b = _build(table, config)
+    rng = np.random.default_rng(9)
+    rows = [
+        {"key": float(rng.uniform(0.0, 30.0)), "value": float(rng.uniform(1.0, 5.0))}
+        for _ in range(25)
+    ]
+    for row in rows:
+        router_a.insert(row)
+    router_b.apply_many(rows, "insert", max_workers=3)
+    query = AggregateQuery("COUNT", "value", RectPredicate.everything())
+    assert sharded_a.query(query).estimate == sharded_b.query(query).estimate
+    for shard_a, shard_b in zip(sharded_a.shards, sharded_b.shards):
+        assert shard_a.population_size == shard_b.population_size
+
+
+def test_apply_many_mixed_kinds_and_validation(table, config):
+    plan, sharded, router = _build(table, config)
+    existing = {column: float(table.column(column)[5]) for column in table.column_names}
+    before = sharded.population_size
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        router.apply_many([{"key": 3.0, "value": 2.0}, existing], ["insert", "delete"])
+    assert sharded.population_size == before
+    with pytest.raises(ValueError, match="update kinds"):
+        router.apply_many([{"key": 1.0, "value": 1.0}], ["insert", "delete"])
+    with pytest.raises(ValueError, match="unknown update kind"):
+        router.apply_many([{"key": 1.0, "value": 1.0}], "upsert")
+
+
+def test_apply_many_triggers_rebuild_past_threshold(table, config):
+    plan, sharded, router = _build(table, config, threshold=0.01)
+    rng = np.random.default_rng(11)
+    rows = [
+        {"key": float(rng.uniform(0.0, 30.0)), "value": float(rng.uniform(1.0, 5.0))}
+        for _ in range(60)
+    ]
+    router.apply_many(rows, "insert", max_workers=2)
+    stats = router.stats()
+    assert sum(stat.rebuilds for stat in stats) >= 1
+    # Rebuilds reset the rebuilt shards' staleness; totals stay correct.
+    query = AggregateQuery("COUNT", "value", RectPredicate.everything())
+    assert sharded.query(query).estimate == 1200 + len(rows)
