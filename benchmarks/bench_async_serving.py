@@ -12,6 +12,11 @@ the tier buys over the PR-1 synchronous path:
   result cache disabled, so the speedup isolates what coalescing and
   batching contribute beyond caching.  ``--check`` asserts the acceptance
   floor: **>= 3x at duplicate ratio 0.5 with 64 clients**.
+* **Observability overhead** — the same closed-loop workload with full
+  instrumentation (metrics + traces + query log) vs the disabled no-op
+  path, order-alternated rounds compared best-of-N; ``--check`` asserts
+  **<= 5%** overhead and the ``obs_overhead_pct`` metric feeds the perf
+  gate.
 * **Open-loop tail latency** — a Poisson arrival process at increasing
   offered load (fractions of the measured capacity), plus the adversarial
   duplicate-stampede process, measured through
@@ -41,6 +46,7 @@ from repro.core.builder import build_pass
 from repro.core.config import PASSConfig
 from repro.data.loaders import load_dataset
 from repro.evaluation.harness import evaluate_async_workload
+from repro.obs import Observability
 from repro.query.predicate import RectPredicate
 from repro.query.query import AggregateQuery
 from repro.serving import AsyncServingEngine, ServingEngine, SynopsisCatalog
@@ -112,9 +118,13 @@ def _sequential_seconds(catalog, waves) -> float:
     return time.perf_counter() - start
 
 
-def _async_tier_seconds(catalog, waves) -> tuple[float, object]:
+def _async_tier_seconds(
+    catalog, waves, obs: Observability | None = None
+) -> tuple[float, object]:
     async def run():
-        engine = ServingEngine(catalog, cache_size=0, vectorized_batches=True)
+        engine = ServingEngine(
+            catalog, cache_size=0, vectorized_batches=True, obs=obs
+        )
         tier = AsyncServingEngine(engine, max_batch=len(waves[0]), batch_window=0.0)
 
         async def client(index: int) -> None:
@@ -154,6 +164,30 @@ def paired_speedup(catalog, waves, rounds: int = 3):
         n_requests / best_async,
         stats,
     )
+
+
+def obs_overhead_pct(catalog, waves, rounds: int = 6) -> float:
+    """Overhead (%) of full instrumentation over the no-op path, best-of-N.
+
+    Each round runs the same closed-loop workload through the async tier
+    both ways — once on the shared disabled :class:`Observability`
+    singleton (the default), once with live metrics + tracing + query
+    logging — alternating which goes first so warm-up and frequency drift
+    cannot systematically favor either side.  The reported figure is the
+    ratio of the best instrumented round to the best plain round:
+    machine noise only ever *adds* time, so best-of-N (``timeit``'s
+    estimator) converges on the true cost where a median of noisy pairs
+    wanders.  The committed baseline plus the perf gate's 2x threshold cap
+    the acceptable overhead at ~5%.
+    """
+    plain_times, instrumented_times = [], []
+    for round_index in range(rounds):
+        first_instrumented = bool(round_index % 2)
+        for instrumented in (first_instrumented, not first_instrumented):
+            obs = Observability() if instrumented else None
+            seconds, _ = _async_tier_seconds(catalog, waves, obs=obs)
+            (instrumented_times if instrumented else plain_times).append(seconds)
+    return (min(instrumented_times) / min(plain_times) - 1.0) * 100.0
 
 
 def open_loop_rows(catalog, spec, capacity_qps: float, tiny: bool) -> list[dict]:
@@ -250,6 +284,17 @@ def main(argv: list[str] | None = None) -> int:
         f"(mean size {stats.scheduler.mean_batch_size:.1f})"
     )
 
+    # Overhead is a small difference between two noisy wall-clock numbers;
+    # a longer request stream than the speedup rounds need makes the
+    # per-run constant costs (thread-pool spin-up, first-batch warm paths)
+    # negligible against the measured region.
+    overhead_waves = wave_workload(spec, N_CLIENTS, 4 * N_WAVES, DUPLICATE_RATIO, seed=1)
+    overhead_pct = obs_overhead_pct(catalog, overhead_waves)
+    print(
+        f"observability overhead (metrics + traces + query log vs no-op): "
+        f"{overhead_pct:+.2f}%"
+    )
+
     print("open-loop latency (offered load as a fraction of async capacity):")
     rows = open_loop_rows(catalog, spec, tier_qps, args.tiny)
     for row in rows:
@@ -264,18 +309,36 @@ def main(argv: list[str] | None = None) -> int:
         metrics = {
             "async_serving_speedup_dup50": {"value": speedup, "direction": "higher"},
             "async_serving_tier_qps": {"value": tier_qps, "direction": "higher"},
+            # Clamped at a small positive floor so the perf gate's
+            # multiplicative threshold stays meaningful when a lucky run
+            # measures ~0% (or negative) overhead.
+            "obs_overhead_pct": {
+                "value": max(overhead_pct, 0.5),
+                "direction": "lower",
+            },
         }
         Path(args.json).write_text(json.dumps({"metrics": metrics}, indent=2) + "\n")
         print(f"wrote {args.json}")
 
-    if args.check and speedup < 3.0:
-        print(
-            f"CHECK FAILED: async tier speedup {speedup:.2f}x < 3.0x "
-            f"(sequential {seq_qps:,.0f} q/s, async {tier_qps:,.0f} q/s)"
-        )
-        return 1
     if args.check:
-        print(f"check passed: {speedup:.2f}x >= 3.0x")
+        failed = False
+        if speedup < 3.0:
+            print(
+                f"CHECK FAILED: async tier speedup {speedup:.2f}x < 3.0x "
+                f"(sequential {seq_qps:,.0f} q/s, async {tier_qps:,.0f} q/s)"
+            )
+            failed = True
+        if overhead_pct > 5.0:
+            print(
+                f"CHECK FAILED: observability overhead {overhead_pct:.2f}% > 5.0%"
+            )
+            failed = True
+        if failed:
+            return 1
+        print(
+            f"check passed: {speedup:.2f}x >= 3.0x, "
+            f"obs overhead {overhead_pct:+.2f}% <= 5.0%"
+        )
     return 0
 
 

@@ -38,6 +38,7 @@ import numpy as np
 from repro.aggregation.strat_agg import hard_bounds
 from repro.core.pass_synopsis import PASSSynopsis, sketch_union_result
 from repro.core.tree import BatchFrontiers, MCFResult
+from repro.obs import Observability
 from repro.query.aggregates import SKETCH_AGGREGATES, AggregateType
 from repro.query.groupby import (
     GroupByPlan,
@@ -105,12 +106,14 @@ class BatchPlan:
         slots: list[int],
         slot_queries: list[AggregateQuery],
         batch_frontiers: BatchFrontiers,
+        obs: Observability | None = None,
     ) -> None:
         self.synopsis = synopsis
         self.queries = queries
         self.slots = slots
         self.slot_queries = slot_queries
         self.batch_frontiers = batch_frontiers
+        self.obs = obs if obs is not None else Observability.disabled()
         self._slot_frontiers: list[MCFResult] | None = None
         self._frontiers: list[MCFResult] | None = None
         self._masks: list[dict[int, np.ndarray]] | None = None
@@ -144,10 +147,14 @@ class BatchPlan:
         Results align with the input order and are bit-identical to calling
         ``synopsis.query(query)`` per query.
         """
-        return [
-            self.synopsis.query(query, match_masks=mask, frontier=frontier)
-            for query, mask, frontier in zip(self.queries, self.masks, self.frontiers)
-        ]
+        with self.obs.tracer.span("execute.per_query") as span:
+            span.set_attribute("batch_size", len(self.queries))
+            return [
+                self.synopsis.query(query, match_masks=mask, frontier=frontier)
+                for query, mask, frontier in zip(
+                    self.queries, self.masks, self.frontiers
+                )
+            ]
 
     def execute_vectorized(self) -> list[AQPResult]:
         """Answer the batch straight from the frontier mask matrices.
@@ -194,12 +201,15 @@ class BatchPlan:
                 )
 
         if any(slot_members):
-            rows = _assemble_from_masks(
-                synopsis,
-                self.batch_frontiers,
-                [query.predicate for query in self.slot_queries],
-                slot_aggs,
-            )
+            with self.obs.tracer.span("masks.reduceat") as span:
+                span.set_attribute("batch_size", len(self.queries))
+                span.set_attribute("slots", len(self.slot_queries))
+                rows = _assemble_from_masks(
+                    synopsis,
+                    self.batch_frontiers,
+                    [query.predicate for query in self.slot_queries],
+                    slot_aggs,
+                )
             for slot, members in enumerate(slot_members):
                 for index, result in zip(members, rows[slot]):
                     results[index] = result
@@ -207,7 +217,9 @@ class BatchPlan:
 
 
 def compile_batch(
-    synopsis: PASSSynopsis, queries: Sequence[AggregateQuery]
+    synopsis: PASSSynopsis,
+    queries: Sequence[AggregateQuery],
+    obs: Observability | None = None,
 ) -> BatchPlan:
     """Compile a batch: one vectorized MCF pass over deduplicated slots.
 
@@ -216,39 +228,64 @@ def compile_batch(
     an AVG query never shares a frontier slot with a SUM / COUNT over the
     same predicate — keeping :meth:`BatchPlan.execute` bit-identical to
     sequential execution.
+
+    With an enabled ``obs``, compilation emits ``plan.compile`` /
+    ``frontier.descent`` spans carrying the tree statistics
+    (``nodes_visited``, covered / partial leaf counts) and the plan carries
+    the context into its execution spans.
     """
-    queries = list(queries)
-    slots: list[int] = []
-    slot_by_key: dict[tuple, int] = {}
-    slot_queries: list[AggregateQuery] = []
-    for query in queries:
-        key = (query.predicate.canonical_key(), query.agg == AggregateType.AVG)
-        slot = slot_by_key.get(key)
-        if slot is None:
-            slot = len(slot_queries)
-            slot_by_key[key] = slot
-            slot_queries.append(query)
-        slots.append(slot)
-    zero_variance = synopsis.zero_variance_rule
-    batch_frontiers = synopsis.tree.batch_coverage_frontiers(
-        [query.predicate for query in slot_queries],
-        [zero_variance and query.agg == AggregateType.AVG for query in slot_queries],
-        with_masks=True,
-    )
-    assert isinstance(batch_frontiers, BatchFrontiers)
-    return BatchPlan(
-        synopsis=synopsis,
-        queries=queries,
-        slots=slots,
-        slot_queries=slot_queries,
-        batch_frontiers=batch_frontiers,
-    )
+    obs = obs if obs is not None else Observability.disabled()
+    with obs.tracer.span("plan.compile") as compile_span:
+        queries = list(queries)
+        slots: list[int] = []
+        slot_by_key: dict[tuple, int] = {}
+        slot_queries: list[AggregateQuery] = []
+        for query in queries:
+            key = (query.predicate.canonical_key(), query.agg == AggregateType.AVG)
+            slot = slot_by_key.get(key)
+            if slot is None:
+                slot = len(slot_queries)
+                slot_by_key[key] = slot
+                slot_queries.append(query)
+            slots.append(slot)
+        zero_variance = synopsis.zero_variance_rule
+        with obs.tracer.span("frontier.descent") as descent_span:
+            batch_frontiers = synopsis.tree.batch_coverage_frontiers(
+                [query.predicate for query in slot_queries],
+                [
+                    zero_variance and query.agg == AggregateType.AVG
+                    for query in slot_queries
+                ],
+                with_masks=True,
+            )
+            assert isinstance(batch_frontiers, BatchFrontiers)
+            if obs.enabled:
+                descent_span.set_attribute(
+                    "nodes_visited", int(batch_frontiers.nodes_visited.sum())
+                )
+                descent_span.set_attribute(
+                    "covered_nodes", int(batch_frontiers.covered_mask.sum())
+                )
+                descent_span.set_attribute(
+                    "partial_leaves", int(batch_frontiers.partial_mask.sum())
+                )
+        compile_span.set_attribute("batch_size", len(queries))
+        compile_span.set_attribute("slots", len(slot_queries))
+        return BatchPlan(
+            synopsis=synopsis,
+            queries=queries,
+            slots=slots,
+            slot_queries=slot_queries,
+            batch_frontiers=batch_frontiers,
+            obs=obs,
+        )
 
 
 def batch_query(
     synopsis: PASSSynopsis,
     queries: Sequence[AggregateQuery],
     vectorized: bool = False,
+    obs: Observability | None = None,
 ) -> list[AQPResult]:
     """Answer several queries against one synopsis with shared mask work.
 
@@ -257,7 +294,7 @@ def batch_query(
     runs through :meth:`BatchPlan.execute_vectorized` instead (equal up to
     floating-point summation order, faster for batches of tens of queries).
     """
-    plan = compile_batch(synopsis, queries)
+    plan = compile_batch(synopsis, queries, obs=obs)
     return plan.execute_vectorized() if vectorized else plan.execute()
 
 

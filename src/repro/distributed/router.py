@@ -30,17 +30,39 @@ updates applied through the engine invalidate its cache automatically.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.updates import DynamicPASS
 from repro.data.table import Table
 from repro.distributed.sharded import ShardedSynopsis
+from repro.obs import Observability
 
 __all__ = ["StreamingShardRouter", "ShardUpdateStats"]
+
+#: Rebuild-duration histogram buckets (seconds): rebuilds are orders of
+#: magnitude slower than queries, so the default latency buckets top out
+#: too early for them.
+_REBUILD_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +94,12 @@ class ShardUpdateStats:
     population: int
     sketch_staleness: float = 0.0
 
+    def as_dict(self) -> dict[str, float | int]:
+        """Field-name-keyed dict view (the serving stack's uniform
+        ``as_dict()`` contract — see
+        :meth:`repro.serving.stats.StatsSnapshot.as_dict`)."""
+        return asdict(self)
+
 
 class StreamingShardRouter:
     """Routes streaming inserts / deletes and rebuilds drifted shards.
@@ -88,6 +116,12 @@ class StreamingShardRouter:
     rebuild_threshold:
         Staleness ratio above which a shard is re-optimized (``None``
         disables automatic rebuilds; :meth:`rebuild` stays available).
+    obs:
+        The shared :class:`~repro.obs.Observability` context.  When enabled,
+        every routed update increments ``repro_shard_updates_total`` (labeled
+        by shard and kind), rebuilds count into ``repro_shard_rebuilds_total``
+        and time into a ``repro_shard_rebuild_seconds`` histogram, and
+        per-shard staleness is exported as scrape-time gauges.
     """
 
     def __init__(
@@ -95,6 +129,7 @@ class StreamingShardRouter:
         sharded: ShardedSynopsis,
         shard_tables: Sequence[Table],
         rebuild_threshold: float | None = 0.25,
+        obs: Observability | None = None,
     ) -> None:
         if not sharded.supports_updates:
             raise TypeError(
@@ -120,6 +155,52 @@ class StreamingShardRouter:
         self._insert_counts = [0] * sharded.n_shards
         self._delete_counts = [0] * sharded.n_shards
         self._rebuild_counts = [0] * sharded.n_shards
+        self._obs = obs if obs is not None else Observability.disabled()
+        registry = self._obs.metrics
+        update_help = "Streaming updates routed to each shard."
+        self._m_inserts = [
+            registry.counter(
+                "repro_shard_updates_total",
+                update_help,
+                {"shard": str(index), "kind": "insert"},
+            )
+            for index in range(sharded.n_shards)
+        ]
+        self._m_deletes = [
+            registry.counter(
+                "repro_shard_updates_total",
+                update_help,
+                {"shard": str(index), "kind": "delete"},
+            )
+            for index in range(sharded.n_shards)
+        ]
+        self._m_rebuilds = [
+            registry.counter(
+                "repro_shard_rebuilds_total",
+                "Per-shard re-optimizations triggered by staleness drift.",
+                {"shard": str(index)},
+            )
+            for index in range(sharded.n_shards)
+        ]
+        self._m_rebuild_seconds = registry.histogram(
+            "repro_shard_rebuild_seconds",
+            "Wall-clock duration of per-shard rebuilds.",
+            buckets=_REBUILD_BUCKETS,
+        )
+        if self._obs.enabled:
+            for index in range(sharded.n_shards):
+                registry.gauge(
+                    "repro_shard_staleness",
+                    "Per-shard update drift at scrape time.",
+                    {"shard": str(index)},
+                ).set_function(self._staleness_reader(index))
+
+    def _staleness_reader(self, index: int) -> Callable[[], float]:
+        def read() -> float:
+            shard = self._sharded.shards[index]
+            return shard.staleness if isinstance(shard, DynamicPASS) else 0.0
+
+        return read
 
     @property
     def sharded(self) -> ShardedSynopsis:
@@ -198,10 +279,12 @@ class StreamingShardRouter:
                         shard.insert(record)
                         self._inserted[index].append(record)
                         self._insert_counts[index] += 1
+                        self._m_inserts[index].inc()
                     else:
                         shard.delete(record)
                         self._deleted[index].append(record)
                         self._delete_counts[index] += 1
+                        self._m_deletes[index].inc()
                 if (
                     self._rebuild_threshold is not None
                     and shard.staleness >= self._rebuild_threshold
@@ -228,10 +311,12 @@ class StreamingShardRouter:
                 shard.insert(record)
                 self._inserted[index].append(record)
                 self._insert_counts[index] += 1
+                self._m_inserts[index].inc()
             else:
                 shard.delete(record)
                 self._deleted[index].append(record)
                 self._delete_counts[index] += 1
+                self._m_deletes[index].inc()
             if (
                 self._rebuild_threshold is not None
                 and shard.staleness >= self._rebuild_threshold
@@ -262,6 +347,7 @@ class StreamingShardRouter:
             self._rebuild_locked(index)
 
     def _rebuild_locked(self, index: int) -> None:
+        rebuild_start = time.perf_counter()
         shard = self._sharded.shards[index]
         snapshot = self._materialize(index)
         if snapshot.n_rows != shard.population_size:
@@ -285,6 +371,8 @@ class StreamingShardRouter:
         self._inserted[index].clear()
         self._deleted[index].clear()
         self._rebuild_counts[index] += 1
+        self._m_rebuilds[index].inc()
+        self._m_rebuild_seconds.observe(time.perf_counter() - rebuild_start)
 
     def _materialize(self, index: int) -> Table:
         """The shard's current data: base table plus inserts minus deletes."""

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -58,12 +58,16 @@ from repro.core.pass_synopsis import PASSSynopsis, sketch_union_result
 from repro.core.tree import PartitionNode, boxes_from_arrays, boxes_to_arrays
 from repro.core.updates import DynamicPASS
 from repro.distributed.planner import ShardRouting
+from repro.obs import Observability
 from repro.query.aggregates import SKETCH_AGGREGATES, AggregateType
 from repro.query.groupby import GroupByPlan, GroupByQuery, GroupedResult, execute_plan
 from repro.query.predicate import Box
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult, LAMBDA_99
 from repro.sampling.estimators import EstimateWithVariance, ratio_estimate
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import Counter, NullCounter
 
 __all__ = ["ShardedSynopsis"]
 
@@ -141,6 +145,32 @@ class ShardedSynopsis:
             hash_owners=tuple(hash_owners),
         )
         self.build_seconds = build_seconds
+        obs = Observability.disabled()
+        self._obs = obs
+        self._m_queries: "Counter | NullCounter" = obs.metrics.counter(
+            "repro_sharded_queries_total", "Queries answered by scatter-gather."
+        )
+        self._m_pruned: "Counter | NullCounter" = obs.metrics.counter(
+            "repro_sharded_shards_pruned_total",
+            "Shard visits skipped by key-range pruning.",
+        )
+
+    def bind_obs(self, obs: Observability) -> None:
+        """Attach an observability context (idempotent; no-op when disabled).
+
+        Called by :meth:`~repro.serving.catalog.SynopsisCatalog.bind_obs`
+        when a sharded synopsis is registered into an instrumented catalog.
+        """
+        if not obs.enabled or self._obs.enabled:
+            return
+        self._obs = obs
+        self._m_queries = obs.metrics.counter(
+            "repro_sharded_queries_total", "Queries answered by scatter-gather."
+        )
+        self._m_pruned = obs.metrics.counter(
+            "repro_sharded_shards_pruned_total",
+            "Shard visits skipped by key-range pruning.",
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -343,6 +373,15 @@ class ShardedSynopsis:
         # Scatter planning: per shard, the deduplicated subquery list.
         # Sketch aggregates take the union-merging gather path instead.
         survivors: list[list[int]] = [self.surviving_shards(q) for q in queries]
+        if self._obs.enabled:
+            pruned = sum(self.n_shards - len(indices) for indices in survivors)
+            self._m_queries.inc(float(len(queries)))
+            if pruned:
+                self._m_pruned.inc(float(pruned))
+            ambient = self._obs.tracer.current()
+            if ambient is not None:
+                ambient.set_attribute("shards", self.n_shards)
+                ambient.set_attribute("shards_pruned", pruned)
         shard_slots: list[dict[tuple, int]] = [{} for _ in self._shards]
         shard_queries: list[list[AggregateQuery]] = [[] for _ in self._shards]
 

@@ -1,0 +1,335 @@
+"""Exporters: Prometheus text exposition, a strict parser, and JSON dumps.
+
+:func:`prometheus_text` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+in the Prometheus text exposition format (version 0.0.4): one ``# HELP`` /
+``# TYPE`` pair per family, label values escaped, histograms expanded into
+cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+
+:func:`validate_exposition` is the strict parser the CI observability smoke
+runs against a live scrape: it rejects duplicate family definitions,
+duplicate samples, samples without HELP / TYPE, malformed names or label
+syntax, non-cumulative histogram buckets, negative counters, and counters
+whose names don't end in ``_total`` — the failure modes that silently break
+dashboards long before a human looks at them.
+
+:func:`json_snapshot` bundles the registry, the slowest traces, and the
+query-log tail into one JSON-ready dict for debugging endpoints and nightly
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    validate_label_name,
+    validate_metric_name,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+__all__ = [
+    "prometheus_text",
+    "validate_exposition",
+    "json_snapshot",
+    "ExpositionError",
+]
+
+
+class ExpositionError(ValueError):
+    """A Prometheus exposition violated the strict format contract."""
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry | NullRegistry) -> str:
+    """The registry rendered in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for labels in sorted(family.children):
+            child = family.children[labels]
+            if isinstance(child, Histogram):
+                cumulative = 0
+                for bound, count in zip(child.buckets, child.bucket_counts()):
+                    cumulative += count
+                    bucket_labels = labels + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                inf_labels = labels + (("le", "+Inf"),)
+                lines.append(
+                    f"{family.name}_bucket{_format_labels(inf_labels)} {child.count}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_format_labels(labels)} {child.count}")
+            else:
+                assert isinstance(child, (Counter, Gauge))
+                lines.append(
+                    f"{family.name}{_format_labels(labels)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_sample_line(line: str, lineno: int) -> tuple[str, str, float]:
+    """Parse ``name{labels} value`` into (name, canonical label string, value)."""
+    rest = line
+    if "{" in rest:
+        name, _, tail = rest.partition("{")
+        labels_raw, closed, value_part = tail.partition("}")
+        if not closed:
+            raise ExpositionError(f"line {lineno}: unterminated label set: {line!r}")
+        label_str = _canonical_labels(labels_raw, lineno)
+        value_str = value_part.strip()
+    else:
+        parts = rest.split()
+        if len(parts) < 2:
+            raise ExpositionError(f"line {lineno}: missing value: {line!r}")
+        name, value_str = parts[0], parts[1]
+        label_str = ""
+    name = name.strip()
+    try:
+        validate_metric_name(name)
+    except ValueError as exc:
+        raise ExpositionError(f"line {lineno}: {exc}") from None
+    try:
+        value = float(value_str)
+    except ValueError:
+        raise ExpositionError(
+            f"line {lineno}: unparseable value {value_str!r}"
+        ) from None
+    return name, label_str, value
+
+
+def _canonical_labels(raw: str, lineno: int) -> str:
+    """Validate and canonicalize a raw label body (sorted key order)."""
+    raw = raw.strip()
+    if not raw:
+        return ""
+    pairs = []
+    remainder = raw
+    while remainder:
+        key, eq, rest = remainder.partition("=")
+        if not eq or not rest.startswith('"'):
+            raise ExpositionError(f"line {lineno}: malformed labels {raw!r}")
+        key = key.strip()
+        if key != "le":
+            try:
+                validate_label_name(key)
+            except ValueError as exc:
+                raise ExpositionError(f"line {lineno}: {exc}") from None
+        # Scan the quoted value honoring backslash escapes.
+        index = 1
+        value_chars = []
+        while index < len(rest):
+            char = rest[index]
+            if char == "\\":
+                if index + 1 >= len(rest):
+                    raise ExpositionError(
+                        f"line {lineno}: dangling escape in {raw!r}"
+                    )
+                value_chars.append(rest[index + 1])
+                index += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            index += 1
+        else:
+            raise ExpositionError(f"line {lineno}: unterminated label value {raw!r}")
+        pairs.append((key, "".join(value_chars)))
+        remainder = rest[index + 1 :]
+        if remainder.startswith(","):
+            remainder = remainder[1:]
+        elif remainder:
+            raise ExpositionError(f"line {lineno}: malformed labels {raw!r}")
+    return ",".join(f"{k}={v}" for k, v in sorted(pairs))
+
+
+def _family_of(sample_name: str, declared: dict[str, str]) -> str | None:
+    """The declared family a sample belongs to (histograms have suffixes)."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if declared.get(base) == "histogram":
+                return base
+    return None
+
+
+def validate_exposition(text: str) -> dict[str, int]:
+    """Strictly validate a Prometheus text exposition.
+
+    Returns ``{family name: sample count}`` on success; raises
+    :class:`ExpositionError` on any violation (see the module docstring for
+    the list).  Counters must be non-negative and named ``*_total``;
+    histogram bucket series must be cumulative and end with ``le="+Inf"``
+    equal to the family's ``_count``.
+    """
+    declared: dict[str, str] = {}
+    helped: set[str] = set()
+    seen_samples: set[tuple[str, str]] = set()
+    sample_counts: dict[str, int] = {}
+    buckets: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, str], float] = {}
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ExpositionError(f"line {lineno}: malformed HELP line")
+            name = parts[2]
+            if name in helped:
+                raise ExpositionError(f"line {lineno}: duplicate HELP for {name!r}")
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ExpositionError(f"line {lineno}: malformed TYPE line")
+            _, _, name, metric_type = parts
+            if metric_type not in ("counter", "gauge", "histogram"):
+                raise ExpositionError(
+                    f"line {lineno}: unknown metric type {metric_type!r}"
+                )
+            if name in declared:
+                raise ExpositionError(f"line {lineno}: duplicate TYPE for {name!r}")
+            if name not in helped:
+                raise ExpositionError(f"line {lineno}: TYPE before HELP for {name!r}")
+            declared[name] = metric_type
+            continue
+        if line.startswith("#"):
+            continue
+
+        name, label_str, value = _parse_sample_line(line, lineno)
+        family = _family_of(name, declared)
+        if family is None:
+            raise ExpositionError(
+                f"line {lineno}: sample {name!r} has no preceding HELP/TYPE"
+            )
+        sample_key = (name, label_str)
+        if sample_key in seen_samples:
+            raise ExpositionError(
+                f"line {lineno}: duplicate sample {name!r} {{{label_str}}}"
+            )
+        seen_samples.add(sample_key)
+        sample_counts[family] = sample_counts.get(family, 0) + 1
+
+        metric_type = declared[family]
+        if metric_type == "counter":
+            if not family.endswith("_total"):
+                raise ExpositionError(
+                    f"line {lineno}: counter {family!r} must be named *_total"
+                )
+            if math.isnan(value) or value < 0:
+                raise ExpositionError(
+                    f"line {lineno}: counter {family!r} has invalid value {value}"
+                )
+        elif metric_type == "histogram":
+            if name.endswith("_bucket"):
+                le_pairs = [
+                    pair for pair in label_str.split(",") if pair.startswith("le=")
+                ]
+                if len(le_pairs) != 1:
+                    raise ExpositionError(
+                        f"line {lineno}: histogram bucket without an le label"
+                    )
+                bound = float(le_pairs[0][3:].replace("+Inf", "inf"))
+                series = ",".join(
+                    pair
+                    for pair in label_str.split(",")
+                    if pair and not pair.startswith("le=")
+                )
+                buckets.setdefault((family, series), []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[(family, label_str)] = value
+
+    for name in declared:
+        if sample_counts.get(name, 0) == 0:
+            raise ExpositionError(f"family {name!r} declared but has no samples")
+    for (family, series), pairs in buckets.items():
+        ordered = sorted(pairs)
+        values = [count for _, count in ordered]
+        if any(b > a for a, b in zip(values[1:], values)):
+            raise ExpositionError(
+                f"histogram {family!r} buckets are not cumulative for {series!r}"
+            )
+        if not ordered or not math.isinf(ordered[-1][0]):
+            raise ExpositionError(f"histogram {family!r} is missing the +Inf bucket")
+        total = counts.get((family, series))
+        if total is not None and ordered[-1][1] != total:
+            raise ExpositionError(
+                f"histogram {family!r}: +Inf bucket != _count for {series!r}"
+            )
+    return sample_counts
+
+
+def json_snapshot(obs: "Observability", slowest: int = 5, tail: int = 50) -> dict:
+    """Metrics + slowest traces + query-log tail as one JSON-ready dict."""
+    return {
+        "metrics": obs.metrics.snapshot(),
+        "slowest_traces": [
+            {
+                "trace_id": span.trace_id,
+                "name": span.name,
+                "duration_ms": span.duration_ms,
+                "attributes": {k: repr(v) for k, v in span.attributes.items()},
+                "stages_ms": span.stage_durations_ms(),
+            }
+            for span in obs.tracer.slowest(slowest)
+        ],
+        "query_log": {
+            "total": obs.query_log.total,
+            "retained": len(obs.query_log),
+            "outcomes": obs.query_log.outcome_counts(),
+            "tail": [record.as_dict() for record in obs.query_log.tail(tail)],
+        },
+    }
+
+
+def json_snapshot_text(obs: "Observability", slowest: int = 5, tail: int = 50) -> str:
+    """:func:`json_snapshot` serialized with stable key order."""
+    return json.dumps(json_snapshot(obs, slowest=slowest, tail=tail), indent=2)

@@ -1,0 +1,480 @@
+"""Trace spans with a context that survives the asyncio scheduler boundary.
+
+A query through the async serving tier crosses three execution contexts: the
+client coroutine that admits it (coalesce → enqueue), the scheduler's drain
+task that seals its batch window, and the executor thread that runs the
+synopsis work.  A plain ``contextvars``-based tracer loses the trail at each
+hop — ``loop.run_in_executor`` does not copy the caller's context, and the
+drain task never had it in the first place.  This tracer closes the gap with
+two explicit tools:
+
+* every :class:`Span` is a first-class handle that can be carried across the
+  boundary (the async engine stows the request's root span on its
+  :class:`~repro.serving.coalesce.CoalescedRequest`), and
+* :meth:`Tracer.activate` re-installs a carried span as the ambient parent
+  inside whatever task or thread continues the work, so the engine- and
+  core-level spans created there nest under the original request.
+
+Within one context, :meth:`Tracer.span` is an ordinary context manager that
+parents to the ambient span, so synchronous call trees instrument themselves
+with no plumbing.  Finished *root* spans are retained in a bounded deque —
+the tracer's memory footprint is O(max_traces x spans per trace) no matter
+how long the server runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = ["Span", "Tracer", "NullSpan", "NullTracer"]
+
+#: The ambient parent span of the current task / thread.
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+_UNSET = object()
+
+#: Ambient-slot marker meaning "an unsampled trace owns this context":
+#: :meth:`Tracer.span` returns a no-op context instead of creating orphan
+#: root spans (see :meth:`Tracer.suppress`).
+_SUPPRESSED = object()
+
+_ids = itertools.count(1)
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    Attributes
+    ----------
+    name:
+        The stage name (see the span taxonomy in the README).
+    trace_id / span_id:
+        The trace the span belongs to and its own id (process-unique).
+    attributes:
+        Free-form stage telemetry (``nodes_visited``, batch sizes, ...).
+    children:
+        Child spans, in start order.
+    stages:
+        Stamped stage durations in seconds (see :meth:`add_stage`).
+    start_s / end_s:
+        ``time.perf_counter()`` timestamps (``end_s`` is None while open).
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "children",
+        "stages",
+        "start_s",
+        "end_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        start_s: float,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes: dict[str, object] = {}
+        self.children: list["Span"] = []
+        self.stages: dict[str, float] = {}
+        self.start_s = start_s
+        self.end_s: float | None = None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach one key / value of stage telemetry."""
+        self.attributes[key] = value
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        """Record a stamped stage duration (repeats accumulate).
+
+        Fixed per-request stages on the serving hot path (cache probe,
+        scheduler submit, queue wait, coalesce join) are recorded as two
+        ``perf_counter`` stamps and one dict write instead of a child
+        :class:`Span` — an order of magnitude cheaper per request, which is
+        what keeps always-on tracing inside the benchmark's overhead gate.
+        Variable-depth work (plan compile, frontier descent, execution) still
+        gets real child spans; :meth:`stage_durations_ms` merges both.
+        """
+        stages = self.stages
+        stages[name] = stages.get(name, 0.0) + seconds
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration in seconds (NaN while the span is open)."""
+        if self.end_s is None:
+            return float("nan")
+        return self.end_s - self.start_s
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock duration in milliseconds (NaN while the span is open)."""
+        return self.duration_s * 1e3
+
+    def iter_tree(self) -> Iterator["Span"]:
+        """Pre-order traversal of the span subtree."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def find(self, name: str) -> "Span | None":
+        """The first span named ``name`` in the subtree, or None."""
+        for span in self.iter_tree():
+            if span.name == name:
+                return span
+        return None
+
+    def stage_durations_ms(self) -> dict[str, float]:
+        """Stamped stages plus direct children's durations, keyed by name.
+
+        Repeats are summed; a stamped stage and a child span sharing a name
+        accumulate into one entry.
+        """
+        stages = {name: seconds * 1e3 for name, seconds in self.stages.items()}
+        for child in self.children:
+            if child.end_s is not None:
+                stages[child.name] = stages.get(child.name, 0.0) + child.duration_ms
+        return stages
+
+    def render(self, indent: int = 0) -> str:
+        """A human-readable one-line-per-span rendering of the subtree."""
+        pad = "  " * indent
+        attrs = ""
+        if self.attributes:
+            inner = ", ".join(f"{k}={v}" for k, v in self.attributes.items())
+            attrs = f" [{inner}]"
+        lines = [f"{pad}{self.name}: {self.duration_ms:.3f} ms{attrs}"]
+        for name, seconds in self.stages.items():
+            lines.append(f"{pad}  {name}: {seconds * 1e3:.3f} ms (stage)")
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end_s is None else f"{self.duration_ms:.3f}ms"
+        return f"Span({self.name!r}, trace={self.trace_id}, {state})"
+
+
+class _SpanContext:
+    """Timed context manager: installs a span as ambient, ends it on exit.
+
+    A dedicated class instead of ``@contextmanager`` — span entry/exit is
+    the single hottest instrumentation operation (several per request), and
+    the generator frame behind ``contextlib`` costs more than the span
+    bookkeeping itself.
+    """
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        _CURRENT_SPAN.reset(self._token)
+        self._tracer.end(self._span)
+
+
+class _ActivationContext:
+    """Untimed context manager: re-installs a carried span as ambient."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span: Span | None) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span | None:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        _CURRENT_SPAN.reset(self._token)
+
+
+class Tracer:
+    """Creates spans, tracks the ambient parent, retains finished traces.
+
+    Parameters
+    ----------
+    max_traces:
+        Number of finished root spans retained (oldest evicted first).
+    sample_every:
+        Head-sampling period for :meth:`sample_root`: 1 traces every
+        request, N traces one request in N (deterministic round-robin, so
+        any steady workload is covered).  Explicit :meth:`start` /
+        :meth:`span` calls are never sampled away.
+    """
+
+    def __init__(self, max_traces: int = 512, sample_every: int = 1) -> None:
+        if max_traces <= 0:
+            raise ValueError("max_traces must be positive")
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self._finished: deque[Span] = deque(maxlen=max_traces)
+        self._lock = threading.Lock()
+        self._sample_every = sample_every
+        self._sample_tick = itertools.count()
+
+    @property
+    def sample_every(self) -> int:
+        """The head-sampling period of :meth:`sample_root`."""
+        return self._sample_every
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        parent: Span | None | object = _UNSET,
+        start_s: float | None = None,
+    ) -> Span:
+        """Open a span without activating it (explicit lifecycle).
+
+        ``parent`` defaults to the ambient span of the calling context; pass
+        ``None`` to force a new root.  ``start_s`` backdates the span (used
+        for queue-wait spans whose start was stamped at enqueue time).
+        """
+        if parent is _UNSET:
+            parent = _CURRENT_SPAN.get()
+        assert parent is None or isinstance(parent, Span)
+        span_id = next(_ids)
+        trace_id = parent.trace_id if parent is not None else span_id
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start_s=time.perf_counter() if start_s is None else start_s,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        return span
+
+    def sample_root(self, name: str, start_s: float | None = None) -> Span | None:
+        """A new root span for one request in ``sample_every``, else None.
+
+        This is the per-request head-sampling entry point of the serving
+        tier: metrics and the query log stay full-fidelity for every request,
+        while the per-request span tree — the expensive part — is built for a
+        deterministic 1-in-N subset.  The very first request is always
+        sampled, so short-lived processes still produce a trace.
+        """
+        every = self._sample_every
+        if every > 1 and next(self._sample_tick) % every:
+            return None
+        return self.start(name, parent=None, start_s=start_s)
+
+    def end(self, span: "Span | NullSpan", end_s: float | None = None) -> None:
+        """Close a span; finished roots enter the bounded trace store.
+
+        Idempotent, and a no-op for :class:`NullSpan` handles — callers that
+        hold a ``Span | NullSpan`` union (anything returned by a
+        ``Tracer | NullTracer`` start) can end it unconditionally.
+        """
+        if not isinstance(span, Span) or span.end_s is not None:
+            return
+        span.end_s = time.perf_counter() if end_s is None else end_s
+        if span.parent_id is None:
+            with self._lock:
+                self._finished.append(span)
+
+    def span(
+        self, name: str, parent: Span | None | object = _UNSET, **attributes: object
+    ) -> "_SpanContext | _NullSpanContext":
+        """Open a span, make it the ambient parent, close it on exit.
+
+        Inside a :meth:`suppress` scope (ambient spans suppressed because
+        the owning trace was not head-sampled), returns a shared no-op
+        context instead — no span objects are built or retained.
+        """
+        if parent is _UNSET:
+            parent = _CURRENT_SPAN.get()
+            if parent is _SUPPRESSED:
+                return _NULL_CONTEXT
+        span = self.start(name, parent=parent)
+        if attributes:
+            span.attributes.update(attributes)
+        return _SpanContext(self, span)
+
+    def activate(self, span: Span | None) -> _ActivationContext:
+        """Re-install a carried span as the ambient parent (no timing).
+
+        This is the cross-boundary half of context propagation: the drain
+        task / executor thread wraps its work in ``activate(request.span)``
+        so everything instrumented below nests under the request.
+        """
+        return _ActivationContext(span)
+
+    def suppress(self) -> _ActivationContext:
+        """Suppress ambient-parented span creation for a scope.
+
+        The executor-side batch path uses this when the batch's leader was
+        not head-sampled: without it, every instrumented layer below the
+        scheduler would open *orphan root* spans for unsampled work —
+        costing span construction on 15-in-16 batches and flooding the
+        bounded trace store with partial trees that evict real request
+        traces.  Explicit-parent calls are unaffected.
+        """
+        return _ActivationContext(_SUPPRESSED)  # type: ignore[arg-type]
+
+    def current(self) -> Span | None:
+        """The ambient span of the calling context, or None."""
+        span = _CURRENT_SPAN.get()
+        return None if span is _SUPPRESSED else span  # type: ignore[comparison-overlap]
+
+    # ------------------------------------------------------------------
+    # Finished-trace queries
+    # ------------------------------------------------------------------
+    def finished(self) -> list[Span]:
+        """Finished root spans, oldest first (bounded by ``max_traces``)."""
+        with self._lock:
+            return list(self._finished)
+
+    def find_trace(self, trace_id: int) -> Span | None:
+        """The finished root span with the given trace id, or None."""
+        with self._lock:
+            for span in self._finished:
+                if span.trace_id == trace_id:
+                    return span
+        return None
+
+    def slowest(self, n: int = 5) -> list[Span]:
+        """The ``n`` slowest finished root spans, slowest first."""
+        return sorted(self.finished(), key=lambda s: -s.duration_s)[: max(n, 0)]
+
+    def clear(self) -> None:
+        """Drop every retained finished trace."""
+        with self._lock:
+            self._finished.clear()
+
+
+class NullSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+    name = "null"
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    attributes: dict[str, object] = {}
+    children: list[Span] = []
+    stages: dict[str, float] = {}
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+    duration_ms = 0.0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Discard the attribute."""
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        """Discard the stage."""
+
+    def iter_tree(self) -> Iterator["NullSpan"]:
+        """Just this span."""
+        yield self
+
+    def find(self, name: str) -> None:
+        """Always None."""
+        return None
+
+    def stage_durations_ms(self) -> dict[str, float]:
+        """Always empty."""
+        return {}
+
+    def render(self, indent: int = 0) -> str:
+        """An empty rendering."""
+        return ""
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager yielding the shared :class:`NullSpan`."""
+
+    __slots__ = ()
+    _span = NullSpan()
+
+    def __enter__(self) -> NullSpan:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: Shared instance returned by :meth:`Tracer.span` inside a suppress scope.
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracer stand-in for the disabled fast path: every call is a no-op."""
+
+    _context = _NullSpanContext()
+    _span = NullSpan()
+    sample_every = 1
+
+    def start(
+        self,
+        name: str,
+        parent: object = _UNSET,
+        start_s: float | None = None,
+    ) -> NullSpan:
+        """The shared no-op span."""
+        return self._span
+
+    def sample_root(self, name: str, start_s: float | None = None) -> Span | None:
+        """Never sampled."""
+        return None
+
+    def end(self, span: object, end_s: float | None = None) -> None:
+        """Discard the close."""
+
+    def span(
+        self, name: str, parent: object = _UNSET, **attributes: object
+    ) -> _NullSpanContext:
+        """A shared no-op context manager."""
+        return self._context
+
+    def activate(self, span: object) -> _NullSpanContext:
+        """A shared no-op context manager."""
+        return self._context
+
+    def suppress(self) -> _NullSpanContext:
+        """A shared no-op context manager (nothing to suppress)."""
+        return self._context
+
+    def current(self) -> None:
+        """Always None."""
+        return None
+
+    def finished(self) -> list[Span]:
+        """Always empty."""
+        return []
+
+    def find_trace(self, trace_id: int) -> None:
+        """Always None."""
+        return None
+
+    def slowest(self, n: int = 5) -> list[Span]:
+        """Always empty."""
+        return []
+
+    def clear(self) -> None:
+        """Nothing to drop."""

@@ -34,15 +34,17 @@ executor thread, so the loop stays responsive while a batch executes.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.obs import Observability
 from repro.query.predicate import Box
 from repro.query.query import AggregateQuery
 from repro.result import AQPResult
 from repro.serving.coalesce import CoalescedRequest, RequestCoalescer
-from repro.serving.engine import ServingEngine
+from repro.serving.engine import _NO_STAGES, ServingEngine
 from repro.serving.scheduler import MicroBatchScheduler, Overloaded, SchedulerStats
 
 __all__ = ["AsyncServingEngine", "AsyncServingStats"]
@@ -70,6 +72,17 @@ class AsyncServingStats:
     invalidated_futures: int
     inflight: int
 
+    def as_dict(self) -> dict[str, object]:
+        """Field-name-keyed dict view; nested snapshots nest as dicts
+        (the serving stack's uniform ``as_dict()`` contract — see
+        :meth:`repro.serving.stats.StatsSnapshot.as_dict`)."""
+        return {
+            "scheduler": self.scheduler.as_dict(),
+            "coalesced": self.coalesced,
+            "invalidated_futures": self.invalidated_futures,
+            "inflight": self.inflight,
+        }
+
 
 class AsyncServingEngine:
     """Asyncio front end over a :class:`ServingEngine`.
@@ -87,6 +100,14 @@ class AsyncServingEngine:
     executor:
         Executor for the blocking synopsis work (None uses the loop's
         default thread pool).
+    obs:
+        The shared :class:`~repro.obs.Observability` context; defaults to
+        the wrapped engine's, so wiring the engine instruments the whole
+        stack.  When enabled, every request gets a ``serve.request`` root
+        span whose children cover the cache probe, coalesce/submit path,
+        queue wait, and the engine's batch execution — the span handle is
+        carried on the :class:`CoalescedRequest` across the scheduler /
+        executor boundary, where contextvars would be lost.
 
     Use as an async context manager, or call :meth:`start` / :meth:`stop`::
 
@@ -101,18 +122,48 @@ class AsyncServingEngine:
         batch_window: float = 0.002,
         max_pending: int = 4096,
         executor: Executor | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self._engine = engine
         self._executor = executor
+        self._obs = obs if obs is not None else engine.obs
         self._coalescer = RequestCoalescer()
         self._scheduler = MicroBatchScheduler(
             self._dispatch,
             max_batch=max_batch,
             batch_window=batch_window,
             max_pending=max_pending,
+            obs=self._obs,
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._invalidated_futures = 0
+        # Head-sampling state, inlined from the tracer so the per-request
+        # dispatch in ``execute`` is one increment + modulo, not a method
+        # call into the tracer for every unsampled request.
+        self._trace_tick = 0
+        self._trace_every = self._obs.tracer.sample_every
+        registry = self._obs.metrics
+        # Coalesce joins are already tallied by the coalescer itself; the
+        # counter mirrors that tally lazily instead of paying an eager
+        # ``inc()`` on the join hot path.
+        registry.counter(
+            "repro_async_coalesced_total",
+            "Requests that attached to an in-flight identical query.",
+        ).set_function(lambda: float(self._coalescer.joined))
+        self._m_invalidated = registry.counter(
+            "repro_async_invalidated_futures_total",
+            "In-flight coalesced futures detached by writer invalidation.",
+        )
+        if self._obs.enabled:
+            registry.gauge(
+                "repro_async_inflight",
+                "Coalesced executions currently outstanding.",
+            ).set_function(lambda: float(len(self._coalescer)))
+
+    @property
+    def obs(self) -> Observability:
+        """The observability context (the disabled singleton when unwired)."""
+        return self._obs
 
     @property
     def engine(self) -> ServingEngine:
@@ -157,21 +208,159 @@ class AsyncServingEngine:
         ``LookupError`` for unroutable queries) to every coalesced waiter.
         """
         loop = self._require_started()
-        cached = self._engine.peek(query, table)
+        engine = self._engine
+        if self._obs.enabled:
+            # Head sampling, inline: one request in ``trace_every`` takes
+            # the span-building traced path; the rest run the logged path
+            # below — metrics and the query log stay full-fidelity, only
+            # the span tree is sampled.  Both common paths live in this
+            # coroutine body because a sub-coroutine hop per request is one
+            # of the larger avoidable costs on the admission hot path.
+            every = self._trace_every
+            tick = self._trace_tick
+            self._trace_tick = tick + 1
+            if every == 1 or tick % every == 0:
+                return await self._execute_traced(query, table, loop)
+            # Unsampled logged path: miss leaders are logged by the engine's
+            # batch execution, coalesced joiners are summarized on the
+            # leader's record (see ``_dispatch``) and tallied by the
+            # coalescer, so only the loop-thread outcomes that never reach
+            # the executor — cache hits and rejections — are written here.
+            start = time.perf_counter()
+            cached = engine.peek_entry(query, table)
+            if cached is not None:
+                served_by, result = cached
+                engine._log_query(
+                    query,
+                    table,
+                    served_by,
+                    "cache_hit",
+                    (time.perf_counter() - start) * 1e3,
+                    _NO_STAGES,
+                    result,
+                    0,
+                )
+                return result
+            request, is_leader = self._coalescer.admit(query, table, loop)
+            if is_leader:
+                request.enqueued_s = time.perf_counter()
+                try:
+                    self._scheduler.submit(request)
+                except Overloaded:
+                    # Nobody can have joined between admit and submit (both
+                    # run synchronously on the loop), so the future dies
+                    # unobserved.
+                    self._coalescer.detach(request)
+                    request.future.cancel()
+                    engine._log_query(
+                        query,
+                        table,
+                        "",
+                        "rejected",
+                        (time.perf_counter() - start) * 1e3,
+                        _NO_STAGES,
+                        None,
+                        0,
+                    )
+                    raise
+            return await asyncio.shield(request.future)  # type: ignore[return-value]
+        # Disabled fast path: the shared no-op singleton, zero bookkeeping.
+        cached = engine.peek_entry(query, table)
         if cached is not None:
-            return cached
+            return cached[1]
         request, is_leader = self._coalescer.admit(query, table, loop)
         if is_leader:
             try:
                 self._scheduler.submit(request)
             except Overloaded:
-                # Nobody can have joined between admit and submit (both run
-                # synchronously on the loop), so the future dies unobserved.
+                # See above: the future dies unobserved.
                 self._coalescer.detach(request)
                 request.future.cancel()
                 raise
-        result = await asyncio.shield(request.future)
-        return result  # type: ignore[return-value]
+        return await asyncio.shield(request.future)  # type: ignore[return-value]
+
+    async def _execute_traced(
+        self,
+        query: AggregateQuery,
+        table: str | None,
+        loop: asyncio.AbstractEventLoop,
+    ) -> AQPResult:
+        """The head-sampled request path: one root span, stamped stages.
+
+        Fixed per-request stages (cache probe, scheduler submit, queue wait,
+        coalesce join) are stamped onto the root via :meth:`Span.add_stage`;
+        only the variable-depth batch execution below the scheduler opens
+        real child spans (see ``ServingEngine._execute_batch_impl``).  Only
+        one request in ``Observability.trace_sample_rate`` reaches this path
+        at all — :meth:`execute` keeps the rest on its inline logged path,
+        which records metrics and the query log but builds no spans.
+        Together these keep enabled instrumentation inside the benchmark's
+        overhead gate.
+        """
+        obs = self._obs
+        tracer = obs.tracer
+        start = time.perf_counter()
+        root = tracer.start("serve.request", parent=None, start_s=start)
+        try:
+            cached = self._engine.peek_entry(query, table)
+            root.add_stage("cache.probe", time.perf_counter() - start)
+            if cached is not None:
+                served_by, result = cached
+                root.set_attribute("outcome", "cache_hit")
+                tracer.end(root)
+                self._engine._log_query(
+                    query,
+                    table,
+                    served_by,
+                    "cache_hit",
+                    total_ms=(time.perf_counter() - start) * 1e3,
+                    stages_ms=root.stage_durations_ms(),
+                    result=result,
+                    trace_id=root.trace_id,
+                )
+                return result
+            request, is_leader = self._coalescer.admit(query, table, loop)
+            if is_leader:
+                root.set_attribute("outcome", "executed")
+                request.span = root
+                submitted = time.perf_counter()
+                request.enqueued_s = submitted
+                try:
+                    self._scheduler.submit(request)
+                except Overloaded:
+                    # See ``execute`` for why detaching here is safe.
+                    self._coalescer.detach(request)
+                    request.future.cancel()
+                    root.set_attribute("outcome", "rejected")
+                    self._engine._log_query(
+                        query,
+                        table,
+                        "",
+                        "rejected",
+                        total_ms=(time.perf_counter() - start) * 1e3,
+                        stages_ms={},
+                        result=None,
+                        trace_id=root.trace_id,
+                    )
+                    raise
+                root.add_stage("scheduler.submit", time.perf_counter() - submitted)
+                result = await asyncio.shield(request.future)
+                return result  # type: ignore[return-value]
+            # Followers leave no per-request log record — the leader's
+            # ``coalesced`` summary in ``_dispatch`` carries their count —
+            # and the join was already tallied by the coalescer.
+            root.set_attribute("outcome", "coalesced")
+            leader_span = request.span
+            if leader_span is not None:
+                root.set_attribute("coalesced_with", leader_span.trace_id)
+            joined = time.perf_counter()
+            try:
+                result = await asyncio.shield(request.future)
+            finally:
+                root.add_stage("coalesce.join", time.perf_counter() - joined)
+            return result  # type: ignore[return-value]
+        finally:
+            tracer.end(root)
 
     async def execute_many(
         self, queries: Sequence[AggregateQuery], table: str | None = None
@@ -215,7 +404,10 @@ class AsyncServingEngine:
             return await loop.run_in_executor(self._executor, engine_apply, name, row)
 
         def on_applied(box: Box) -> None:
-            self._invalidated_futures += self._coalescer.invalidate_overlapping(box)
+            detached = self._coalescer.invalidate_overlapping(box)
+            self._invalidated_futures += detached
+            if detached:
+                self._m_invalidated.inc(float(detached))
 
         future = self._scheduler.submit_write(apply, on_applied)
         return await asyncio.shield(future)
@@ -250,26 +442,54 @@ class AsyncServingEngine:
     async def _dispatch(self, requests: list[CoalescedRequest]) -> None:
         """Execute one sealed micro-batch on the executor and resolve futures."""
         assert self._loop is not None
+        tracer = self._obs.tracer
         groups: dict[str | None, list[CoalescedRequest]] = {}
         for request in requests:
             groups.setdefault(request.table, []).append(request)
+
+        # Stamp each request's queue wait (admission -> dispatch) before the
+        # batch leaves the loop thread.
+        if self._obs.enabled:
+            now = time.perf_counter()
+            for request in requests:
+                if request.span is not None:
+                    request.span.add_stage("queue.wait", now - request.enqueued_s)
 
         def run() -> list[tuple[CoalescedRequest, AQPResult | None, Exception | None]]:
             outcomes: list[
                 tuple[CoalescedRequest, AQPResult | None, Exception | None]
             ] = []
             for table, group in groups.items():
-                try:
-                    results = self._engine.execute_batch(
-                        [request.query for request in group], table=table
-                    )
-                except Exception as exc:  # noqa: BLE001 - forwarded to waiters
-                    outcomes.extend((request, None, exc) for request in group)
-                else:
-                    outcomes.extend(
-                        (request, result, None)
-                        for request, result in zip(group, results)
-                    )
+                # The engine's batch spans nest under the first request's
+                # root: contextvars do not cross run_in_executor, so the
+                # carried span handle is re-activated here.  Other requests
+                # in the group link to that trace by attribute.  When the
+                # first request was not head-sampled, span creation below
+                # the scheduler is suppressed outright — otherwise every
+                # unsampled batch would open orphan root spans.
+                leader_span = group[0].span
+                for request in group[1:]:
+                    if request.span is not None and leader_span is not None:
+                        request.span.set_attribute(
+                            "batched_under", leader_span.trace_id
+                        )
+                ctx = (
+                    tracer.activate(leader_span)
+                    if leader_span is not None
+                    else tracer.suppress()
+                )
+                with ctx:
+                    try:
+                        results = self._engine.execute_batch(
+                            [request.query for request in group], table=table
+                        )
+                    except Exception as exc:  # noqa: BLE001 - forwarded to waiters
+                        outcomes.extend((request, None, exc) for request in group)
+                    else:
+                        outcomes.extend(
+                            (request, result, None)
+                            for request, result in zip(group, results)
+                        )
             return outcomes
 
         try:
@@ -283,6 +503,31 @@ class AsyncServingEngine:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
+        if self._obs.enabled and outcomes:
+            # One ``coalesced`` summary record per leader that collected
+            # joiners, instead of one record per joiner: the record's
+            # ``coalesced_waiters`` preserves the traffic weight while the
+            # joiners themselves do no log writes.  ``waiters`` is stable
+            # here — joins happen on the loop thread and nothing awaits
+            # between this snapshot and the detach loop below.
+            now_s = time.perf_counter()
+            summaries = [
+                self._engine._make_payload(
+                    request.query,
+                    request.table,
+                    "",
+                    "coalesced",
+                    (now_s - request.enqueued_s) * 1e3,
+                    _NO_STAGES,
+                    result,
+                    request.span.trace_id if request.span is not None else 0,
+                    request.waiters - 1,
+                )
+                for request, result, exc in outcomes
+                if request.waiters > 1 and exc is None
+            ]
+            if summaries:
+                self._obs.query_log.extend_raw(summaries)
         for request, result, exc in outcomes:
             # Detach before resolving: a resolved future must not collect
             # further joiners (they would skip the result cache's staleness

@@ -18,7 +18,7 @@ partitions (finer partitions skip more data).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.pass_synopsis import PASSSynopsis
 from repro.core.updates import DynamicPASS
@@ -26,6 +26,10 @@ from repro.data.table import Table
 from repro.distributed.sharded import ShardedSynopsis
 from repro.query.aggregates import SKETCH_AGGREGATES
 from repro.query.query import AggregateQuery, ExactEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter, NullCounter
 
 __all__ = ["CatalogEntry", "SynopsisCatalog"]
 
@@ -136,6 +140,48 @@ class SynopsisCatalog:
     def __init__(self) -> None:
         self._entries: dict[str, CatalogEntry] = {}
         self._exact_engines: dict[str, ExactEngine] = {}
+        self._obs: "Observability | None" = None
+        self._route_counters: dict[str, "Counter | NullCounter"] = {}
+
+    def bind_obs(self, obs: "Observability") -> None:
+        """Attach an observability context: routing-decision counters.
+
+        Called by :class:`~repro.serving.engine.ServingEngine` when it is
+        constructed with an enabled context; binds sharded entries too, so
+        shard-pruning counters land in the same registry.  Idempotent.
+        """
+        if not obs.enabled or self._obs is obs:
+            return
+        self._obs = obs
+        self._route_counters.clear()
+        for entry in self._entries.values():
+            if entry.is_sharded:
+                entry.synopsis.bind_obs(obs)
+
+    def _count_route(self, target: str, n: int = 1) -> None:
+        if self._obs is None:
+            return
+        counter = self._route_counters.get(target)
+        if counter is None:
+            counter = self._obs.metrics.counter(
+                "repro_catalog_route_total",
+                "Routing decisions by target synopsis "
+                "(__exact__ = fallback scan, __none__ = unanswerable).",
+                {"target": target},
+            )
+            self._route_counters[target] = counter
+        counter.inc(float(n))
+
+    def count_routes(self, tally: Mapping[str, int]) -> None:
+        """Record many routing decisions in one pass (batch hot path).
+
+        Batch executors route every miss up front and already hold the
+        per-synopsis grouping, so they report the whole window here instead
+        of paying one counter update per query (see ``route``'s ``record``
+        parameter).
+        """
+        for target, n in tally.items():
+            self._count_route(target, n)
 
     # ------------------------------------------------------------------
     # Registration
@@ -183,6 +229,8 @@ class SynopsisCatalog:
             predicate_columns=tuple(predicate_columns),
         )
         self._entries[name] = entry
+        if self._obs is not None and entry.is_sharded:
+            entry.synopsis.bind_obs(self._obs)
         return entry
 
     def register_table(self, table: Table, name: str | None = None) -> ExactEngine:
@@ -219,6 +267,14 @@ class SynopsisCatalog:
             known = ", ".join(self._entries) or "<none>"
             raise KeyError(f"no synopsis named {name!r}; registered: {known}") from None
 
+    def staleness_of(self, name: str) -> float:
+        """Update drift of a registered synopsis (0.0 when unknown).
+
+        Hot-path helper for query-log records: one dict probe, no raising.
+        """
+        entry = self._entries.get(name)
+        return entry.staleness if entry is not None else 0.0
+
     def entries(self) -> list[CatalogEntry]:
         """All registered entries, in registration order."""
         return list(self._entries.values())
@@ -235,7 +291,10 @@ class SynopsisCatalog:
     # Planning
     # ------------------------------------------------------------------
     def route(
-        self, query: AggregateQuery, table_name: str | None = None
+        self,
+        query: AggregateQuery,
+        table_name: str | None = None,
+        record: bool = True,
     ) -> CatalogEntry | None:
         """The best-matching synopsis for a query, or None.
 
@@ -243,6 +302,10 @@ class SynopsisCatalog:
         superset of the constrained predicate columns.  The best candidate is
         the tightest fit: fewest surplus partitioning columns, then the most
         leaf partitions, then registration order.
+
+        ``record=False`` skips the per-decision routing counter; batch
+        callers route every miss in a loop and report the grouped tally via
+        :meth:`count_routes` instead.
         """
         constrained = {column for column, _, _ in query.predicate.canonical_key()}
         best: CatalogEntry | None = None
@@ -254,4 +317,11 @@ class SynopsisCatalog:
             score = (-surplus, entry.n_partitions)
             if best_score is None or score > best_score:
                 best, best_score = entry, score
+        if record and self._obs is not None:
+            if best is not None:
+                self._count_route(best.name)
+            elif self.exact_engine(table_name) is not None:
+                self._count_route("__exact__")
+            else:
+                self._count_route("__none__")
         return best

@@ -28,6 +28,7 @@ import asyncio
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.tracing import Span
     from repro.query.predicate import Box
     from repro.query.query import AggregateQuery
 
@@ -52,9 +53,17 @@ class CoalescedRequest:
         error) exactly once.
     waiters:
         Number of requests attached to the future (1 for the leader).
+    span:
+        The leader's root trace span, carried explicitly across the
+        scheduler boundary — ``loop.run_in_executor`` does not copy the
+        client coroutine's contextvars, so the dispatch path re-activates
+        this handle instead (None when tracing is disabled).
+    enqueued_s:
+        ``time.perf_counter()`` at scheduler admission; dispatch backdates
+        the request's queue-wait span from it (0.0 when untraced).
     """
 
-    __slots__ = ("key", "query", "table", "future", "waiters")
+    __slots__ = ("key", "query", "table", "future", "waiters", "span", "enqueued_s")
 
     def __init__(
         self,
@@ -68,6 +77,8 @@ class CoalescedRequest:
         self.table = table
         self.future = future
         self.waiters = 1
+        self.span: "Span | None" = None
+        self.enqueued_s = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.future.done() else "pending"

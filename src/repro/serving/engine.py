@@ -41,6 +41,7 @@ from contextlib import nullcontext
 from typing import Mapping, Sequence
 
 from repro.core.batching import batch_query
+from repro.obs import Observability
 from repro.query.groupby import GroupByPlan, GroupByQuery, GroupedResult
 from repro.query.predicate import Box
 from repro.query.query import AggregateQuery
@@ -54,6 +55,10 @@ __all__ = ["ServingEngine"]
 
 #: Stats key used for queries answered by the exact-scan fallback.
 EXACT_FALLBACK = "__exact__"
+
+#: Shared empty stages mapping for records with no stage breakdown
+#: (read-only by convention; avoids one dict allocation per record).
+_NO_STAGES: dict[str, float] = {}
 
 
 class ServingEngine:
@@ -78,6 +83,12 @@ class ServingEngine:
         floating-point summation order (see
         :func:`~repro.core.batching.grouped_query` for the AVG caveat); the
         default keeps batches bit-identical to sequential execution.
+    obs:
+        The shared :class:`~repro.obs.Observability` context.  When given
+        (and enabled), per-synopsis serving stats become registry-backed
+        metrics, queries emit trace spans and structured query-log records,
+        and the catalog / sharded synopses are bound to the same context.
+        Defaults to the shared disabled singleton (no-op instruments).
     """
 
     def __init__(
@@ -86,6 +97,7 @@ class ServingEngine:
         cache_size: int = 4096,
         latency_window: int | None = None,
         vectorized_batches: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -103,11 +115,28 @@ class ServingEngine:
         self._stats: dict[str, ServingStats] = {}
         self._stats_lock = threading.Lock()
         self._latency_window = latency_window
+        self._obs = obs if obs is not None else Observability.disabled()
+        if self._obs.enabled:
+            registry = self._obs.metrics
+            registry.gauge(
+                "repro_serving_cache_entries",
+                "Result-cache entries currently held.",
+            ).set_function(lambda: float(len(self._cache)))
+            registry.gauge(
+                "repro_serving_cache_capacity",
+                "Result-cache capacity (0 = caching disabled).",
+            ).set(float(cache_size))
+            catalog.bind_obs(self._obs)
 
     @property
     def catalog(self) -> SynopsisCatalog:
         """The catalog being served."""
         return self._catalog
+
+    @property
+    def obs(self) -> Observability:
+        """The observability context (the disabled singleton when unwired)."""
+        return self._obs
 
     def peek(
         self, query: AggregateQuery, table: str | None = None
@@ -118,6 +147,13 @@ class ServingEngine:
         :meth:`execute`.  The async serving tier probes this before
         scheduling, so cached queries never pay a batch-window wait.
         """
+        entry = self.peek_entry(query, table)
+        return None if entry is None else entry[1]
+
+    def peek_entry(
+        self, query: AggregateQuery, table: str | None = None
+    ) -> tuple[str, AQPResult] | None:
+        """Like :meth:`peek`, also naming the synopsis that served the hit."""
         if not self._cache_size:
             return None
         cached = self._cache_get(self._cache_key(query, table))
@@ -125,7 +161,7 @@ class ServingEngine:
             return None
         served_by, _, result = cached
         self._stats_for(served_by).record_hit()
-        return result
+        return served_by, result
 
     # ------------------------------------------------------------------
     # Query execution
@@ -136,23 +172,52 @@ class ServingEngine:
         Raises ``LookupError`` when no synopsis matches and no fallback table
         is registered.
         """
-        key = self._cache_key(query, table)
-        cached = self._cache_get(key)
-        if cached is not None:
-            served_by, _, result = cached
-            self._stats_for(served_by).record_hit()
-            return result
-        with self._lock.read_locked():
+        tracer = self._obs.tracer
+        with tracer.span("serving.execute") as span:
             start = time.perf_counter()
-            served_by, result = self._execute_uncached(query, table)
-            latency = time.perf_counter() - start
-            # Cache while still holding the read lock: a concurrent update
-            # waits for the write lock until we are done, so its invalidation
-            # is guaranteed to see (and drop) this entry — caching after
-            # release could race the invalidation and pin a stale result.
-            self._cache_put(key, (served_by, query, result))
-        self._stats_for(served_by).record_miss(latency)
-        return result
+            key = self._cache_key(query, table)
+            cached = self._cache_get(key)
+            if cached is not None:
+                served_by, _, result = cached
+                self._stats_for(served_by).record_hit()
+                if self._obs.enabled:
+                    span.set_attribute("outcome", "cache_hit")
+                    self._log_query(
+                        query,
+                        table,
+                        served_by,
+                        "cache_hit",
+                        total_ms=(time.perf_counter() - start) * 1e3,
+                        stages_ms={},
+                        result=result,
+                        trace_id=span.trace_id,
+                    )
+                return result
+            with self._lock.read_locked():
+                served_by, result = self._execute_uncached(query, table)
+                latency = time.perf_counter() - start
+                # Cache while still holding the read lock: a concurrent update
+                # waits for the write lock until we are done, so its
+                # invalidation is guaranteed to see (and drop) this entry —
+                # caching after release could race the invalidation and pin a
+                # stale result.
+                with tracer.span("cache.store"):
+                    self._cache_put(key, (served_by, query, result))
+            self._stats_for(served_by).record_miss(latency)
+            if self._obs.enabled:
+                span.set_attribute("outcome", "miss")
+                span.set_attribute("synopsis", served_by)
+                self._log_query(
+                    query,
+                    table,
+                    served_by,
+                    "miss",
+                    total_ms=latency * 1e3,
+                    stages_ms=span.stage_durations_ms(),
+                    result=result,
+                    trace_id=span.trace_id,
+                )
+            return result
 
     def execute_batch(
         self, queries: Sequence[AggregateQuery], table: str | None = None
@@ -175,38 +240,81 @@ class ServingEngine:
         """Batch execution core; ``already_locked`` callers hold the read lock."""
         queries = list(queries)
         results: list[AQPResult | None] = [None] * len(queries)
+        obs = self._obs
+        tracer = obs.tracer
 
-        # Resolve duplicates and cache hits first.
-        unique: dict[tuple, list[int]] = {}
-        for position, query in enumerate(queries):
-            unique.setdefault(self._cache_key(query, table), []).append(position)
-        misses: list[tuple[tuple, AggregateQuery]] = []
-        for key, positions in unique.items():
-            cached = self._cache_get(key)
-            if cached is not None:
-                served_by, _, result = cached
-                stats = self._stats_for(served_by)
-                for position in positions:
-                    results[position] = result
-                    stats.record_hit()
-            else:
-                misses.append((key, queries[positions[0]]))
+        with tracer.span("serving.execute_batch") as batch_span:
+            batch_span.set_attribute("batch_size", len(queries))
+            batch_start = time.perf_counter()
 
-        if misses:
-            guard = nullcontext() if already_locked else self._lock.read_locked()
-            with guard:
-                start = time.perf_counter()
-                answers = self._execute_misses(misses, table)
-                elapsed = time.perf_counter() - start
-                # Cache under the read lock so a pending update's invalidation
-                # cannot slip between computing and caching (see execute()).
+            # Resolve duplicates and cache hits first.
+            unique: dict[tuple, list[int]] = {}
+            for position, query in enumerate(queries):
+                unique.setdefault(self._cache_key(query, table), []).append(position)
+            misses: list[tuple[tuple, AggregateQuery]] = []
+            hits: list[tuple[tuple, str, AQPResult]] = []
+            for key, positions in unique.items():
+                cached = self._cache_get(key)
+                if cached is not None:
+                    served_by, _, result = cached
+                    for position in positions:
+                        results[position] = result
+                    self._stats_for(served_by).record_hits(len(positions))
+                    hits.append((key, served_by, result))
+                else:
+                    misses.append((key, queries[positions[0]]))
+            batch_span.set_attribute("unique", len(unique))
+            batch_span.set_attribute("cache_hits", len(hits))
+            probe_ms = (time.perf_counter() - batch_start) * 1e3
+
+            miss_counts: dict[str, int] = {}
+            if misses:
+                guard = nullcontext() if already_locked else self._lock.read_locked()
+                with guard:
+                    start = time.perf_counter()
+                    answers = self._execute_misses(misses, table)
+                    elapsed = time.perf_counter() - start
+                    # Cache under the read lock so a pending update's
+                    # invalidation cannot slip between computing and caching
+                    # (see execute()).
+                    with tracer.span("cache.store"):
+                        for (key, query), (served_by, result) in zip(misses, answers):
+                            self._cache_put(key, (served_by, query, result))
+                per_query = elapsed / len(misses)
                 for (key, query), (served_by, result) in zip(misses, answers):
-                    self._cache_put(key, (served_by, query, result))
-            per_query = elapsed / len(misses)
-            for (key, query), (served_by, result) in zip(misses, answers):
-                self._stats_for(served_by).record_miss(per_query)
-                for position in unique[key]:
-                    results[position] = result
+                    miss_counts[served_by] = miss_counts.get(served_by, 0) + 1
+                    for position in unique[key]:
+                        results[position] = result
+                for served_by, count in miss_counts.items():
+                    self._stats_for(served_by).record_misses(count, per_query)
+
+            if obs.enabled:
+                # Payloads are packed inline (not via ``_make_payload``) with
+                # the timestamp and per-synopsis staleness hoisted out of the
+                # loop: the whole window shares one wall-clock read and one
+                # staleness probe per touched synopsis, leaving a bare tuple
+                # pack per query on the executor thread.
+                stages_ms = batch_span.stage_durations_ms()
+                trace_id = batch_span.trace_id
+                ts = time.time()
+                stale = {
+                    name: self._catalog.staleness_of(name)
+                    for name in {sb for _, sb, _ in hits} | set(miss_counts)
+                }
+                payloads = [
+                    (ts, table, sb, queries[unique[key][0]], "cache_hit",
+                     probe_ms, _NO_STAGES, result, stale[sb], trace_id, 0)
+                    for key, sb, result in hits
+                ]
+                if misses:
+                    miss_ms = per_query * 1e3
+                    payloads.extend(
+                        (ts, table, sb, query, "miss",
+                         miss_ms, stages_ms, result, stale[sb], trace_id, 0)
+                        for (key, query), (sb, result) in zip(misses, answers)
+                    )
+                if payloads:
+                    obs.query_log.extend_raw(payloads)
         return results  # type: ignore[return-value]
 
     def execute_grouped(
@@ -250,12 +358,19 @@ class ServingEngine:
         self, query: AggregateQuery, table: str | None
     ) -> tuple[str, AQPResult]:
         """Route and answer one query (caller holds the read lock)."""
-        entry = self._catalog.route(query, table)
+        tracer = self._obs.tracer
+        with tracer.span("catalog.route"):
+            entry = self._catalog.route(query, table)
         if entry is not None:
-            if entry.is_sharded:
-                return entry.name, entry.synopsis.query(query)
-            return entry.name, entry.pass_synopsis.query(query)
-        return EXACT_FALLBACK, self._exact_result(query, table)
+            with tracer.span("synopsis.query") as span:
+                span.set_attribute("synopsis", entry.name)
+                if entry.is_sharded:
+                    result = entry.synopsis.query(query)
+                else:
+                    result = entry.pass_synopsis.query(query)
+            return entry.name, result
+        with tracer.span("exact.scan"):
+            return EXACT_FALLBACK, self._exact_result(query, table)
 
     def _execute_misses(
         self, misses: Sequence[tuple[tuple, AggregateQuery]], table: str | None
@@ -264,23 +379,37 @@ class ServingEngine:
         answers: list[tuple[str, AQPResult] | None] = [None] * len(misses)
         by_entry: dict[str, list[int]] = {}
         entries: dict[str, CatalogEntry] = {}
+        n_exact = 0
         for index, (_, query) in enumerate(misses):
-            entry = self._catalog.route(query, table)
+            entry = self._catalog.route(query, table, record=False)
             if entry is None:
                 answers[index] = (EXACT_FALLBACK, self._exact_result(query, table))
+                n_exact += 1
             else:
                 by_entry.setdefault(entry.name, []).append(index)
                 entries[entry.name] = entry
+        if self._obs.enabled:
+            tally = {name: len(indices) for name, indices in by_entry.items()}
+            if n_exact:
+                tally[EXACT_FALLBACK] = n_exact
+            if tally:
+                self._catalog.count_routes(tally)
         for name, indices in by_entry.items():
             entry = entries[name]
             batch = [misses[index][1] for index in indices]
             if entry.is_sharded:
                 # Scatter-gather batch: the sharded synopsis shares mask work
                 # per shard across the whole group.
-                batch_results = entry.synopsis.query_batch(batch)
+                with self._obs.tracer.span("sharded.query_batch") as span:
+                    span.set_attribute("synopsis", name)
+                    span.set_attribute("batch_size", len(batch))
+                    batch_results = entry.synopsis.query_batch(batch)
             else:
                 batch_results = batch_query(
-                    entry.pass_synopsis, batch, vectorized=self._vectorized_batches
+                    entry.pass_synopsis,
+                    batch,
+                    vectorized=self._vectorized_batches,
+                    obs=self._obs,
                 )
             for index, result in zip(indices, batch_results):
                 answers[index] = (name, result)
@@ -330,6 +459,12 @@ class ServingEngine:
             raise TypeError(
                 f"synopsis {name!r} is static; register a DynamicPASS to accept updates"
             )
+        if self._obs.enabled:
+            self._obs.metrics.counter(
+                "repro_serving_updates_total",
+                "Dynamic updates applied through the serving engine.",
+                {"synopsis": name, "kind": kind},
+            ).inc()
         with self._lock.write_locked():
             point = {
                 column: float(row[column])
@@ -426,10 +561,77 @@ class ServingEngine:
         with self._stats_lock:
             stats = self._stats.get(name)
             if stats is None:
-                stats = (
-                    ServingStats(self._latency_window)
-                    if self._latency_window
-                    else ServingStats()
-                )
+                registry = self._obs.metrics if self._obs.enabled else None
+                if self._latency_window:
+                    stats = ServingStats(
+                        self._latency_window, registry=registry, synopsis=name
+                    )
+                else:
+                    stats = ServingStats(registry=registry, synopsis=name)
                 self._stats[name] = stats
             return stats
+
+    def _make_payload(
+        self,
+        query: AggregateQuery,
+        table: str | None,
+        served_by: str,
+        outcome: str,
+        total_ms: float,
+        stages_ms: Mapping[str, float],
+        result: AQPResult | None,
+        trace_id: int,
+        coalesced_waiters: int = 0,
+    ) -> tuple:
+        """Build one raw query-log payload (see ``QueryLog.append_raw``).
+
+        Hot path: everything derivable from the query and (immutable) result
+        objects — canonical key, predicate box, aggregate label, bound
+        widths, exactness — is deferred to log-read time by carrying the
+        objects themselves; only answer-time state that would drift if read
+        later — wall clock, the serving synopsis' staleness — is captured
+        eagerly.
+        """
+        staleness = (
+            self._catalog.staleness_of(served_by)
+            if served_by and served_by != EXACT_FALLBACK
+            else 0.0
+        )
+        return (
+            time.time(),
+            table,
+            served_by,
+            query,
+            outcome,
+            total_ms,
+            stages_ms,
+            result,
+            staleness,
+            trace_id,
+            coalesced_waiters,
+        )
+
+    def _log_query(
+        self,
+        query: AggregateQuery,
+        table: str | None,
+        served_by: str,
+        outcome: str,
+        total_ms: float,
+        stages_ms: Mapping[str, float],
+        result: AQPResult | None,
+        trace_id: int,
+    ) -> None:
+        """Append one structured query-log record (enabled contexts only)."""
+        self._obs.query_log.append_raw(
+            self._make_payload(
+                query,
+                table,
+                served_by,
+                outcome,
+                total_ms,
+                stages_ms,
+                result,
+                trace_id,
+            )
+        )

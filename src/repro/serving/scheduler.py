@@ -30,9 +30,10 @@ owning loop's thread, so its counters need no locks.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Awaitable, Callable, TypeVar
 
+from repro.obs import Observability
 from repro.serving.coalesce import CoalescedRequest
 
 __all__ = ["Overloaded", "SchedulerStats", "MicroBatchScheduler"]
@@ -94,6 +95,12 @@ class SchedulerStats:
     max_batch_size: int
     mean_batch_size: float
 
+    def as_dict(self) -> dict[str, float | int]:
+        """Field-name-keyed dict view (the serving stack's uniform
+        ``as_dict()`` contract — see
+        :meth:`repro.serving.stats.StatsSnapshot.as_dict`)."""
+        return asdict(self)
+
 
 #: Internal queue items: a sealed batch of requests, or one serialized write.
 _BatchItem = tuple[str, object]
@@ -117,6 +124,12 @@ class MicroBatchScheduler:
     max_pending:
         Bound on outstanding items; beyond it :meth:`submit` and
         :meth:`submit_write` raise :class:`Overloaded`.
+    obs:
+        The shared :class:`~repro.obs.Observability` context.  When enabled,
+        the loop-local counters additionally mirror into registry metrics
+        (``repro_scheduler_*``) on each event, a ``repro_scheduler_pending``
+        gauge reads the live queue depth, and sealed window sizes feed a
+        batch-size histogram.  The snapshot API is unchanged either way.
     """
 
     def __init__(
@@ -125,6 +138,7 @@ class MicroBatchScheduler:
         max_batch: int = 64,
         batch_window: float = 0.002,
         max_pending: int = 4096,
+        obs: Observability | None = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -136,6 +150,32 @@ class MicroBatchScheduler:
         self._max_batch = max_batch
         self._batch_window = batch_window
         self._max_pending = max_pending
+        self._obs = obs if obs is not None else Observability.disabled()
+        registry = self._obs.metrics
+        self._m_submitted = registry.counter(
+            "repro_scheduler_submitted_total",
+            "Leader requests admitted into batch windows.",
+        )
+        self._m_rejected = registry.counter(
+            "repro_scheduler_rejected_total",
+            "Submissions refused by admission control (Overloaded).",
+        )
+        self._m_batches = registry.counter(
+            "repro_scheduler_batches_total", "Batch windows sealed for dispatch."
+        )
+        self._m_writes = registry.counter(
+            "repro_scheduler_writes_total", "Writes serialized through the queue."
+        )
+        self._m_batch_size = registry.histogram(
+            "repro_scheduler_batch_size",
+            "Requests per sealed batch window.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
+        if self._obs.enabled:
+            registry.gauge(
+                "repro_scheduler_pending",
+                "Admitted-but-unresolved items (buffered, queued, executing).",
+            ).set_function(lambda: float(self._pending))
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: asyncio.Queue[_BatchItem] = asyncio.Queue()
@@ -219,6 +259,7 @@ class MicroBatchScheduler:
         self._pending += 1
         self._peak_pending = max(self._peak_pending, self._pending)
         self._writes += 1
+        self._m_writes.inc()
         future: asyncio.Future[T] = self._loop.create_future()
         self._queue.put_nowait(("write", (apply, on_applied, future)))
         return future
@@ -226,6 +267,7 @@ class MicroBatchScheduler:
     def _admission_check(self) -> None:
         if self._pending >= self._max_pending:
             self._rejected += 1
+            self._m_rejected.inc()
             raise Overloaded(self._pending, self._max_pending)
 
     # ------------------------------------------------------------------
@@ -242,6 +284,11 @@ class MicroBatchScheduler:
             self._batches += 1
             self._dispatched += len(batch)
             self._max_batch_size = max(self._max_batch_size, len(batch))
+            # The submitted counter is advanced here, once per sealed window,
+            # rather than per ``submit`` call — same totals, one update.
+            self._m_submitted.inc(float(len(batch)))
+            self._m_batches.inc()
+            self._m_batch_size.observe(float(len(batch)))
             self._queue.put_nowait(("batch", batch))
 
     async def _drain(self) -> None:

@@ -1,0 +1,168 @@
+"""Tests for the exporters (repro.obs.export): Prometheus text format,
+the strict exposition validator, and the JSON snapshot."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import (
+    ExpositionError,
+    json_snapshot,
+    json_snapshot_text,
+    prometheus_text,
+    validate_exposition,
+)
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_hits_total", "Cache hits.", {"synopsis": "s1"}).inc(3)
+    registry.counter("repro_hits_total", "Cache hits.", {"synopsis": "s2"}).inc(1)
+    registry.gauge("repro_inflight", "In-flight requests.").set(2)
+    histogram = registry.histogram(
+        "repro_latency_seconds", "Query latency.", buckets=(0.1, 1.0)
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_round_trips_through_the_strict_validator(self):
+        text = prometheus_text(populated_registry())
+        families = validate_exposition(text)
+        assert families["repro_hits_total"] == 2
+        assert families["repro_inflight"] == 1
+        # 2 finite buckets + the +Inf bucket + _sum + _count.
+        assert families["repro_latency_seconds"] == 5
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_text(populated_registry())
+        bucket_lines = [
+            line for line in text.splitlines() if "repro_latency_seconds_bucket" in line
+        ]
+        assert [line.rsplit(" ", 1)[1] for line in bucket_lines] == ["1", "2", "3"]
+        assert 'le="+Inf"' in bucket_lines[-1]
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_odd_total", "Odd labels.", {"val": 'quo"te\\slash\nline'}
+        ).inc()
+        text = prometheus_text(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        families = validate_exposition(text)
+        assert families["repro_odd_total"] == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert prometheus_text(NullRegistry()) == ""
+
+
+class TestValidator:
+    def test_rejects_sample_without_help_type(self):
+        with pytest.raises(ExpositionError, match="no preceding HELP/TYPE"):
+            validate_exposition("orphan_total 1\n")
+
+    def test_rejects_type_before_help(self):
+        with pytest.raises(ExpositionError, match="TYPE before HELP"):
+            validate_exposition("# TYPE a_total counter\na_total 1\n")
+
+    def test_rejects_duplicate_family(self):
+        text = (
+            "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n"
+            "# HELP a_total A.\n"
+        )
+        with pytest.raises(ExpositionError, match="duplicate HELP"):
+            validate_exposition(text)
+
+    def test_rejects_duplicate_sample(self):
+        text = "# HELP a_total A.\n# TYPE a_total counter\na_total 1\na_total 2\n"
+        with pytest.raises(ExpositionError, match="duplicate sample"):
+            validate_exposition(text)
+
+    def test_rejects_counter_not_named_total(self):
+        text = "# HELP hits H.\n# TYPE hits counter\nhits 1\n"
+        with pytest.raises(ExpositionError, match="must be named"):
+            validate_exposition(text)
+
+    def test_rejects_negative_counter(self):
+        text = "# HELP a_total A.\n# TYPE a_total counter\na_total -1\n"
+        with pytest.raises(ExpositionError, match="invalid value"):
+            validate_exposition(text)
+
+    def test_rejects_malformed_labels(self):
+        text = '# HELP a_total A.\n# TYPE a_total counter\na_total{k=unquoted} 1\n'
+        with pytest.raises(ExpositionError, match="malformed labels"):
+            validate_exposition(text)
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ExpositionError, match="unknown metric type"):
+            validate_exposition("# HELP a A.\n# TYPE a summary\na 1\n")
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = (
+            "# HELP lat_seconds L.\n# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.1"} 5\n'
+            'lat_seconds_bucket{le="1"} 3\n'
+            'lat_seconds_bucket{le="+Inf"} 5\n'
+            "lat_seconds_sum 1\nlat_seconds_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="not cumulative"):
+            validate_exposition(text)
+
+    def test_rejects_histogram_missing_inf_bucket(self):
+        text = (
+            "# HELP lat_seconds L.\n# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.1"} 5\n'
+            "lat_seconds_sum 1\nlat_seconds_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="missing the \\+Inf"):
+            validate_exposition(text)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        text = (
+            "# HELP lat_seconds L.\n# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="+Inf"} 4\n'
+            "lat_seconds_sum 1\nlat_seconds_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="!= _count"):
+            validate_exposition(text)
+
+    def test_rejects_declared_family_without_samples(self):
+        with pytest.raises(ExpositionError, match="no samples"):
+            validate_exposition("# HELP a_total A.\n# TYPE a_total counter\n")
+
+    def test_rejects_unparseable_value(self):
+        text = "# HELP a_total A.\n# TYPE a_total counter\na_total pancake\n"
+        with pytest.raises(ExpositionError, match="unparseable value"):
+            validate_exposition(text)
+
+
+class TestJsonSnapshot:
+    def test_structure_and_serializability(self):
+        obs = Observability(trace_sample_rate=1.0)
+        obs.metrics.counter("repro_hits_total", "Hits.").inc(2)
+        with obs.tracer.span("serve.request", parent=None) as root:
+            root.add_stage("cache.probe", 0.001)
+        snapshot = json_snapshot(obs, slowest=3, tail=10)
+        assert snapshot["metrics"]["repro_hits_total"]
+        assert snapshot["slowest_traces"][0]["name"] == "serve.request"
+        assert snapshot["slowest_traces"][0]["stages_ms"]["cache.probe"] > 0
+        assert snapshot["query_log"] == {
+            "total": 0,
+            "retained": 0,
+            "outcomes": {},
+            "tail": [],
+        }
+        parsed = json.loads(json_snapshot_text(obs))
+        assert parsed["slowest_traces"][0]["trace_id"] == root.trace_id
+
+    def test_disabled_observability_snapshots_empty(self):
+        snapshot = json_snapshot(Observability.disabled())
+        assert snapshot["metrics"] == {}
+        assert snapshot["slowest_traces"] == []
+        assert snapshot["query_log"]["total"] == 0

@@ -1,0 +1,168 @@
+"""Unit tests for the metrics registry primitives (repro.obs.metrics)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    validate_label_name,
+    validate_metric_name,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("requests_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+    def test_set_function_mirrors_external_tally(self):
+        # The hot-path pattern: a layer keeps its own monotone count and the
+        # counter reads it lazily at scrape time (e.g. the request
+        # coalescer's join tally behind repro_async_coalesced_total).
+        tally = {"joined": 0}
+        counter = Counter("coalesced_total")
+        counter.set_function(lambda: float(tally["joined"]))
+        assert counter.value == 0.0
+        tally["joined"] = 41
+        assert counter.value == 41.0
+        counter.set_function(None)
+        assert counter.value == 0.0  # falls back to the stored value
+
+    def test_thread_safety(self):
+        counter = Counter("requests_total")
+
+        def work():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("inflight")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value == 4.0
+
+    def test_set_function(self):
+        backing = [0]
+        gauge = Gauge("queue_depth")
+        gauge.set_function(lambda: float(len(backing)))
+        backing.extend([1, 2])
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        histogram = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(55.55)
+        assert histogram.bucket_counts() == [1, 1, 1, 1]
+
+    def test_observe_n_equals_repeated_observe(self):
+        # The batch path folds a sealed window's identical amortized
+        # latencies into one bucket update; totals must match n observes.
+        repeated = Histogram("latency", buckets=(0.1, 1.0))
+        batched = Histogram("latency", buckets=(0.1, 1.0))
+        for _ in range(7):
+            repeated.observe(0.5)
+        batched.observe_n(0.5, 7)
+        assert batched.count == repeated.count
+        assert batched.sum == pytest.approx(repeated.sum)
+        assert batched.bucket_counts() == repeated.bucket_counts()
+        batched.observe_n(0.5, 0)  # non-positive n is a no-op
+        assert batched.count == 7
+
+    def test_quantile_interpolation(self):
+        histogram = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+        # 100 observations uniformly into the (1, 2] bucket: the median
+        # interpolates to the middle of the bucket.
+        histogram.observe_n(1.5, 100)
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_overflow_clamps_to_last_finite_bound(self):
+        histogram = Histogram("latency", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_quantile_empty_is_nan(self):
+        histogram = Histogram("latency", buckets=(1.0,))
+        assert histogram.quantile(0.5) != histogram.quantile(0.5)  # NaN
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=(2.0, 1.0))
+
+
+class TestNames:
+    def test_metric_name_validation(self):
+        assert validate_metric_name("repro_requests_total") == "repro_requests_total"
+        for bad in ("", "9lead", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                validate_metric_name(bad)
+
+    def test_label_name_validation(self):
+        assert validate_label_name("synopsis") == "synopsis"
+        for bad in ("", "__reserved", "9lead", "dash-ed"):
+            with pytest.raises(ValueError):
+                validate_label_name(bad)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_one_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", "Hits.", {"synopsis": "s1"})
+        b = registry.counter("hits_total", "Hits.", {"synopsis": "s1"})
+        c = registry.counter("hits_total", "Hits.", {"synopsis": "s2"})
+        assert a is b
+        assert a is not c
+        a.inc()
+        assert b.value == 1.0
+        assert c.value == 0.0
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total", "A counter.")
+        with pytest.raises(ValueError):
+            registry.gauge("thing_total", "Now a gauge?")
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits.", {"synopsis": "s1"}).inc(3)
+        registry.histogram("lat_seconds", "Latency.", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert "hits_total" in snapshot and "lat_seconds" in snapshot
+
+    def test_null_registry_is_inert(self):
+        registry = NullRegistry()
+        counter = registry.counter("hits_total", "Hits.")
+        counter.inc()
+        counter.set_function(lambda: 99.0)
+        histogram = registry.histogram("lat_seconds", "Latency.")
+        histogram.observe(1.0)
+        histogram.observe_n(1.0, 10)
+        registry.gauge("depth", "Depth.").set_function(lambda: 1.0)
+        assert registry.families() == []
+        assert registry.snapshot() == {}

@@ -1,0 +1,187 @@
+"""Unit tests for the tracer (repro.obs.tracing): nesting, propagation,
+head sampling, suppression, and the bounded finished-trace store."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import NullSpan, NullTracer, Span, Tracer
+
+
+class TestAmbientNesting:
+    def test_span_nests_under_ambient_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        assert outer.children == [inner]
+        assert inner.end_s is not None and outer.end_s is not None
+
+    def test_explicit_none_parent_forces_new_root(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("detached", parent=None) as detached:
+                assert detached.parent_id is None
+                assert detached.trace_id != outer.trace_id
+        roots = tracer.finished()
+        assert {root.name for root in roots} == {"outer", "detached"}
+
+    def test_attributes_via_kwargs(self):
+        tracer = Tracer()
+        with tracer.span("op", batch_size=8) as span:
+            span.set_attribute("nodes_visited", 42)
+        assert span.attributes == {"batch_size": 8, "nodes_visited": 42}
+
+    def test_explicit_start_end_lifecycle(self):
+        tracer = Tracer()
+        root = tracer.start("serve.request", parent=None)
+        child = tracer.start("work", parent=root)
+        tracer.end(child)
+        tracer.end(root)
+        tracer.end(root)  # idempotent: no double-append to the store
+        assert len(tracer.finished()) == 1
+        assert root.find("work") is child
+
+
+class TestStages:
+    def test_add_stage_accumulates_repeats(self):
+        span = Span("root", trace_id=1, span_id=1, parent_id=None, start_s=0.0)
+        span.add_stage("cache.probe", 0.001)
+        span.add_stage("cache.probe", 0.002)
+        assert span.stages["cache.probe"] == pytest.approx(0.003)
+
+    def test_stage_durations_merge_stamped_and_children(self):
+        tracer = Tracer()
+        root = tracer.start("serve.request", parent=None)
+        root.add_stage("queue.wait", 0.004)
+        root.add_stage("plan.compile", 0.001)  # same name as the child below
+        child = tracer.start("plan.compile", parent=root, start_s=root.start_s)
+        tracer.end(child, end_s=root.start_s + 0.002)
+        tracer.end(root)
+        stages = root.stage_durations_ms()
+        assert stages["queue.wait"] == pytest.approx(4.0)
+        assert stages["plan.compile"] == pytest.approx(3.0)  # 1ms stamped + 2ms span
+
+    def test_open_span_duration_is_nan(self):
+        tracer = Tracer()
+        span = tracer.start("open", parent=None)
+        assert span.duration_ms != span.duration_ms  # NaN
+
+
+class TestHeadSampling:
+    def test_first_request_always_sampled_then_one_in_n(self):
+        tracer = Tracer(sample_every=4)
+        roots = [tracer.sample_root("serve.request") for _ in range(8)]
+        sampled = [root is not None for root in roots]
+        assert sampled == [True, False, False, False, True, False, False, False]
+
+    def test_sample_every_one_traces_everything(self):
+        tracer = Tracer(sample_every=1)
+        assert all(tracer.sample_root("r") is not None for _ in range(5))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+
+class TestSuppression:
+    def test_suppress_scope_yields_null_contexts(self):
+        # The executor-side batch path suppresses ambient-parented spans when
+        # the batch leader was not head-sampled — otherwise every layer below
+        # the scheduler would open orphan roots that flood the trace store.
+        tracer = Tracer()
+        with tracer.suppress():
+            assert tracer.current() is None
+            with tracer.span("plan.compile") as span:
+                assert isinstance(span, NullSpan)
+        assert tracer.finished() == []
+
+    def test_explicit_parent_bypasses_suppression(self):
+        tracer = Tracer()
+        root = tracer.start("serve.request", parent=None)
+        with tracer.suppress():
+            with tracer.span("work", parent=root) as span:
+                assert isinstance(span, Span)
+        tracer.end(root)
+        assert root.find("work") is span
+
+    def test_suppression_is_scoped(self):
+        tracer = Tracer()
+        with tracer.suppress():
+            pass
+        with tracer.span("after") as span:
+            assert isinstance(span, Span)
+
+
+class TestActivation:
+    def test_activate_carries_span_across_a_thread(self):
+        # The cross-boundary half of propagation: run_in_executor does not
+        # copy the caller's contextvars, so the executor thread re-installs
+        # the carried root explicitly.
+        tracer = Tracer()
+        root = tracer.start("serve.request", parent=None)
+        seen: list[Span] = []
+
+        def executor_side():
+            with tracer.activate(root):
+                with tracer.span("serving.execute_batch") as batch_span:
+                    seen.append(batch_span)
+
+        thread = threading.Thread(target=executor_side)
+        thread.start()
+        thread.join()
+        tracer.end(root)
+        assert seen[0].trace_id == root.trace_id
+        assert root.find("serving.execute_batch") is seen[0]
+
+
+class TestTraceStore:
+    def test_bounded_store_evicts_oldest(self):
+        tracer = Tracer(max_traces=3)
+        for i in range(5):
+            with tracer.span(f"r{i}", parent=None):
+                pass
+        assert [root.name for root in tracer.finished()] == ["r2", "r3", "r4"]
+
+    def test_find_trace_and_slowest_and_clear(self):
+        tracer = Tracer()
+        root = tracer.start("slow", parent=None)
+        tracer.end(root, end_s=root.start_s + 1.0)
+        fast = tracer.start("fast", parent=None)
+        tracer.end(fast, end_s=fast.start_s + 0.1)
+        assert tracer.find_trace(root.trace_id) is root
+        assert tracer.find_trace(-1) is None
+        assert [span.name for span in tracer.slowest(1)] == ["slow"]
+        tracer.clear()
+        assert tracer.finished() == []
+
+
+class TestNullTracer:
+    def test_everything_is_inert(self):
+        tracer = NullTracer()
+        assert tracer.sample_every == 1
+        assert tracer.sample_root("r") is None
+        span = tracer.start("r")
+        assert isinstance(span, NullSpan)
+        tracer.end(span)
+        with tracer.span("r") as inner:
+            inner.add_stage("s", 1.0)
+            inner.set_attribute("k", "v")
+        with tracer.activate(span):
+            assert tracer.current() is None
+        with tracer.suppress():
+            pass
+        assert tracer.finished() == []
+        assert tracer.slowest() == []
+        assert tracer.find_trace(0) is None
+        assert span.stage_durations_ms() == {}
+        assert span.find("anything") is None
+        assert span.render() == ""
+        assert list(span.iter_tree()) == [span]
