@@ -133,6 +133,7 @@ class DynamicPASS:
         self._build_population = self.population_size
         self._minmax_possibly_stale = False
         self._sketch_stale_deletes = 0
+        self._extrema_stale_deletes = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -200,6 +201,23 @@ class DynamicPASS:
         """
         return self._sketch_stale_deletes / max(1, self._build_population)
 
+    @property
+    def extrema_stale_deletes(self) -> int:
+        """Deletions that hit a partition extremum since the last (re)build."""
+        return self._extrema_stale_deletes
+
+    @property
+    def extrema_staleness(self) -> float:
+        """Extremum-hitting deletions, normalized by the build population.
+
+        The gauge form of :class:`StaleExtremaWarning`: every delete of a
+        value at a partition's MIN / MAX leaves the bound conservative, and
+        this ratio (``extremum deletes / max(1, build population)``) makes
+        the accumulated looseness visible to scorecards and dashboards
+        without anyone capturing warnings.  0.0 right after a (re)build.
+        """
+        return self._extrema_stale_deletes / max(1, self._build_population)
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
@@ -239,6 +257,7 @@ class DynamicPASS:
                     stacklevel=2,
                 )
             self._minmax_possibly_stale = True
+            self._extrema_stale_deletes += 1
         for node in self._synopsis.tree.path_to_leaf(leaf):
             node.stats = node.stats.remove_value(value)
         if self._synopsis.has_sketches and not np.isnan(value):
@@ -305,6 +324,7 @@ class DynamicPASS:
                 "build_population": self._build_population,
                 "minmax_possibly_stale": self._minmax_possibly_stale,
                 "sketch_stale_deletes": self._sketch_stale_deletes,
+                "extrema_stale_deletes": self._extrema_stale_deletes,
             }
         )
         return arrays, header
@@ -351,6 +371,7 @@ class DynamicPASS:
         instance._build_population = int(header["build_population"])
         instance._minmax_possibly_stale = bool(header["minmax_possibly_stale"])
         instance._sketch_stale_deletes = int(header.get("sketch_stale_deletes", 0))
+        instance._extrema_stale_deletes = int(header.get("extrema_stale_deletes", 0))
         return instance
 
     # ------------------------------------------------------------------

@@ -85,6 +85,12 @@ class ShardUpdateStats:
         mergeable sketches could not absorb, normalized by the build-time
         population (see :attr:`repro.core.updates.DynamicPASS.sketch_staleness`).
         A rebuild reconstructs the sketches and resets it to 0.0.
+    extrema_staleness:
+        The shard's extremum-delete drift: deletions that hit a partition
+        MIN / MAX (leaving the bound conservative), normalized by the
+        build-time population (see
+        :attr:`repro.core.updates.DynamicPASS.extrema_staleness`).  A
+        rebuild retightens the bounds and resets it to 0.0.
     """
 
     inserts: int
@@ -93,6 +99,7 @@ class ShardUpdateStats:
     staleness: float
     population: int
     sketch_staleness: float = 0.0
+    extrema_staleness: float = 0.0
 
     def as_dict(self) -> dict[str, float | int]:
         """Field-name-keyed dict view (the serving stack's uniform
@@ -194,11 +201,23 @@ class StreamingShardRouter:
                     "Per-shard update drift at scrape time.",
                     {"shard": str(index)},
                 ).set_function(self._staleness_reader(index))
+                registry.gauge(
+                    "repro_shard_extrema_staleness",
+                    "Per-shard extremum-delete drift at scrape time.",
+                    {"shard": str(index)},
+                ).set_function(self._extrema_staleness_reader(index))
 
     def _staleness_reader(self, index: int) -> Callable[[], float]:
         def read() -> float:
             shard = self._sharded.shards[index]
             return shard.staleness if isinstance(shard, DynamicPASS) else 0.0
+
+        return read
+
+    def _extrema_staleness_reader(self, index: int) -> Callable[[], float]:
+        def read() -> float:
+            shard = self._sharded.shards[index]
+            return shard.extrema_staleness if isinstance(shard, DynamicPASS) else 0.0
 
         return read
 
@@ -421,6 +440,11 @@ class StreamingShardRouter:
                     population=shard.population_size,
                     sketch_staleness=(
                         shard.sketch_staleness
+                        if isinstance(shard, DynamicPASS)
+                        else 0.0
+                    ),
+                    extrema_staleness=(
+                        shard.extrema_staleness
                         if isinstance(shard, DynamicPASS)
                         else 0.0
                     ),

@@ -256,6 +256,19 @@ class ShardedSynopsis:
             for shard in self._shards
         ]
 
+    @property
+    def extrema_staleness(self) -> float:
+        """Worst per-shard extrema drift from extremum-hitting deletions."""
+        stalenesses = self.per_shard_extrema_staleness()
+        return max(stalenesses) if stalenesses else 0.0
+
+    def per_shard_extrema_staleness(self) -> list[float]:
+        """Extrema drift of each shard (0.0 for static shards)."""
+        return [
+            shard.extrema_staleness if isinstance(shard, DynamicPASS) else 0.0
+            for shard in self._shards
+        ]
+
     def storage_bytes(self) -> int:
         """Total synopsis footprint across all shards."""
         return sum(_pass_of(shard).storage_bytes() for shard in self._shards)

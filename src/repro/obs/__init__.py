@@ -48,6 +48,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.quality import (
+    QualityScorecard,
+    QualityStore,
+    QualityThresholds,
+)
 from repro.obs.querylog import NullQueryLog, QueryLog, QueryLogRecord
 from repro.obs.tracing import NullSpan, NullTracer, Span, Tracer
 
@@ -66,6 +71,9 @@ __all__ = [
     "QueryLog",
     "NullQueryLog",
     "QueryLogRecord",
+    "QualityScorecard",
+    "QualityStore",
+    "QualityThresholds",
     "prometheus_text",
     "validate_exposition",
     "json_snapshot",
@@ -96,7 +104,7 @@ class Observability:
         ``1.0`` for full-fidelity tracing in tests and debugging sessions.
     """
 
-    __slots__ = ("_enabled", "_metrics", "_tracer", "_query_log")
+    __slots__ = ("_enabled", "_metrics", "_tracer", "_query_log", "_quality")
 
     _disabled_singleton: "Observability | None" = None
 
@@ -119,10 +127,12 @@ class Observability:
             self._query_log: QueryLog | NullQueryLog = QueryLog(
                 capacity=query_log_capacity
             )
+            self._quality = QualityStore(self._metrics)
         else:
             self._metrics = NullRegistry()
             self._tracer = NullTracer()
             self._query_log = NullQueryLog()
+            self._quality = QualityStore(None)
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -150,6 +160,11 @@ class Observability:
     def query_log(self) -> QueryLog | NullQueryLog:
         """The structured query log."""
         return self._query_log
+
+    @property
+    def quality(self) -> QualityStore:
+        """The per-synopsis quality scorecard store."""
+        return self._quality
 
     # ------------------------------------------------------------------
     # Export

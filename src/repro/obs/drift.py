@@ -1,0 +1,425 @@
+"""Workload-drift detection: box-histogram fingerprints over the query log.
+
+PASS partitions are optimal only for the workload the partitioner saw at
+build time — once live traffic asks different boxes, the variance-optimal
+allocation silently stops being optimal.  This module makes that drift a
+measured signal:
+
+* :class:`WorkloadFingerprint` compresses a set of predicate boxes into
+  per-column histograms over the synopsis' key domains.  A box spreads its
+  traffic weight fractionally across the bins it overlaps; a column the box
+  does not constrain lands in a dedicated "unconstrained" slot, so a shift
+  from range-heavy to full-scan traffic registers as drift too.
+* :class:`WorkloadDriftDetector` mines the query log's weighted boxes
+  (coalesced stampedes count with their full ``coalesced_waiters`` weight),
+  rebins a sliding window onto the build-time fingerprint's edges, and
+  scores the divergence as the mean per-column total-variation distance
+  (0 = identical traffic shape, 1 = disjoint).
+
+Scores land on the per-synopsis scorecards / drift gauges, and a score over
+the rebuild threshold is *logged* as a repartition recommendation — never
+auto-executed; rebuild policy stays with the operator (and the future
+self-tuning catalog, which consumes exactly this report shape).  Build-time
+fingerprints persist alongside the npz synopsis via
+``serving/persistence.py`` so a reloaded catalog keeps its baseline.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.obs.quality import QualityStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.querylog import QueryLog
+
+__all__ = [
+    "DriftReport",
+    "WorkloadDriftDetector",
+    "WorkloadFingerprint",
+]
+
+logger = logging.getLogger(__name__)
+
+#: A predicate box in canonical form: ``(column, low, high)`` triples.
+Box = tuple[tuple[str, float, float], ...]
+
+#: Query-log outcomes that represent real served traffic worth mining.
+_MINED_OUTCOMES = frozenset({"cache_hit", "miss", "coalesced"})
+
+
+def _clip_domain(low: float, high: float) -> tuple[float, float]:
+    """Replace infinite domain edges with a finite, slightly padded span."""
+    if not np.isfinite(low):
+        low = -1e18 if not np.isfinite(high) else high - 1.0
+    if not np.isfinite(high):
+        high = 1e18 if not np.isfinite(low) else low + 1.0
+    if high <= low:
+        low, high = low - 0.5, high + 0.5
+    return float(low), float(high)
+
+
+class WorkloadFingerprint:
+    """Per-column traffic histograms summarizing a set of query boxes.
+
+    ``edges[col]`` are the ``n_bins + 1`` histogram edges over the column's
+    domain; ``mass[col]`` is the traffic weight attributed to each bin plus
+    the weight of boxes that left the column unconstrained in
+    ``unconstrained[col]``.  Fingerprints with the same edges are directly
+    comparable via :meth:`distance`.
+    """
+
+    __slots__ = ("_edges", "_mass", "_unconstrained", "_total")
+
+    def __init__(
+        self,
+        edges: Mapping[str, np.ndarray],
+        mass: Mapping[str, np.ndarray],
+        unconstrained: Mapping[str, float],
+        total_weight: float,
+    ) -> None:
+        self._edges = {col: np.asarray(e, dtype=float) for col, e in edges.items()}
+        self._mass = {col: np.asarray(m, dtype=float) for col, m in mass.items()}
+        self._unconstrained = {col: float(unconstrained.get(col, 0.0))
+                               for col in self._edges}
+        self._total = float(total_weight)
+        for col, edge in self._edges.items():
+            if edge.ndim != 1 or edge.shape[0] < 2:
+                raise ValueError(f"column {col!r} needs at least two edges")
+            if self._mass[col].shape[0] != edge.shape[0] - 1:
+                raise ValueError(f"column {col!r}: mass/edge length mismatch")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_boxes(
+        cls,
+        boxes: Sequence[Box],
+        domains: Mapping[str, tuple[float, float]],
+        *,
+        n_bins: int = 16,
+        weights: Sequence[float] | None = None,
+    ) -> "WorkloadFingerprint":
+        """Fingerprint ``boxes`` over the given per-column ``domains``.
+
+        ``domains`` maps each key column to its ``(low, high)`` value range
+        (typically the partition tree's root box); infinite edges are
+        clipped.  ``weights`` default to 1 per box — pass the query log's
+        coalesced-waiter weights to fingerprint true traffic.
+        """
+        if n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {n_bins}")
+        if not domains:
+            raise ValueError("domains must name at least one column")
+        if weights is not None and len(weights) != len(boxes):
+            raise ValueError("weights must match boxes one-to-one")
+        edges = {
+            col: np.linspace(*_clip_domain(low, high), n_bins + 1)
+            for col, (low, high) in domains.items()
+        }
+        fingerprint = cls(
+            edges,
+            {col: np.zeros(n_bins) for col in edges},
+            {col: 0.0 for col in edges},
+            0.0,
+        )
+        fingerprint._accumulate(boxes, weights)
+        return fingerprint
+
+    def like(
+        self,
+        boxes: Sequence[Box],
+        weights: Sequence[float] | None = None,
+    ) -> "WorkloadFingerprint":
+        """A new fingerprint of ``boxes`` binned on *this* one's edges.
+
+        This is how a live window becomes comparable to the build-time
+        baseline: identical edges make :meth:`distance` a pure histogram
+        divergence with no re-gridding error.
+        """
+        if weights is not None and len(weights) != len(boxes):
+            raise ValueError("weights must match boxes one-to-one")
+        window = WorkloadFingerprint(
+            self._edges,
+            {col: np.zeros(self._edges[col].shape[0] - 1) for col in self._edges},
+            {col: 0.0 for col in self._edges},
+            0.0,
+        )
+        window._accumulate(boxes, weights)
+        return window
+
+    def _accumulate(
+        self, boxes: Sequence[Box], weights: Sequence[float] | None
+    ) -> None:
+        for index, box in enumerate(boxes):
+            weight = 1.0 if weights is None else float(weights[index])
+            if weight <= 0.0:
+                continue
+            constrained = {col: (low, high) for col, low, high in box}
+            for col, edge in self._edges.items():
+                bounds = constrained.get(col)
+                if bounds is None:
+                    self._unconstrained[col] += weight
+                    continue
+                self._mass[col] += weight * _bin_overlap(edge, *bounds)
+            self._total += weight
+
+    # -- comparison --------------------------------------------------------
+
+    @property
+    def columns(self) -> list[str]:
+        """Fingerprinted column names, sorted."""
+        return sorted(self._edges)
+
+    @property
+    def total_weight(self) -> float:
+        """Total traffic weight accumulated."""
+        return self._total
+
+    def distance(self, other: "WorkloadFingerprint") -> float:
+        """Mean per-column total-variation distance to ``other`` (0..1).
+
+        Both fingerprints must share edges (build one with :meth:`like`).
+        An empty fingerprint on either side scores 0 — no traffic is no
+        evidence of drift.
+        """
+        if self.columns != other.columns:
+            raise ValueError(
+                f"fingerprints cover different columns: "
+                f"{self.columns} vs {other.columns}"
+            )
+        if self._total <= 0.0 or other._total <= 0.0:
+            return 0.0
+        distances = []
+        for col in self.columns:
+            if not np.array_equal(self._edges[col], other._edges[col]):
+                raise ValueError(f"column {col!r}: edge grids differ")
+            mine = np.append(self._mass[col], self._unconstrained[col])
+            theirs = np.append(other._mass[col], other._unconstrained[col])
+            mine_sum, theirs_sum = mine.sum(), theirs.sum()
+            if mine_sum <= 0.0 or theirs_sum <= 0.0:
+                distances.append(0.0 if mine_sum == theirs_sum else 1.0)
+                continue
+            tv = 0.5 * float(np.abs(mine / mine_sum - theirs / theirs_sum).sum())
+            distances.append(min(max(tv, 0.0), 1.0))
+        return float(np.mean(distances)) if distances else 0.0
+
+    def hot_ranges(
+        self, top: int = 3
+    ) -> dict[str, list[tuple[float, float, float]]]:
+        """Per column, the ``top`` hottest bins as ``(low, high, share)``.
+
+        ``share`` is the bin's fraction of the column's constrained traffic
+        mass; zero-mass bins are omitted.  This is the per-column summary a
+        repartitioner (or an operator) reads to see *where* traffic moved.
+        """
+        result: dict[str, list[tuple[float, float, float]]] = {}
+        for col in self.columns:
+            mass = self._mass[col]
+            total = float(mass.sum())
+            if total <= 0.0:
+                result[col] = []
+                continue
+            order = np.argsort(mass)[::-1][:top]
+            edge = self._edges[col]
+            result[col] = [
+                (float(edge[i]), float(edge[i + 1]), float(mass[i] / total))
+                for i in order
+                if mass[i] > 0.0
+            ]
+        return result
+
+    # -- persistence -------------------------------------------------------
+
+    def to_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``(header, arrays)`` for npz persistence next to the synopsis."""
+        header = {
+            "kind": "workload_fingerprint",
+            "columns": self.columns,
+            "unconstrained": dict(self._unconstrained),
+            "total_weight": self._total,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for col in self.columns:
+            arrays[f"fingerprint/edges/{col}"] = self._edges[col]
+            arrays[f"fingerprint/mass/{col}"] = self._mass[col]
+        return header, arrays
+
+    @classmethod
+    def from_arrays(
+        cls, header: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> "WorkloadFingerprint":
+        """Rebuild a fingerprint persisted by :meth:`to_arrays`."""
+        if header.get("kind") != "workload_fingerprint":
+            raise ValueError(f"not a workload fingerprint header: {header!r}")
+        columns = list(header["columns"])  # type: ignore[call-overload]
+        unconstrained = dict(header["unconstrained"])  # type: ignore[call-overload]
+        return cls(
+            {col: arrays[f"fingerprint/edges/{col}"] for col in columns},
+            {col: arrays[f"fingerprint/mass/{col}"] for col in columns},
+            {col: float(unconstrained.get(col, 0.0)) for col in columns},
+            float(header["total_weight"]),  # type: ignore[arg-type]
+        )
+
+    def as_dict(self) -> dict:
+        """A JSON-ready summary (edges, normalized mass, hot ranges)."""
+        total = self._total
+        per_column = {}
+        for col in self.columns:
+            mass = self._mass[col]
+            per_column[col] = {
+                "edges": [float(e) for e in self._edges[col]],
+                "mass": [float(m) for m in mass],
+                "unconstrained": self._unconstrained[col],
+            }
+        return {
+            "total_weight": total,
+            "columns": per_column,
+            "hot_ranges": self.hot_ranges(),
+        }
+
+
+def _bin_overlap(edges: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Fraction of unit mass a ``[low, high]`` range leaves in each bin.
+
+    Mass is distributed proportionally to overlap length; a point query
+    (``low == high``) drops its whole mass in the containing bin.  Ranges
+    are clipped to the edge grid, with out-of-domain remainders attributed
+    to the boundary bins so shifted traffic still registers.
+    """
+    n_bins = edges.shape[0] - 1
+    mass = np.zeros(n_bins)
+    low, high = float(low), float(high)
+    low = min(max(low, edges[0]), edges[-1])
+    high = min(max(high, edges[0]), edges[-1])
+    if high < low:
+        low, high = high, low
+    if high == low:
+        index = min(int(np.searchsorted(edges, low, side="right")) - 1, n_bins - 1)
+        mass[max(index, 0)] = 1.0
+        return mass
+    overlap = np.minimum(edges[1:], high) - np.maximum(edges[:-1], low)
+    overlap = np.maximum(overlap, 0.0)
+    span = overlap.sum()
+    if span <= 0.0:
+        return mass
+    return overlap / span
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One synopsis' drift verdict for a mined window."""
+
+    synopsis: str
+    score: float
+    n_records: int
+    weight: float
+    hot_ranges: Mapping[str, list[tuple[float, float, float]]]
+    recommend_rebuild: bool
+
+    def as_dict(self) -> dict:
+        """A JSON-ready view of the report."""
+        return {
+            "synopsis": self.synopsis,
+            "score": self.score,
+            "n_records": self.n_records,
+            "weight": self.weight,
+            "hot_ranges": {
+                col: [list(entry) for entry in ranges]
+                for col, ranges in self.hot_ranges.items()
+            },
+            "recommend_rebuild": self.recommend_rebuild,
+        }
+
+
+class WorkloadDriftDetector:
+    """Scores live query-log windows against build-time fingerprints.
+
+    ``baselines`` maps synopsis name to its build-time
+    :class:`WorkloadFingerprint`.  Each :meth:`observe` call mines the
+    query log's retained records (traffic-weighted: coalesced summaries
+    count ``1 + coalesced_waiters``), keeps the trailing ``window`` records
+    per synopsis, and reports a drift score per baseline.  Scores flow into
+    the given :class:`~repro.obs.quality.QualityStore` (and from there into
+    the Prometheus exposition); a score at or above ``threshold`` logs a
+    rebuild recommendation — policy, not action.
+    """
+
+    def __init__(
+        self,
+        baselines: Mapping[str, WorkloadFingerprint],
+        *,
+        window: int = 512,
+        threshold: float = 0.35,
+        quality: QualityStore | None = None,
+        hot_top: int = 3,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self._baselines = dict(baselines)
+        self._window = window
+        self._threshold = threshold
+        self._quality = quality
+        self._hot_top = hot_top
+
+    @property
+    def baselines(self) -> dict[str, WorkloadFingerprint]:
+        """The build-time fingerprints keyed by synopsis name."""
+        return dict(self._baselines)
+
+    def observe(self, query_log: "QueryLog") -> dict[str, DriftReport]:
+        """Mine the log and score each baselined synopsis' recent traffic."""
+        mined: dict[str, tuple[list[Box], list[float]]] = {}
+        for record, weight in query_log.weighted_records():
+            name = record.synopsis
+            if name not in self._baselines:
+                continue
+            if record.outcome not in _MINED_OUTCOMES:
+                continue
+            boxes, box_weights = mined.setdefault(name, ([], []))
+            boxes.append(record.predicate_box)
+            box_weights.append(float(weight))
+
+        reports: dict[str, DriftReport] = {}
+        for name, baseline in self._baselines.items():
+            boxes, box_weights = mined.get(name, ([], []))
+            boxes = boxes[-self._window:]
+            box_weights = box_weights[-self._window:]
+            if boxes:
+                window_fp = baseline.like(boxes, box_weights)
+                score = baseline.distance(window_fp)
+                hot = window_fp.hot_ranges(self._hot_top)
+                weight = window_fp.total_weight
+            else:
+                score, hot, weight = 0.0, {}, 0.0
+            recommend = bool(boxes) and score >= self._threshold
+            report = DriftReport(
+                synopsis=name,
+                score=score,
+                n_records=len(boxes),
+                weight=weight,
+                hot_ranges=hot,
+                recommend_rebuild=recommend,
+            )
+            reports[name] = report
+            if self._quality is not None:
+                self._quality.scorecard(name).set_drift_score(score)
+            if recommend:
+                logger.warning(
+                    "workload drift on synopsis %r: score %.3f >= %.3f over "
+                    "%d records (weight %.0f); recommend rebuild/repartition "
+                    "(not auto-executed). hot ranges: %s",
+                    name,
+                    score,
+                    self._threshold,
+                    len(boxes),
+                    weight,
+                    {col: ranges[:1] for col, ranges in hot.items()},
+                )
+        return reports

@@ -308,9 +308,10 @@ def validate_exposition(text: str) -> dict[str, int]:
 
 
 def json_snapshot(obs: "Observability", slowest: int = 5, tail: int = 50) -> dict:
-    """Metrics + slowest traces + query-log tail as one JSON-ready dict."""
+    """Metrics + traces + query-log tail + quality scorecards, JSON-ready."""
     return {
         "metrics": obs.metrics.snapshot(),
+        "quality": obs.quality.snapshot(),
         "slowest_traces": [
             {
                 "trace_id": span.trace_id,

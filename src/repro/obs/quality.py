@@ -1,0 +1,499 @@
+"""Per-synopsis answer-quality scorecards and threshold-based health states.
+
+Latency telemetry (PR 6) says how *fast* the serving tier answers; this
+module says how *good* the answers are.  Each synopsis gets a
+:class:`QualityScorecard` that accumulates, over a bounded audit ring:
+
+* empirical relative error of served estimates vs. recomputed exact answers,
+* certified-bound **coverage** — did the true answer fall inside the hard
+  bounds?  A miss on an exact-guarantee path is a correctness alarm, not a
+  tuning signal, and flips the health state straight to ``violating``;
+* bound **tightness** — hard-bound width relative to the realized error, so
+  operators can see how much certified headroom the partitioner left;
+* workload **drift** score (written by the drift detector) and the staleness
+  triple (sample / sketch / extrema) read live from the owning synopsis.
+
+Scorecards live in a :class:`QualityStore`.  When the store is backed by a
+real :class:`~repro.obs.metrics.MetricsRegistry`, every scorecard registers
+labeled instruments (``repro_quality_*`` plus the ``repro_audit_rel_error``
+histogram), so quality flows through the existing Prometheus exposition and
+``json_snapshot`` without a second export path.  Health is a pure threshold
+function over the snapshot — ``healthy`` / ``degraded`` / ``violating`` —
+encoded numerically (0 / 1 / 2) in ``repro_quality_health`` for alerting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping, Union
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    NullHistogram,
+    NullRegistry,
+)
+
+__all__ = [
+    "HEALTH_DEGRADED",
+    "HEALTH_HEALTHY",
+    "HEALTH_VIOLATING",
+    "QUALITY_ERROR_BUCKETS",
+    "QualityScorecard",
+    "QualityStore",
+    "QualityThresholds",
+]
+
+HEALTH_HEALTHY = "healthy"
+HEALTH_DEGRADED = "degraded"
+HEALTH_VIOLATING = "violating"
+
+#: Numeric encoding of health states for the ``repro_quality_health`` gauge.
+HEALTH_CODES: Mapping[str, int] = {
+    HEALTH_HEALTHY: 0,
+    HEALTH_DEGRADED: 1,
+    HEALTH_VIOLATING: 2,
+}
+
+#: Relative-error buckets for the audit histogram: 0.01% to 100%+.
+QUALITY_ERROR_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
+_AnyRegistry = Union[MetricsRegistry, NullRegistry]
+_AnyHistogram = Union[Histogram, NullHistogram]
+
+
+@dataclass(frozen=True)
+class QualityThresholds:
+    """Degradation thresholds for :meth:`QualityScorecard.health`.
+
+    Any bound-coverage violation on a certified path is ``violating``
+    regardless of thresholds; these knobs only separate ``healthy`` from
+    ``degraded``.  Defaults are intentionally loose — tune them per
+    deployment from the scorecard snapshots themselves.
+    """
+
+    max_error_p95: float = 0.25
+    max_drift_score: float = 0.35
+    max_staleness: float = 0.25
+    max_sketch_staleness: float = 0.10
+    max_extrema_staleness: float = 0.02
+
+
+#: Per-audit ring entry: (rel_error, covered-or-None, tightness, sketch).
+_AuditEntry = tuple[float, "bool | None", float, bool]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted finite values."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = q * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+class QualityScorecard:
+    """Answer-quality accumulator for one synopsis.
+
+    Audits are recorded by the :class:`~repro.obs.audit.AccuracyAuditor`
+    worker thread while snapshots are read from scrape / health paths, so
+    every mutation and read takes the scorecard's small lock.  Staleness is
+    *not* stored here — the owning catalog binds zero-argument providers
+    that read the live synopsis at snapshot time, keeping the scorecard a
+    pure view with no refresh protocol.
+    """
+
+    __slots__ = (
+        "name",
+        "_lock",
+        "_ring",
+        "_audits",
+        "_violations",
+        "_stale_audits",
+        "_sketch_audits",
+        "_sketch_misses",
+        "_drift_score",
+        "_staleness_fn",
+        "_sketch_staleness_fn",
+        "_extrema_staleness_fn",
+        "_error_histogram",
+    )
+
+    def __init__(self, name: str, ring: int = 256) -> None:
+        if ring <= 0:
+            raise ValueError(f"ring must be positive, got {ring}")
+        self.name = name
+        self._lock = threading.Lock()
+        self._ring: deque[_AuditEntry] = deque(maxlen=ring)
+        self._audits = 0
+        self._violations = 0
+        self._stale_audits = 0
+        self._sketch_audits = 0
+        self._sketch_misses = 0
+        self._drift_score = 0.0
+        self._staleness_fn: Callable[[], float] | None = None
+        self._sketch_staleness_fn: Callable[[], float] | None = None
+        self._extrema_staleness_fn: Callable[[], float] | None = None
+        self._error_histogram: _AnyHistogram = NullHistogram()
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_providers(
+        self,
+        *,
+        staleness: Callable[[], float] | None = None,
+        sketch_staleness: Callable[[], float] | None = None,
+        extrema_staleness: Callable[[], float] | None = None,
+    ) -> None:
+        """Attach live staleness readers (idempotent; None leaves as-is)."""
+        if staleness is not None:
+            self._staleness_fn = staleness
+        if sketch_staleness is not None:
+            self._sketch_staleness_fn = sketch_staleness
+        if extrema_staleness is not None:
+            self._extrema_staleness_fn = extrema_staleness
+
+    def register_instruments(self, registry: _AnyRegistry) -> None:
+        """Expose this scorecard through labeled ``repro_quality_*`` metrics.
+
+        All gauges are scrape-time callbacks, so keeping the exposition in
+        sync costs the audit path nothing; the two counters mirror lifetime
+        tallies and therefore stay monotone as Prometheus requires.
+        """
+        labels = {"synopsis": self.name}
+        registry.counter(
+            "repro_quality_audits_total",
+            "Completed accuracy audits per synopsis.",
+            labels,
+        ).set_function(lambda: float(self.audits))
+        registry.counter(
+            "repro_quality_bound_violations_total",
+            "Audits where the exact answer escaped certified hard bounds.",
+            labels,
+        ).set_function(lambda: float(self.bound_violations))
+        registry.gauge(
+            "repro_quality_coverage_rate",
+            "Certified-bound coverage rate over the audit ring (1.0 = all).",
+            labels,
+        ).set_function(self.coverage_rate)
+        registry.gauge(
+            "repro_quality_error_p95",
+            "p95 empirical relative error over the audit ring.",
+            labels,
+        ).set_function(lambda: self.error_percentiles()[2])
+        registry.gauge(
+            "repro_quality_tightness_ratio",
+            "Median certified-bound width over realized absolute error.",
+            labels,
+        ).set_function(self.tightness_ratio)
+        registry.gauge(
+            "repro_quality_drift_score",
+            "Workload drift score vs. the build-time fingerprint (0..1).",
+            labels,
+        ).set_function(lambda: self.drift_score)
+        registry.gauge(
+            "repro_quality_staleness",
+            "Unmerged-update fraction of the synopsis sample.",
+            labels,
+        ).set_function(self.staleness)
+        registry.gauge(
+            "repro_quality_sketch_staleness",
+            "Unmerged-update fraction of the synopsis sketches.",
+            labels,
+        ).set_function(self.sketch_staleness)
+        registry.gauge(
+            "repro_quality_extrema_staleness",
+            "Fraction of deletes that hit a partition extremum.",
+            labels,
+        ).set_function(self.extrema_staleness)
+        registry.gauge(
+            "repro_quality_health",
+            "Health state: 0 healthy, 1 degraded, 2 violating.",
+            labels,
+        ).set_function(lambda: float(HEALTH_CODES[self.health()]))
+        self._error_histogram = registry.histogram(
+            "repro_audit_rel_error",
+            "Empirical relative error of audited answers.",
+            labels,
+            buckets=QUALITY_ERROR_BUCKETS,
+        )
+
+    # -- recording ---------------------------------------------------------
+
+    def record_audit(
+        self,
+        *,
+        rel_error: float,
+        covered: bool,
+        tightness: float,
+        certified: bool,
+        sketch: bool = False,
+        stale: bool = False,
+    ) -> None:
+        """Fold one completed audit into the ring and lifetime tallies.
+
+        ``certified`` marks exact-guarantee paths whose hard bounds are a
+        correctness contract: only those can raise a bound violation.
+        ``stale`` marks audits whose ground truth moved between serving and
+        auditing (streaming updates) — their error still lands in the ring
+        as the staleness-induced error signal, but coverage is not assessed
+        because the served bounds certified a different table state.
+        """
+        assessed: bool | None = covered if certified and not stale else None
+        with self._lock:
+            self._audits += 1
+            if stale:
+                self._stale_audits += 1
+            if sketch:
+                self._sketch_audits += 1
+                if not covered and not stale:
+                    self._sketch_misses += 1
+            if assessed is False:
+                self._violations += 1
+            self._ring.append((rel_error, assessed, tightness, sketch))
+        if math.isfinite(rel_error):
+            self._error_histogram.observe(rel_error)
+
+    def set_drift_score(self, score: float) -> None:
+        """Record the latest drift score (written by the drift detector)."""
+        with self._lock:
+            self._drift_score = float(score)
+
+    # -- snapshots ---------------------------------------------------------
+
+    @property
+    def audits(self) -> int:
+        """Lifetime completed audits."""
+        with self._lock:
+            return self._audits
+
+    @property
+    def bound_violations(self) -> int:
+        """Lifetime certified-bound coverage violations."""
+        with self._lock:
+            return self._violations
+
+    @property
+    def stale_audits(self) -> int:
+        """Lifetime audits skipped from coverage because truth had moved."""
+        with self._lock:
+            return self._stale_audits
+
+    @property
+    def sketch_audits(self) -> int:
+        """Lifetime audits of sketch-backed (self-certified) answers."""
+        with self._lock:
+            return self._sketch_audits
+
+    @property
+    def sketch_misses(self) -> int:
+        """Sketch audits whose truth escaped the self-certified bounds."""
+        with self._lock:
+            return self._sketch_misses
+
+    @property
+    def drift_score(self) -> float:
+        """Latest workload drift score (0 until a detector reports)."""
+        with self._lock:
+            return self._drift_score
+
+    def staleness(self) -> float:
+        """Live sample staleness from the bound provider (0 when unbound)."""
+        function = self._staleness_fn
+        return float(function()) if function is not None else 0.0
+
+    def sketch_staleness(self) -> float:
+        """Live sketch staleness from the bound provider (0 when unbound)."""
+        function = self._sketch_staleness_fn
+        return float(function()) if function is not None else 0.0
+
+    def extrema_staleness(self) -> float:
+        """Live extrema staleness from the bound provider (0 when unbound)."""
+        function = self._extrema_staleness_fn
+        return float(function()) if function is not None else 0.0
+
+    def error_percentiles(self) -> tuple[float, float, float]:
+        """(p50, p90, p95) relative error over the finite ring entries."""
+        with self._lock:
+            errors = sorted(e for e, _, _, _ in self._ring if math.isfinite(e))
+        return (
+            _percentile(errors, 0.50),
+            _percentile(errors, 0.90),
+            _percentile(errors, 0.95),
+        )
+
+    def coverage_rate(self) -> float:
+        """Fraction of coverage-assessed ring audits inside hard bounds.
+
+        1.0 when nothing has been assessed yet — absence of evidence is not
+        an alarm.
+        """
+        with self._lock:
+            assessed = [c for _, c, _, _ in self._ring if c is not None]
+        if not assessed:
+            return 1.0
+        return sum(1 for covered in assessed if covered) / len(assessed)
+
+    def tightness_ratio(self) -> float:
+        """Median (bound width / realized error) over the ring; NaN if none.
+
+        Large is good: a ratio of 40 means certified bounds are 40x wider
+        than the error actually realized.  A ratio drifting toward 1 means
+        the bounds are nearly tight — any further quality loss risks a
+        violation.
+        """
+        with self._lock:
+            ratios = sorted(t for _, _, t, _ in self._ring if math.isfinite(t))
+        return _percentile(ratios, 0.50)
+
+    def health(self, thresholds: QualityThresholds | None = None) -> str:
+        """Threshold the snapshot into healthy / degraded / violating."""
+        limits = thresholds or QualityThresholds()
+        if self.bound_violations > 0:
+            return HEALTH_VIOLATING
+        p95 = self.error_percentiles()[2]
+        degraded = (
+            (math.isfinite(p95) and p95 > limits.max_error_p95)
+            or self.drift_score > limits.max_drift_score
+            or self.staleness() > limits.max_staleness
+            or self.sketch_staleness() > limits.max_sketch_staleness
+            or self.extrema_staleness() > limits.max_extrema_staleness
+        )
+        return HEALTH_DEGRADED if degraded else HEALTH_HEALTHY
+
+    def as_dict(self, thresholds: QualityThresholds | None = None) -> dict:
+        """A JSON-ready snapshot of every scorecard field."""
+        p50, p90, p95 = self.error_percentiles()
+        tightness = self.tightness_ratio()
+        return {
+            "synopsis": self.name,
+            "audits": self.audits,
+            "bound_violations": self.bound_violations,
+            "stale_audits": self.stale_audits,
+            "sketch_audits": self.sketch_audits,
+            "sketch_misses": self.sketch_misses,
+            "coverage_rate": self.coverage_rate(),
+            "error_p50": _finite_or_none(p50),
+            "error_p90": _finite_or_none(p90),
+            "error_p95": _finite_or_none(p95),
+            "tightness_ratio": _finite_or_none(tightness),
+            "drift_score": self.drift_score,
+            "staleness": self.staleness(),
+            "sketch_staleness": self.sketch_staleness(),
+            "extrema_staleness": self.extrema_staleness(),
+            "health": self.health(thresholds),
+        }
+
+
+class QualityStore:
+    """Registry of per-synopsis scorecards plus the catalog health rollup.
+
+    An enabled :class:`~repro.obs.Observability` owns a registry-backed
+    store (``obs.quality``); a catalog constructed before ``bind_obs`` uses
+    a private unregistered store and merges it in at bind time, so no audit
+    recorded early is ever lost.
+    """
+
+    def __init__(
+        self,
+        registry: _AnyRegistry | None = None,
+        *,
+        ring: int = 256,
+        thresholds: QualityThresholds | None = None,
+    ) -> None:
+        self._registry = registry
+        self._ring = ring
+        self.thresholds = thresholds or QualityThresholds()
+        self._lock = threading.Lock()
+        self._cards: dict[str, QualityScorecard] = {}
+
+    def scorecard(self, name: str) -> QualityScorecard:
+        """The scorecard for ``name``, created (and registered) on first use."""
+        with self._lock:
+            card = self._cards.get(name)
+            if card is None:
+                card = QualityScorecard(name, ring=self._ring)
+                if self._registry is not None:
+                    card.register_instruments(self._registry)
+                self._cards[name] = card
+            return card
+
+    def get(self, name: str) -> QualityScorecard | None:
+        """The scorecard for ``name`` if one exists."""
+        with self._lock:
+            return self._cards.get(name)
+
+    def names(self) -> list[str]:
+        """Registered synopsis names, sorted."""
+        with self._lock:
+            return sorted(self._cards)
+
+    def merge_from(self, other: "QualityStore") -> None:
+        """Adopt another store's scorecards (catalog ``bind_obs`` migration).
+
+        Cards keep their accumulated state; newly adopted cards register
+        instruments against this store's registry.  On a name collision the
+        existing card wins (it is already exported).
+        """
+        with other._lock:
+            adopted = dict(other._cards)
+        with self._lock:
+            for name, card in adopted.items():
+                if name in self._cards:
+                    continue
+                if self._registry is not None:
+                    card.register_instruments(self._registry)
+                self._cards[name] = card
+
+    def snapshot(self) -> dict:
+        """JSON-ready scorecards plus the rollup, for ``json_snapshot``."""
+        cards = {name: self.scorecard(name).as_dict() for name in self.names()}
+        return {"scorecards": cards, "rollup": self.health()}
+
+    def health(self, thresholds: QualityThresholds | None = None) -> dict:
+        """Catalog-level health rollup: worst state wins.
+
+        Returns ``{"status", "synopses": {name: state}, "violations"}`` —
+        the shape ``engine.health()`` surfaces to operators.
+        """
+        limits = thresholds or self.thresholds
+        states: dict[str, str] = {}
+        violations = 0
+        for name in self.names():
+            card = self.scorecard(name)
+            states[name] = card.health(limits)
+            violations += card.bound_violations
+        order = [HEALTH_HEALTHY, HEALTH_DEGRADED, HEALTH_VIOLATING]
+        worst = HEALTH_HEALTHY
+        for state in states.values():
+            if order.index(state) > order.index(worst):
+                worst = state
+        return {"status": worst, "synopses": states, "violations": violations}
+
+
+def _finite_or_none(value: float) -> float | None:
+    """NaN / inf become None so scorecard dicts stay strict-JSON."""
+    if math.isnan(value) or math.isinf(value):
+        return None
+    return value

@@ -132,6 +132,8 @@ class QueryLogRecord:
 
 #: Index of the outcome field in a raw payload tuple (see ``append_raw``).
 _RAW_OUTCOME = 4
+#: Index of the coalesced-waiters field in a raw payload tuple.
+_RAW_WAITERS = 10
 
 
 def _materialize(entry: "QueryLogRecord | tuple") -> QueryLogRecord:
@@ -281,14 +283,41 @@ class QueryLog:
         return [_materialize(entry) for entry in entries]
 
     def boxes(self) -> list[tuple[tuple[str, float, float], ...]]:
-        """The retained query boxes — the repartitioner's training set."""
+        """The retained query boxes — the repartitioner's training set.
+
+        Boxes are expanded by their traffic weight: a ``coalesced`` summary
+        record carrying ``coalesced_waiters == k`` contributes ``k`` extra
+        copies of its box, so consumers that train on ``boxes()`` see the
+        stampede's true demand instead of one record per sealed execution.
+        """
+        result: list[tuple[tuple[str, float, float], ...]] = []
+        for box, weight in self.weighted_boxes():
+            result.extend([box] * weight)
+        return result
+
+    def weighted_boxes(
+        self,
+    ) -> list[tuple[tuple[tuple[str, float, float], ...], int]]:
+        """``(box, weight)`` pairs where weight is ``1 + coalesced_waiters``.
+
+        The memory-proportional form of :meth:`boxes` for miners (drift
+        detection, repartitioning) that can consume weights directly.
+        """
         with self._lock:
             entries = list(self._records)
+        pairs: list[tuple[tuple[tuple[str, float, float], ...], int]] = []
+        for entry in entries:
+            if type(entry) is QueryLogRecord:
+                pairs.append((entry.predicate_box, 1 + entry.coalesced_waiters))
+            else:
+                box = entry[3].predicate.canonical_key()
+                pairs.append((box, 1 + entry[_RAW_WAITERS]))
+        return pairs
+
+    def weighted_records(self) -> list[tuple[QueryLogRecord, int]]:
+        """``(record, weight)`` pairs with weight ``1 + coalesced_waiters``."""
         return [
-            entry.predicate_box
-            if type(entry) is QueryLogRecord
-            else entry[3].predicate.canonical_key()
-            for entry in entries
+            (record, 1 + record.coalesced_waiters) for record in self.records()
         ]
 
     def outcome_counts(self) -> dict[str, int]:
@@ -340,6 +369,16 @@ class NullQueryLog:
         return []
 
     def boxes(self) -> list[tuple[tuple[str, float, float], ...]]:
+        """Always empty."""
+        return []
+
+    def weighted_boxes(
+        self,
+    ) -> list[tuple[tuple[tuple[str, float, float], ...], int]]:
+        """Always empty."""
+        return []
+
+    def weighted_records(self) -> list[tuple[QueryLogRecord, int]]:
         """Always empty."""
         return []
 

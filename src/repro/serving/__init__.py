@@ -24,9 +24,12 @@ from repro.serving.scheduler import MicroBatchScheduler, Overloaded, SchedulerSt
 from repro.serving.persistence import (
     FORMAT_VERSION,
     load_catalog,
+    load_catalog_workloads,
     load_synopsis,
+    load_workload_fingerprint,
     save_catalog,
     save_synopsis,
+    save_workload_fingerprint,
 )
 from repro.serving.stats import ServingStats, StatsSnapshot
 
@@ -48,6 +51,9 @@ __all__ = [
     "load_synopsis",
     "save_catalog",
     "load_catalog",
+    "save_workload_fingerprint",
+    "load_workload_fingerprint",
+    "load_catalog_workloads",
     "ServingStats",
     "StatsSnapshot",
 ]

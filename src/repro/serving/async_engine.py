@@ -503,29 +503,61 @@ class AsyncServingEngine:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
-        if self._obs.enabled and outcomes:
+        auditor = self._engine.auditor
+        if outcomes and (self._obs.enabled or auditor is not None):
             # One ``coalesced`` summary record per leader that collected
             # joiners, instead of one record per joiner: the record's
             # ``coalesced_waiters`` preserves the traffic weight while the
             # joiners themselves do no log writes.  ``waiters`` is stable
             # here — joins happen on the loop thread and nothing awaits
-            # between this snapshot and the detach loop below.
+            # between this snapshot and the detach loop below.  The same
+            # pass offers each leader's answer to the accuracy auditor with
+            # the joiners' weight, so audit sampling tracks true traffic —
+            # the leader itself was already offered inside execute_batch.
             now_s = time.perf_counter()
-            summaries = [
-                self._engine._make_payload(
-                    request.query,
-                    request.table,
-                    "",
-                    "coalesced",
-                    (now_s - request.enqueued_s) * 1e3,
-                    _NO_STAGES,
-                    result,
-                    request.span.trace_id if request.span is not None else 0,
-                    request.waiters - 1,
-                )
-                for request, result, exc in outcomes
-                if request.waiters > 1 and exc is None
-            ]
+            summaries = []
+            for request, result, exc in outcomes:
+                if request.waiters <= 1 or exc is not None:
+                    continue
+                # Resolving the serving synopsis costs a routing pass per
+                # leader, so it only happens when an auditor wants the
+                # offer; without one the summary keeps the empty name and
+                # the obs-only path stays as cheap as before.
+                name = ""
+                if auditor is not None and result is not None:
+                    entry = self._engine.catalog.route(
+                        request.query, request.table, record=False
+                    )
+                    if entry is not None:
+                        name = entry.name
+                        # Response-time offer: outside the engine's
+                        # read-lock scope, so bound coverage is not
+                        # certified (an update may have slipped between
+                        # compute and offer).
+                        auditor.offer(
+                            request.query,
+                            request.table,
+                            name,
+                            result,
+                            weight=request.waiters - 1,
+                            certified=False,
+                        )
+                if self._obs.enabled:
+                    summaries.append(
+                        self._engine._make_payload(
+                            request.query,
+                            request.table,
+                            name,
+                            "coalesced",
+                            (now_s - request.enqueued_s) * 1e3,
+                            _NO_STAGES,
+                            result,
+                            request.span.trace_id
+                            if request.span is not None
+                            else 0,
+                            request.waiters - 1,
+                        )
+                    )
             if summaries:
                 self._obs.query_log.extend_raw(summaries)
         for request, result, exc in outcomes:

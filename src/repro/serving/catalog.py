@@ -24,12 +24,14 @@ from repro.core.pass_synopsis import PASSSynopsis
 from repro.core.updates import DynamicPASS
 from repro.data.table import Table
 from repro.distributed.sharded import ShardedSynopsis
+from repro.obs.quality import QualityScorecard, QualityStore
 from repro.query.aggregates import SKETCH_AGGREGATES
 from repro.query.query import AggregateQuery, ExactEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
     from repro.obs.metrics import Counter, NullCounter
+    from repro.obs.quality import QualityThresholds
 
 __all__ = ["CatalogEntry", "SynopsisCatalog"]
 
@@ -103,6 +105,23 @@ class CatalogEntry:
         return 0.0
 
     @property
+    def sketch_staleness(self) -> float:
+        """Sketch update drift of the entry (0.0 for static synopses)."""
+        if isinstance(self.synopsis, (DynamicPASS, ShardedSynopsis)):
+            return self.synopsis.sketch_staleness
+        return 0.0
+
+    @property
+    def extrema_staleness(self) -> float:
+        """Fraction of deletes that may have stranded a partition extremum.
+
+        0.0 for static synopses; for sharded entries, the worst shard.
+        """
+        if isinstance(self.synopsis, (DynamicPASS, ShardedSynopsis)):
+            return self.synopsis.extrema_staleness
+        return 0.0
+
+    @property
     def supports_sketches(self) -> bool:
         """True when the entry can answer QUANTILE / COUNT_DISTINCT queries."""
         if isinstance(self.synopsis, ShardedSynopsis):
@@ -142,21 +161,55 @@ class SynopsisCatalog:
         self._exact_engines: dict[str, ExactEngine] = {}
         self._obs: "Observability | None" = None
         self._route_counters: dict[str, "Counter | NullCounter"] = {}
+        # Private until bind_obs migrates it into the enabled context's
+        # registry-backed store, so audits recorded early are never lost.
+        self._quality = QualityStore(None)
 
     def bind_obs(self, obs: "Observability") -> None:
         """Attach an observability context: routing-decision counters.
 
         Called by :class:`~repro.serving.engine.ServingEngine` when it is
         constructed with an enabled context; binds sharded entries too, so
-        shard-pruning counters land in the same registry.  Idempotent.
+        shard-pruning counters land in the same registry, and migrates the
+        quality scorecards into the context's registry-backed store so they
+        flow through the Prometheus exposition.  Idempotent.
         """
         if not obs.enabled or self._obs is obs:
             return
         self._obs = obs
         self._route_counters.clear()
+        obs.quality.merge_from(self._quality)
+        self._quality = obs.quality
         for entry in self._entries.values():
             if entry.is_sharded:
                 entry.synopsis.bind_obs(obs)
+            self._register_entry_gauges(entry)
+
+    def _register_entry_gauges(self, entry: CatalogEntry) -> None:
+        """Scrape-time staleness gauges for one entry (enabled obs only).
+
+        ``repro_synopsis_extrema_staleness`` in particular makes stranded
+        extrema visible without capturing ``StaleExtremaWarning``.
+        """
+        if self._obs is None:
+            return
+        registry = self._obs.metrics
+        labels = {"synopsis": entry.name}
+        registry.gauge(
+            "repro_synopsis_staleness",
+            "Unmerged-update fraction of each registered synopsis.",
+            labels,
+        ).set_function(lambda: entry.staleness)
+        registry.gauge(
+            "repro_synopsis_sketch_staleness",
+            "Unmerged-update fraction of each synopsis' sketches.",
+            labels,
+        ).set_function(lambda: entry.sketch_staleness)
+        registry.gauge(
+            "repro_synopsis_extrema_staleness",
+            "Fraction of deletes that may have stranded a partition extremum.",
+            labels,
+        ).set_function(lambda: entry.extrema_staleness)
 
     def _count_route(self, target: str, n: int = 1) -> None:
         if self._obs is None:
@@ -229,8 +282,10 @@ class SynopsisCatalog:
             predicate_columns=tuple(predicate_columns),
         )
         self._entries[name] = entry
-        if self._obs is not None and entry.is_sharded:
-            entry.synopsis.bind_obs(self._obs)
+        if self._obs is not None:
+            if entry.is_sharded:
+                entry.synopsis.bind_obs(self._obs)
+            self._register_entry_gauges(entry)
         return entry
 
     def register_table(self, table: Table, name: str | None = None) -> ExactEngine:
@@ -274,6 +329,51 @@ class SynopsisCatalog:
         """
         entry = self._entries.get(name)
         return entry.staleness if entry is not None else 0.0
+
+    def sketch_staleness_of(self, name: str) -> float:
+        """Sketch update drift of a registered synopsis (0.0 when unknown)."""
+        entry = self._entries.get(name)
+        return entry.sketch_staleness if entry is not None else 0.0
+
+    def extrema_staleness_of(self, name: str) -> float:
+        """Extrema-delete drift of a registered synopsis (0.0 when unknown)."""
+        entry = self._entries.get(name)
+        return entry.extrema_staleness if entry is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Quality
+    # ------------------------------------------------------------------
+    @property
+    def quality(self) -> QualityStore:
+        """The quality scorecard store (registry-backed once obs is bound)."""
+        return self._quality
+
+    def scorecard(self, name: str) -> QualityScorecard:
+        """The quality scorecard of a registered synopsis.
+
+        Created on first use with live staleness providers bound from the
+        entry, so scorecard snapshots always reflect the synopsis' current
+        sample / sketch / extrema drift without a refresh protocol.
+        """
+        entry = self.get(name)
+        card = self._quality.scorecard(name)
+        card.bind_providers(
+            staleness=lambda: entry.staleness,
+            sketch_staleness=lambda: entry.sketch_staleness,
+            extrema_staleness=lambda: entry.extrema_staleness,
+        )
+        return card
+
+    def health(self, thresholds: "QualityThresholds | None" = None) -> dict:
+        """Catalog-level quality rollup: worst synopsis state wins.
+
+        Ensures every registered synopsis has a scorecard first, so a
+        synopsis that never got audited still contributes its staleness
+        signals to the rollup.
+        """
+        for name in self._entries:
+            self.scorecard(name)
+        return self._quality.health(thresholds)
 
     def entries(self) -> list[CatalogEntry]:
         """All registered entries, in registration order."""

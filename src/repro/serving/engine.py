@@ -38,7 +38,7 @@ import threading
 import time
 from collections import OrderedDict
 from contextlib import nullcontext
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.batching import batch_query
 from repro.obs import Observability
@@ -50,6 +50,10 @@ from repro.serving.catalog import CatalogEntry, SynopsisCatalog
 from repro.serving.locks import ReadWriteLock
 from repro.serving.planner import GroupByPlanner
 from repro.serving.stats import ServingStats, StatsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.audit import AccuracyAuditor
+    from repro.obs.quality import QualityThresholds
 
 __all__ = ["ServingEngine"]
 
@@ -115,6 +119,7 @@ class ServingEngine:
         self._stats: dict[str, ServingStats] = {}
         self._stats_lock = threading.Lock()
         self._latency_window = latency_window
+        self._auditor: "AccuracyAuditor | None" = None
         self._obs = obs if obs is not None else Observability.disabled()
         if self._obs.enabled:
             registry = self._obs.metrics
@@ -137,6 +142,35 @@ class ServingEngine:
     def obs(self) -> Observability:
         """The observability context (the disabled singleton when unwired)."""
         return self._obs
+
+    @property
+    def auditor(self) -> "AccuracyAuditor | None":
+        """The attached accuracy auditor, if any."""
+        return self._auditor
+
+    def attach_auditor(self, auditor: "AccuracyAuditor") -> None:
+        """Attach an accuracy auditor: every synopsis-served miss is offered
+        to its sampler and every applied update is mirrored into its truth
+        oracles.  One auditor at a time; attaching replaces the previous one.
+        """
+        self._auditor = auditor
+
+    def detach_auditor(self) -> None:
+        """Detach the current auditor (offers and update notes stop)."""
+        self._auditor = None
+
+    def read_locked(self):
+        """The engine's shared read-lock context manager.
+
+        Exposed for audit workers that must recompute answers against a
+        stable synopsis + truth state: holding the reader side serializes
+        them with updates exactly like any serving query.
+        """
+        return self._lock.read_locked()
+
+    def health(self, thresholds: "QualityThresholds | None" = None) -> dict:
+        """The catalog-level quality health rollup (see ``SynopsisCatalog.health``)."""
+        return self._catalog.health(thresholds)
 
     def peek(
         self, query: AggregateQuery, table: str | None = None
@@ -203,6 +237,12 @@ class ServingEngine:
                 # stale result.
                 with tracer.span("cache.store"):
                     self._cache_put(key, (served_by, query, result))
+                # Offer under the read lock: the auditor stamps the truth
+                # oracle's epoch, and no update can slip between computing
+                # the result and stamping it while we hold the reader side.
+                auditor = self._auditor
+                if auditor is not None and served_by != EXACT_FALLBACK:
+                    auditor.offer(query, table, served_by, result)
             self._stats_for(served_by).record_miss(latency)
             if self._obs.enabled:
                 span.set_attribute("outcome", "miss")
@@ -280,6 +320,20 @@ class ServingEngine:
                     with tracer.span("cache.store"):
                         for (key, query), (served_by, result) in zip(misses, answers):
                             self._cache_put(key, (served_by, query, result))
+                    # Offer under the read lock (see execute()); duplicate
+                    # queries in the batch advance the sampler by their
+                    # position count so audit frequency tracks traffic.
+                    auditor = self._auditor
+                    if auditor is not None:
+                        for (key, query), (served_by, result) in zip(misses, answers):
+                            if served_by != EXACT_FALLBACK:
+                                auditor.offer(
+                                    query,
+                                    table,
+                                    served_by,
+                                    result,
+                                    weight=len(unique[key]),
+                                )
                 per_query = elapsed / len(misses)
                 for (key, query), (served_by, result) in zip(misses, answers):
                     miss_counts[served_by] = miss_counts.get(served_by, 0) + 1
@@ -479,6 +533,12 @@ class ServingEngine:
                 entry.synopsis.insert(row)
             else:
                 entry.synopsis.delete(row)
+            # Mirror the update into the auditor's truth oracle while still
+            # holding the write lock, so oracle epochs order strictly with
+            # the read-locked offers above.
+            auditor = self._auditor
+            if auditor is not None:
+                auditor.note_update(entry.table_name, row, kind)
             dropped = self._invalidate_overlapping(name, leaf.box)
         self._stats_for(name).record_invalidations(dropped)
         return leaf.box

@@ -12,6 +12,12 @@ A catalog is persisted as a directory: one ``<name>.pass.npz`` per entry plus
 a ``catalog.json`` manifest with the routing metadata.  Tables themselves are
 *not* persisted (they are the workload's data, not the synopsis'); pass them
 back to :func:`load_catalog` to restore the exact-scan fallback.
+
+Build-time workload fingerprints (see :mod:`repro.obs.drift`) persist as a
+sibling ``<name>.workload.npz`` next to each synopsis archive — a separate
+file, not extra keys inside the synopsis npz, because ``from_arrays`` passes
+every non-header array through to the synopsis loaders.  A reloaded catalog
+therefore keeps its drift baselines via :func:`load_catalog_workloads`.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.core.pass_synopsis import PASSSynopsis
 from repro.core.updates import DynamicPASS
 from repro.data.table import Table
 from repro.distributed.sharded import ShardedSynopsis
+from repro.obs.drift import WorkloadFingerprint
 from repro.serving.catalog import SynopsisCatalog
 
 __all__ = [
@@ -34,6 +41,9 @@ __all__ = [
     "load_synopsis",
     "save_catalog",
     "load_catalog",
+    "save_workload_fingerprint",
+    "load_workload_fingerprint",
+    "load_catalog_workloads",
 ]
 
 #: Version written into every header; bumped on incompatible layout changes.
@@ -50,8 +60,16 @@ def _normalize(path: str | Path) -> Path:
     return path
 
 
+def _workload_path(path: Path) -> Path:
+    """Sibling ``<stem>.workload.npz`` path for a synopsis archive path."""
+    return path.with_name(path.name[: -len(".npz")] + ".workload.npz")
+
+
 def save_synopsis(
-    synopsis: PASSSynopsis | DynamicPASS | ShardedSynopsis, path: str | Path
+    synopsis: PASSSynopsis | DynamicPASS | ShardedSynopsis,
+    path: str | Path,
+    *,
+    workload: WorkloadFingerprint | None = None,
 ) -> Path:
     """Persist a synopsis to a single ``.npz`` file; returns the final path.
 
@@ -60,7 +78,8 @@ def save_synopsis(
     accepting updates after a restart (the reservoir RNG state is the one
     piece that does not survive — see :meth:`DynamicPASS.to_arrays`).
     Sharded synopses persist every shard (static or dynamic) plus the shard
-    routing metadata in the same archive.
+    routing metadata in the same archive.  Passing ``workload`` additionally
+    writes the build-time fingerprint to a sibling ``<stem>.workload.npz``.
     """
     if isinstance(synopsis, (DynamicPASS, ShardedSynopsis)):
         arrays, header = synopsis.to_arrays()
@@ -76,7 +95,40 @@ def save_synopsis(
     path = _normalize(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **{_HEADER_KEY: json.dumps(header)}, **arrays)
+    if workload is not None:
+        save_workload_fingerprint(workload, _workload_path(path))
     return path
+
+
+def save_workload_fingerprint(
+    fingerprint: WorkloadFingerprint, path: str | Path
+) -> Path:
+    """Persist a build-time workload fingerprint to a ``.npz`` archive."""
+    header, arrays = fingerprint.to_arrays()
+    header["format"] = FORMAT_VERSION
+    path = _normalize(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{_HEADER_KEY: json.dumps(header)}, **arrays)
+    return path
+
+
+def load_workload_fingerprint(path: str | Path) -> WorkloadFingerprint:
+    """Load a fingerprint saved with :func:`save_workload_fingerprint`."""
+    path = _normalize(path)
+    with np.load(path, allow_pickle=False) as data:
+        if _HEADER_KEY not in data.files:
+            raise ValueError(
+                f"{path} is not a fingerprint archive (missing header)"
+            )
+        header = json.loads(data[_HEADER_KEY].item())
+        version = header.get("format")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported fingerprint format {version!r} in {path} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        arrays = {key: data[key] for key in data.files if key != _HEADER_KEY}
+    return WorkloadFingerprint.from_arrays(header, arrays)
 
 
 def load_synopsis(path: str | Path) -> PASSSynopsis | DynamicPASS | ShardedSynopsis:
@@ -100,22 +152,37 @@ def load_synopsis(path: str | Path) -> PASSSynopsis | DynamicPASS | ShardedSynop
     return PASSSynopsis.from_arrays(arrays, header)
 
 
-def save_catalog(catalog: SynopsisCatalog, directory: str | Path) -> Path:
-    """Persist every catalog entry plus a ``catalog.json`` manifest."""
+def save_catalog(
+    catalog: SynopsisCatalog,
+    directory: str | Path,
+    *,
+    workloads: Mapping[str, WorkloadFingerprint] | None = None,
+) -> Path:
+    """Persist every catalog entry plus a ``catalog.json`` manifest.
+
+    ``workloads`` optionally maps entry names to their build-time workload
+    fingerprints; each is saved as a sibling ``<name>.workload.npz`` and
+    referenced from the manifest so :func:`load_catalog_workloads` can
+    restore the drift baselines later.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    manifest = {"format": FORMAT_VERSION, "entries": []}
+    manifest: dict = {"format": FORMAT_VERSION, "entries": []}
     for entry in catalog.entries():
         file_name = f"{entry.name}.pass.npz"
         save_synopsis(entry.synopsis, directory / file_name)
-        manifest["entries"].append(
-            {
-                "name": entry.name,
-                "file": file_name,
-                "table_name": entry.table_name,
-                "predicate_columns": list(entry.predicate_columns),
-            }
-        )
+        meta = {
+            "name": entry.name,
+            "file": file_name,
+            "table_name": entry.table_name,
+            "predicate_columns": list(entry.predicate_columns),
+        }
+        fingerprint = (workloads or {}).get(entry.name)
+        if fingerprint is not None:
+            workload_file = f"{entry.name}.workload.npz"
+            save_workload_fingerprint(fingerprint, directory / workload_file)
+            meta["workload"] = workload_file
+        manifest["entries"].append(meta)
     manifest_path = directory / "catalog.json"
     manifest_path.write_text(json.dumps(manifest, indent=2))
     return manifest_path
@@ -154,3 +221,24 @@ def load_catalog(
     for table_name, table in (tables or {}).items():
         catalog.register_table(table, name=table_name)
     return catalog
+
+
+def load_catalog_workloads(
+    directory: str | Path,
+) -> dict[str, WorkloadFingerprint]:
+    """Build-time fingerprints saved next to a catalog, keyed by entry name.
+
+    Entries saved without a ``workloads`` mapping are simply absent; the
+    result feeds straight into
+    :class:`~repro.obs.drift.WorkloadDriftDetector`.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / "catalog.json").read_text())
+    baselines: dict[str, WorkloadFingerprint] = {}
+    for meta in manifest["entries"]:
+        workload_file = meta.get("workload")
+        if workload_file:
+            baselines[meta["name"]] = load_workload_fingerprint(
+                directory / workload_file
+            )
+    return baselines

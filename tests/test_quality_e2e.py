@@ -1,0 +1,192 @@
+"""End-to-end acceptance: drift + staleness degrade health, coverage holds.
+
+The acceptance scenario from the quality-observability issue: serve a
+workload matching the build-time shape, then inject drift (boxes shifted
+into a hot corner) and streaming extremum deletions.  The quality layer
+must show drift score and staleness rising, the health rollup moving to
+``degraded``, certified-bound coverage staying 1.0 on exact-guarantee
+paths, and the full Prometheus exposition (including every new quality
+family) passing strict validation.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import PASSConfig
+from repro.core.updates import DynamicPASS
+from repro.data.table import Table
+from repro.obs import Observability
+from repro.obs.audit import AccuracyAuditor
+from repro.obs.drift import WorkloadDriftDetector, WorkloadFingerprint
+from repro.obs.export import json_snapshot, prometheus_text, validate_exposition
+from repro.obs.quality import HEALTH_DEGRADED
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+from repro.serving.catalog import SynopsisCatalog
+from repro.serving.engine import ServingEngine
+
+N_ROWS = 6000
+KEY_DOMAIN = (0.0, 100.0)
+
+
+@pytest.fixture()
+def deployment():
+    rng = np.random.default_rng(23)
+    table = Table(
+        {
+            "key": rng.uniform(*KEY_DOMAIN, size=N_ROWS),
+            "value": np.abs(rng.normal(40.0, 12.0, size=N_ROWS)),
+        },
+        name="live",
+    )
+    synopsis = DynamicPASS(
+        table,
+        "value",
+        ["key"],
+        PASSConfig(n_partitions=16, sample_rate=0.05, partitioner="equal", seed=0),
+        rng=3,
+    )
+    obs = Observability()
+    catalog = SynopsisCatalog()
+    catalog.register("live_value", synopsis, table_name="live")
+    catalog.register_table(table, "live")
+    engine = ServingEngine(catalog, obs=obs)
+    auditor = AccuracyAuditor(engine, sample_every=1, max_rate=None)
+    yield table, engine, catalog, obs, auditor
+    auditor.stop()
+
+
+def _matched(rng, count):
+    queries = []
+    for _ in range(count):
+        low = float(rng.uniform(0.0, 60.0))
+        span = float(rng.uniform(10.0, 30.0))
+        queries.append(
+            AggregateQuery.sum(
+                "value", RectPredicate.from_bounds(key=(low, low + span))
+            )
+        )
+    return queries
+
+
+def _shifted(rng, count):
+    queries = []
+    for _ in range(count):
+        low = float(rng.uniform(92.0, 98.0))
+        queries.append(
+            AggregateQuery.sum(
+                "value", RectPredicate.from_bounds(key=(low, low + 1.0))
+            )
+        )
+    return queries
+
+
+def test_drift_and_staleness_degrade_health_while_coverage_holds(deployment):
+    table, engine, catalog, obs, auditor = deployment
+    rng = np.random.default_rng(5)
+    matched = _matched(rng, 24)
+    baseline = WorkloadFingerprint.from_boxes(
+        [query.predicate.canonical_key() for query in matched],
+        {"key": KEY_DOMAIN},
+    )
+    detector = WorkloadDriftDetector(
+        {"live_value": baseline}, quality=obs.quality, threshold=0.35
+    )
+
+    # Phase 1: matched traffic — everything healthy, coverage perfect.
+    for query in matched:
+        engine.execute(query)
+    assert auditor.flush()
+    low_report = detector.observe(obs.query_log)["live_value"]
+    card = catalog.scorecard("live_value")
+    assert low_report.score < 0.35
+    assert card.coverage_rate() == 1.0
+    assert engine.health()["status"] == "healthy"
+
+    # Phase 2: extremum deletions (visible staleness, no warning capture
+    # needed) plus drifted traffic.
+    values = table.column("value")
+    keys = table.column("key")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for index in np.argsort(values)[::-1][:4]:
+            engine.delete(
+                "live_value",
+                {"key": float(keys[index]), "value": float(values[index])},
+            )
+    for query in _shifted(rng, 48):
+        engine.execute(query)
+    assert auditor.flush()
+
+    high_report = detector.observe(obs.query_log)["live_value"]
+    assert high_report.score > low_report.score
+    assert high_report.score >= 0.35
+    assert high_report.recommend_rebuild
+    assert card.extrema_staleness() > 0.0
+    assert card.drift_score == pytest.approx(high_report.score)
+
+    # Coverage on certified paths must survive all of it: the bounds are
+    # hard, staleness and drift make them loose, never wrong.
+    assert card.bound_violations == 0
+    assert card.coverage_rate() == 1.0
+
+    health = engine.health()
+    assert health["status"] == HEALTH_DEGRADED
+    assert health["synopses"]["live_value"] == HEALTH_DEGRADED
+    assert health["violations"] == 0
+
+    # The whole quality surface exports through the strict exposition.
+    families = validate_exposition(prometheus_text(obs.metrics))
+    for family in (
+        "repro_quality_audits_total",
+        "repro_quality_bound_violations_total",
+        "repro_quality_coverage_rate",
+        "repro_quality_error_p95",
+        "repro_quality_tightness_ratio",
+        "repro_quality_drift_score",
+        "repro_quality_staleness",
+        "repro_quality_sketch_staleness",
+        "repro_quality_extrema_staleness",
+        "repro_quality_health",
+        "repro_audit_sampled_total",
+        "repro_audit_rel_error",
+        "repro_audit_seconds",
+        "repro_audit_queue_depth",
+        "repro_synopsis_staleness",
+        "repro_synopsis_extrema_staleness",
+    ):
+        assert family in families, family
+
+    snapshot = json_snapshot(obs)
+    assert snapshot["quality"]["rollup"]["status"] == HEALTH_DEGRADED
+    assert (
+        snapshot["quality"]["scorecards"]["live_value"]["coverage_rate"] == 1.0
+    )
+
+
+def test_stale_audits_do_not_raise_violations(deployment):
+    """Updates racing an in-flight audit degrade to error-only recording."""
+    table, engine, catalog, obs, auditor = deployment
+    rng = np.random.default_rng(9)
+    for query in _matched(rng, 6):
+        engine.execute(query)
+    # Mutate truth *after* serving but before flushing: epochs recorded at
+    # offer time no longer match, so coverage must not be judged against
+    # the moved table.
+    values = table.column("value")
+    keys = table.column("key")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for index in range(3):
+            engine.delete(
+                "live_value",
+                {"key": float(keys[index]), "value": float(values[index])},
+            )
+    assert auditor.flush()
+    card = catalog.scorecard("live_value")
+    assert card.audits == 6
+    assert card.bound_violations == 0

@@ -1,0 +1,411 @@
+"""Unit tests for the answer-quality layer: scorecards, drift, audit parts."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import PASSConfig
+from repro.core.updates import DynamicPASS
+from repro.data.table import Table
+from repro.obs.audit import TruthOracle, _rank_error
+from repro.obs.drift import (
+    DriftReport,
+    WorkloadDriftDetector,
+    WorkloadFingerprint,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import (
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HEALTH_VIOLATING,
+    QualityScorecard,
+    QualityStore,
+    QualityThresholds,
+)
+from repro.obs.querylog import QueryLog
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+from repro.serving.persistence import (
+    load_synopsis,
+    load_workload_fingerprint,
+    save_synopsis,
+    save_workload_fingerprint,
+)
+
+
+class TestQualityScorecard:
+    def test_records_error_coverage_and_tightness(self):
+        card = QualityScorecard("s")
+        card.record_audit(
+            rel_error=0.01, covered=True, tightness=4.0, certified=True
+        )
+        card.record_audit(
+            rel_error=0.03, covered=True, tightness=6.0, certified=True
+        )
+        assert card.audits == 2
+        assert card.bound_violations == 0
+        assert card.coverage_rate() == 1.0
+        assert card.tightness_ratio() == pytest.approx(5.0)
+        p50, _p90, p95 = card.error_percentiles()
+        assert 0.01 <= p50 <= 0.03
+        assert p95 <= 0.03
+
+    def test_violation_on_certified_path_flips_health(self):
+        card = QualityScorecard("s")
+        card.record_audit(
+            rel_error=0.5, covered=False, tightness=1.0, certified=True
+        )
+        assert card.bound_violations == 1
+        assert card.health(QualityThresholds()) == HEALTH_VIOLATING
+
+    def test_uncertified_audits_never_count_as_violations(self):
+        card = QualityScorecard("s")
+        card.record_audit(
+            rel_error=0.5, covered=False, tightness=1.0, certified=False
+        )
+        card.record_audit(
+            rel_error=0.5, covered=False, tightness=1.0, certified=True, stale=True
+        )
+        assert card.audits == 2
+        assert card.bound_violations == 0
+        assert card.stale_audits == 1
+        # No assessed audits at all: coverage is vacuously perfect.
+        assert card.coverage_rate() == 1.0
+
+    def test_degraded_on_high_error_or_drift(self):
+        thresholds = QualityThresholds(max_error_p95=0.1, max_drift_score=0.5)
+        card = QualityScorecard("s")
+        for _ in range(10):
+            card.record_audit(
+                rel_error=0.2, covered=True, tightness=3.0, certified=True
+            )
+        assert card.health(thresholds) == HEALTH_DEGRADED
+        calm = QualityScorecard("t")
+        calm.set_drift_score(0.9)
+        assert calm.health(thresholds) == HEALTH_DEGRADED
+        calm.set_drift_score(0.1)
+        assert calm.health(thresholds) == HEALTH_HEALTHY
+
+    def test_as_dict_is_json_ready(self):
+        card = QualityScorecard("s")
+        card.record_audit(
+            rel_error=0.02, covered=True, tightness=2.0, certified=True
+        )
+        payload = card.as_dict(QualityThresholds())
+        assert payload["synopsis"] == "s"
+        assert payload["audits"] == 1
+        assert payload["health"] == HEALTH_HEALTHY
+        assert isinstance(payload["coverage_rate"], float)
+
+    def test_instruments_register_once_and_export(self):
+        registry = MetricsRegistry()
+        card = QualityScorecard("s")
+        card.register_instruments(registry)
+        card.record_audit(
+            rel_error=0.02, covered=True, tightness=2.0, certified=True
+        )
+        from repro.obs.export import prometheus_text, validate_exposition
+
+        families = validate_exposition(prometheus_text(registry))
+        assert "repro_quality_audits_total" in families
+        assert "repro_quality_coverage_rate" in families
+        assert "repro_audit_rel_error" in families
+
+
+class TestQualityStore:
+    def test_scorecard_is_lazy_and_cached(self):
+        store = QualityStore(None)
+        card = store.scorecard("a")
+        assert store.scorecard("a") is card
+        assert store.names() == ["a"]
+
+    def test_merge_from_prefers_existing_cards(self):
+        donor = QualityStore(None)
+        donor_card = donor.scorecard("a")
+        donor_card.record_audit(
+            rel_error=0.1, covered=True, tightness=2.0, certified=True
+        )
+        target = QualityStore(MetricsRegistry())
+        target.merge_from(donor)
+        assert target.scorecard("a") is donor_card
+        assert target.scorecard("a").audits == 1
+
+    def test_health_rollup_worst_wins(self):
+        store = QualityStore(None)
+        store.scorecard("ok").record_audit(
+            rel_error=0.001, covered=True, tightness=3.0, certified=True
+        )
+        store.scorecard("bad").record_audit(
+            rel_error=0.9, covered=False, tightness=1.0, certified=True
+        )
+        rollup = store.health()
+        assert rollup["status"] == HEALTH_VIOLATING
+        assert rollup["synopses"]["ok"] == HEALTH_HEALTHY
+        assert rollup["violations"] == 1
+
+
+class TestWorkloadFingerprint:
+    DOMAINS = {"x": (0.0, 100.0)}
+
+    @staticmethod
+    def boxes(ranges):
+        return [(("x", float(low), float(high)),) for low, high in ranges]
+
+    def test_identical_workloads_have_zero_distance(self):
+        boxes = self.boxes([(0, 50), (25, 75), (50, 100)])
+        base = WorkloadFingerprint.from_boxes(boxes, self.DOMAINS)
+        window = base.like(boxes)
+        assert base.distance(window) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_workloads_have_high_distance(self):
+        base = WorkloadFingerprint.from_boxes(
+            self.boxes([(0, 10), (5, 15)]), self.DOMAINS
+        )
+        shifted = base.like(self.boxes([(90, 100), (85, 95)]))
+        assert base.distance(shifted) > 0.9
+
+    def test_weights_shift_the_fingerprint(self):
+        boxes = self.boxes([(0, 10), (90, 100)])
+        even = WorkloadFingerprint.from_boxes(boxes, self.DOMAINS)
+        skewed = even.like(boxes, weights=[100.0, 1.0])
+        assert even.distance(skewed) > 0.2
+
+    def test_unconstrained_column_registers_as_drift(self):
+        constrained = WorkloadFingerprint.from_boxes(
+            self.boxes([(0, 50)] * 8), self.DOMAINS
+        )
+        scans = constrained.like([()] * 8)
+        assert constrained.distance(scans) > 0.9
+
+    def test_hot_ranges_find_the_traffic_peak(self):
+        base = WorkloadFingerprint.from_boxes(
+            self.boxes([(90, 95)] * 10 + [(0, 100)]), self.DOMAINS, n_bins=10
+        )
+        (low, high, share) = base.hot_ranges(top=1)["x"][0]
+        assert low == pytest.approx(90.0)
+        assert high == pytest.approx(100.0)
+        assert share > 0.5
+
+    def test_distance_requires_matching_columns(self):
+        a = WorkloadFingerprint.from_boxes(self.boxes([(0, 10)]), self.DOMAINS)
+        b = WorkloadFingerprint.from_boxes(
+            [(("y", 0.0, 1.0),)], {"y": (0.0, 1.0)}
+        )
+        with pytest.raises(ValueError):
+            a.distance(b)
+
+    def test_infinite_domains_are_clipped(self):
+        fp = WorkloadFingerprint.from_boxes(
+            self.boxes([(0, 10)]),
+            {"x": (-math.inf, math.inf)},
+        )
+        assert fp.total_weight == 1.0
+
+    def test_arrays_round_trip(self):
+        base = WorkloadFingerprint.from_boxes(
+            self.boxes([(0, 50), (25, 75)]), self.DOMAINS
+        )
+        header, arrays = base.to_arrays()
+        back = WorkloadFingerprint.from_arrays(header, arrays)
+        assert back.columns == base.columns
+        assert back.total_weight == base.total_weight
+        assert base.distance(back) == pytest.approx(0.0, abs=1e-12)
+
+    def test_npz_round_trip(self, tmp_path):
+        base = WorkloadFingerprint.from_boxes(
+            self.boxes([(0, 50), (25, 75), (10, 90)]), self.DOMAINS
+        )
+        path = save_workload_fingerprint(base, tmp_path / "base")
+        assert path.name.endswith(".npz")
+        back = load_workload_fingerprint(path)
+        assert base.distance(back) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDriftDetector:
+    def _log_with(self, boxes, synopsis="s", waiters=0):
+        log = QueryLog(capacity=256)
+        for low, high in boxes:
+            query = AggregateQuery.sum(
+                "v", RectPredicate.from_bounds(x=(float(low), float(high)))
+            )
+            log.append_raw(
+                (
+                    0.0,
+                    "t",
+                    synopsis,
+                    query,
+                    "miss",
+                    1.0,
+                    {},
+                    None,
+                    0.0,
+                    0,
+                    waiters,
+                )
+            )
+        return log
+
+    def test_matched_traffic_scores_low_and_shifted_high(self):
+        matched = [(0, 40), (20, 60), (40, 80)] * 4
+        baseline = WorkloadFingerprint.from_boxes(
+            [(("x", float(a), float(b)),) for a, b in matched],
+            {"x": (0.0, 100.0)},
+        )
+        store = QualityStore(None)
+        detector = WorkloadDriftDetector(
+            {"s": baseline}, quality=store, threshold=0.35
+        )
+        low = detector.observe(self._log_with(matched))["s"]
+        assert low.score < 0.1
+        assert not low.recommend_rebuild
+        shifted = [(95, 99)] * 12
+        high = detector.observe(self._log_with(shifted))["s"]
+        assert high.score > 0.35
+        assert high.recommend_rebuild
+        assert store.scorecard("s").drift_score == pytest.approx(high.score)
+        assert isinstance(high, DriftReport)
+        assert high.as_dict()["recommend_rebuild"] is True
+
+    def test_coalesced_waiters_weight_the_window(self):
+        baseline = WorkloadFingerprint.from_boxes(
+            [(("x", 0.0, 40.0),)] * 4, {"x": (0.0, 100.0)}
+        )
+        detector = WorkloadDriftDetector({"s": baseline}, threshold=0.35)
+        # One matched record vs one shifted record with 50 waiters: the
+        # stampede dominates the window only if weights are honored.
+        log = self._log_with([(0, 40)])
+        shifted_log = self._log_with([(95, 99)], waiters=50)
+        for entry in shifted_log.tail(1):
+            log.append(entry)
+        report = detector.observe(log)["s"]
+        assert report.weight == pytest.approx(52.0)
+        assert report.score > 0.35
+
+    def test_unknown_synopses_are_ignored(self):
+        baseline = WorkloadFingerprint.from_boxes(
+            [(("x", 0.0, 40.0),)], {"x": (0.0, 100.0)}
+        )
+        detector = WorkloadDriftDetector({"s": baseline})
+        report = detector.observe(self._log_with([(0, 40)], synopsis="other"))
+        assert report["s"].n_records == 0
+        assert report["s"].score == 0.0
+
+
+class TestWeightedQueryLog:
+    def _append(self, log, waiters):
+        query = AggregateQuery.sum(
+            "v", RectPredicate.from_bounds(x=(0.0, 1.0))
+        )
+        log.append_raw(
+            (0.0, "t", "s", query, "coalesced", 1.0, {}, None, 0.0, 0, waiters)
+        )
+
+    def test_boxes_expand_by_waiter_weight(self):
+        log = QueryLog(capacity=16)
+        self._append(log, 0)
+        self._append(log, 3)
+        assert len(log.boxes()) == 5
+        weights = [weight for _, weight in log.weighted_boxes()]
+        assert weights == [1, 4]
+        assert [w for _, w in log.weighted_records()] == [1, 4]
+
+
+class TestExtremaStaleness:
+    @staticmethod
+    def make_dynamic(n=512, seed=3):
+        rng = np.random.default_rng(seed)
+        table = Table(
+            {
+                "key": np.arange(n, dtype=float),
+                "value": rng.uniform(10.0, 90.0, size=n),
+            },
+            name="dyn",
+        )
+        config = PASSConfig(
+            n_partitions=4, sample_rate=0.1, partitioner="equal", seed=0
+        )
+        return table, DynamicPASS(table, "value", ["key"], config=config, rng=1)
+
+    def test_extremum_delete_increments_gauge(self):
+        table, dynamic = self.make_dynamic()
+        assert dynamic.extrema_staleness == 0.0
+        values = table.column("value")
+        top = np.argsort(values)[::-1][:3]
+        with pytest.warns(Warning):
+            for index in top:
+                dynamic.delete(
+                    {"key": float(index), "value": float(values[index])}
+                )
+        assert dynamic.extrema_stale_deletes >= 1
+        assert dynamic.extrema_staleness == pytest.approx(
+            dynamic.extrema_stale_deletes / dynamic._build_population
+        )
+
+    def test_interior_delete_does_not_increment(self):
+        table, dynamic = self.make_dynamic()
+        values = table.column("value")
+        median_index = int(np.argsort(values)[len(values) // 2])
+        dynamic.delete(
+            {"key": float(median_index), "value": float(values[median_index])}
+        )
+        assert dynamic.extrema_stale_deletes == 0
+
+    def test_counter_survives_persistence(self, tmp_path):
+        table, dynamic = self.make_dynamic()
+        values = table.column("value")
+        index = int(np.argmax(values))
+        with pytest.warns(Warning):
+            dynamic.delete({"key": float(index), "value": float(values[index])})
+        path = save_synopsis(dynamic, tmp_path / "dyn")
+        reloaded = load_synopsis(path)
+        assert reloaded.extrema_stale_deletes == dynamic.extrema_stale_deletes
+        assert reloaded.extrema_staleness == pytest.approx(
+            dynamic.extrema_staleness
+        )
+
+
+class TestTruthOracle:
+    @staticmethod
+    def make_table():
+        return Table(
+            {
+                "key": np.array([0.0, 1.0, 2.0, 3.0]),
+                "value": np.array([10.0, 20.0, 30.0, 40.0]),
+            },
+            name="t",
+        )
+
+    def test_replays_inserts_and_deletes(self):
+        oracle = TruthOracle(self.make_table())
+        oracle.note({"key": 4.0, "value": 50.0}, "insert")
+        oracle.note({"key": 1.0, "value": 20.0}, "delete")
+        arrays = oracle.arrays()
+        assert sorted(arrays["value"].tolist()) == [10.0, 30.0, 40.0, 50.0]
+        assert oracle.version == 2
+        assert not oracle.lost_sync
+
+    def test_unfindable_delete_loses_sync(self):
+        oracle = TruthOracle(self.make_table())
+        oracle.note({"key": 99.0, "value": 99.0}, "delete")
+        assert oracle.arrays() is None
+        assert oracle.lost_sync
+
+    def test_partial_row_loses_sync(self):
+        oracle = TruthOracle(self.make_table())
+        oracle.note({"key": 4.0}, "insert")
+        assert oracle.lost_sync
+        assert oracle.arrays() is None
+
+
+class TestRankError:
+    def test_zero_inside_interval(self):
+        values = np.arange(100, dtype=float)
+        median = float(np.quantile(values, 0.5))
+        assert _rank_error(values, median, 0.5) <= 0.01
+
+    def test_positive_when_off_target(self):
+        values = np.arange(100, dtype=float)
+        assert _rank_error(values, 90.0, 0.5) == pytest.approx(0.4, abs=0.02)
