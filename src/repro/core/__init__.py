@@ -15,6 +15,7 @@ from repro.core.builder import (
 )
 from repro.core.config import PARTITIONER_CHOICES, PASSConfig
 from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.soa import FlatFrontier, FlatSamples, FlatSynopsis
 from repro.core.tree import MCFResult, PartitionNode, PartitionTree
 from repro.core.updates import DynamicPASS
 
@@ -31,6 +32,9 @@ __all__ = [
     "PARTITIONER_CHOICES",
     "PASSConfig",
     "PASSSynopsis",
+    "FlatFrontier",
+    "FlatSamples",
+    "FlatSynopsis",
     "MCFResult",
     "PartitionNode",
     "PartitionTree",

@@ -389,7 +389,13 @@ def _assemble_from_masks(
     covered = batch_frontiers.covered_mask
     partial = batch_frontiers.partial_mask
     n_slots = len(predicates)
-    node_sum, node_count, node_min, node_max = geometry.node_stat_arrays()
+    # The flat engine hands over its synced stat arrays and CSR samples
+    # (same values, no O(nodes) rebuild / per-leaf asarray+concatenate).
+    flat = synopsis.flat if synopsis.execution == "soa" else None
+    if flat is not None:
+        node_sum, node_count, node_min, node_max = flat.node_stat_arrays()
+    else:
+        node_sum, node_count, node_min, node_max = geometry.node_stat_arrays()
     lam = synopsis.lam
     with_fpc = synopsis.with_fpc
     population = synopsis.population_size
@@ -456,7 +462,11 @@ def _assemble_from_masks(
         if size == 0:
             # Sequential estimators skip empty partial leaves entirely.
             continue
-        if strata[geometry.leaf_index[row]].sample_size == 0:
+        leaf = int(geometry.leaf_index[row])
+        leaf_samples = (
+            flat.sample_count(leaf) if flat is not None else strata[leaf].sample_size
+        )
+        if leaf_samples == 0:
             # Unsampled leaf: hard-bound midpoint, unknown variance.
             touching = np.flatnonzero(partial_classic[row])
             est_sum[touching] += 0.5 * node_sum[row]
@@ -472,25 +482,34 @@ def _assemble_from_masks(
         # np.add.reduceat folds it back into per-(slot, leaf) sufficient
         # statistics without any per-leaf Python looping.
         rows_arr = np.asarray(sampled_rows)
-        leaf_strata = [strata[i] for i in geometry.leaf_index[rows_arr]]
-        seg_sizes = np.array([stratum.sample_size for stratum in leaf_strata])
-        offsets = np.zeros(len(seg_sizes), dtype=np.int64)
-        np.cumsum(seg_sizes[:-1], out=offsets[1:])
-        allowed = partial_classic[rows_arr].T  # (n_slots, n_leaves)
-        matrix = np.repeat(allowed, seg_sizes, axis=1)
-        for column in batch_columns:
-            col_values = np.concatenate(
+        leaf_ids = geometry.leaf_index[rows_arr]
+        if flat is not None:
+            leaf_strata = None
+            seg_sizes = np.array([flat.sample_count(i) for i in leaf_ids])
+        else:
+            leaf_strata = [strata[i] for i in leaf_ids]
+            seg_sizes = np.array([stratum.sample_size for stratum in leaf_strata])
+
+        def concat_column(column: str) -> np.ndarray:
+            if flat is not None:
+                return flat.gather_samples(leaf_ids, column)
+            return np.concatenate(
                 [
                     np.asarray(stratum.sample_columns[column], dtype=float)
                     for stratum in leaf_strata
                 ]
             )
+
+        offsets = np.zeros(len(seg_sizes), dtype=np.int64)
+        np.cumsum(seg_sizes[:-1], out=offsets[1:])
+        allowed = partial_classic[rows_arr].T  # (n_slots, n_leaves)
+        matrix = np.repeat(allowed, seg_sizes, axis=1)
+        for column in batch_columns:
+            col_values = concat_column(column)
             matrix &= (col_values[None, :] >= slot_lows[column][:, None]) & (
                 col_values[None, :] <= slot_highs[column][:, None]
             )
-        values_all = np.concatenate(
-            [stratum.sample_values(value_column) for stratum in leaf_strata]
-        )
+        values_all = concat_column(value_column)
         matrix_f = matrix.astype(float)
         matched = np.add.reduceat(matrix_f, offsets, axis=1)
         sums = np.add.reduceat(matrix_f * values_all[None, :], offsets, axis=1)
@@ -751,22 +770,32 @@ def grouped_query(
         for i in classic_slots
     )
 
-    surviving: list[tuple[int, "object", MCFResult]] = []
-    for index, cell in plan.live_cells():
-        frontier = synopsis.tree.minimal_coverage_frontier(cell.predicate)
-        if frontier_count(frontier) > 0:
-            surviving.append((index, cell, frontier))
+    # The array-native engine answers the whole classic-aggregate pipeline
+    # (frontiers, moments, cell assembly) over flat arrays; both branches
+    # produce bit-identical rows (tests/test_soa_equivalence.py).
+    flat = synopsis.flat if synopsis.execution == "soa" else None
+    surviving: list[tuple[int, "object", object]] = []
+    if flat is not None:
+        live = list(plan.live_cells())
+        cell_frontiers = flat.frontiers_for([cell.predicate for _, cell in live])
+        for (index, cell), flat_frontier in zip(live, cell_frontiers):
+            if flat.frontier_count(flat_frontier) > 0:
+                surviving.append((index, cell, flat_frontier))
+    else:
+        for index, cell in plan.live_cells():
+            frontier = synopsis.tree.minimal_coverage_frontier(cell.predicate)
+            if frontier_count(frontier) > 0:
+                surviving.append((index, cell, frontier))
 
-    moments = (
-        _grouped_leaf_moments(
-            synopsis,
-            [(cell.predicate, frontier) for _, cell, frontier in surviving],
-            value_column,
-            need_extrema,
+    if classic_slots:
+        items = [(cell.predicate, frontier) for _, cell, frontier in surviving]
+        moments = (
+            flat.grouped_leaf_moments(items, need_extrema)
+            if flat is not None
+            else _grouped_leaf_moments(synopsis, items, value_column, need_extrema)
         )
-        if classic_slots
-        else {}
-    )
+    else:
+        moments = {}
 
     classic_aggs = tuple(plan.aggregates[i].agg for i in classic_slots)
     strata = synopsis.leaf_samples
@@ -774,9 +803,14 @@ def grouped_query(
     for slot, (index, cell, frontier) in enumerate(surviving):
         row: list[AQPResult | None] = [None] * len(plan.aggregates)
         if classic_slots:
-            classic_row = _assemble_cell_row(
-                classic_aggs, frontier, moments, slot, lam, with_fpc, population
-            )
+            if flat is not None:
+                classic_row = flat.assemble_cell_row(
+                    classic_aggs, frontier, moments, slot, lam, with_fpc, population
+                )
+            else:
+                classic_row = _assemble_cell_row(
+                    classic_aggs, frontier, moments, slot, lam, with_fpc, population
+                )
             for position, result in zip(classic_slots, classic_row):
                 row[position] = result
         # One union per sketch kind per cell: the reduction depends only on
@@ -785,10 +819,16 @@ def grouped_query(
         # sample masks are likewise evaluated once per cell and shared by
         # the quantile and distinct unions.
         if sketch_slots:
+            # Sketches reduce to per-leaf mergeable objects, so they stay on
+            # the object path; the flat frontier is materialized to node
+            # tuples once per cell.
+            object_frontier = (
+                flat.materialize(frontier) if flat is not None else frontier
+            )
             mask_query = plan.cell_query(cell, plan.aggregates[sketch_slots[0]])
             cell_masks = {
                 node.leaf_index: strata[node.leaf_index].match_mask(mask_query)
-                for node in frontier.partial
+                for node in object_frontier.partial
                 if strata[node.leaf_index].sample_size
             }
             cell_unions: dict[AggregateType, object] = {}
@@ -798,7 +838,7 @@ def grouped_query(
                 union = cell_unions.get(spec.agg)
                 if union is None:
                     union = synopsis.sketch_union(
-                        query, frontier=frontier, match_masks=cell_masks
+                        query, frontier=object_frontier, match_masks=cell_masks
                     )
                     cell_unions[spec.agg] = union
                 row[position] = sketch_union_result(query, union, population)

@@ -295,4 +295,5 @@ def build_pass(
         build_seconds=build_seconds,
         effective_partitioner=effective_partitioner,
         leaf_sketches=leaf_sketches,
+        execution=config.execution,
     )

@@ -13,6 +13,12 @@ Query processing follows Section 3.3 exactly:
 5. **Hard bounds** — the known extrema and cardinalities of the partitions
    also give deterministic bounds on the answer (Section 2.3), reported
    alongside the CLT interval.
+
+Two executions of the same algorithm coexist (``docs/ARCHITECTURE.md``):
+the default array-native path (``execution="soa"``, hosted by
+:class:`repro.core.soa.FlatSynopsis`) and the per-node object path
+(``execution="object"``), which remains the bit-identical oracle —
+:meth:`PASSSynopsis.query_object` always runs it regardless of the switch.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.sampling.estimators import (
     stratum_count_contribution,
     stratum_sum_contribution,
 )
+from repro.core.soa import FlatSynopsis
 from repro.sampling.stratified import Stratum
 from repro.sketches import (
     DistinctSketch,
@@ -81,6 +88,12 @@ class PASSSynopsis:
         Optional mergeable per-leaf sketches (:class:`LeafSketches`, aligned
         with the tree leaves) enabling QUANTILE / COUNT_DISTINCT queries;
         ``None`` for synopses built without sketch support.
+    execution:
+        ``"soa"`` (default) answers classic aggregates over the
+        structure-of-arrays engine (:class:`repro.core.soa.FlatSynopsis`);
+        ``"object"`` keeps the per-node object path.  Both produce
+        bit-identical answers — the switch exists for oracle testing and
+        debugging.
     """
 
     def __init__(
@@ -94,6 +107,7 @@ class PASSSynopsis:
         build_seconds: float = 0.0,
         effective_partitioner: str | None = None,
         leaf_sketches: Sequence[LeafSketches] | None = None,
+        execution: str = "soa",
     ) -> None:
         if tree.n_leaves != len(leaf_samples):
             raise ValueError(
@@ -105,6 +119,10 @@ class PASSSynopsis:
                 f"tree has {tree.n_leaves} leaves "
                 f"but {len(leaf_sketches)} leaf sketches were given"
             )
+        if execution not in ("soa", "object"):
+            raise ValueError(
+                f"execution must be 'soa' or 'object', got {execution!r}"
+            )
         self._tree = tree
         self._leaf_samples = list(leaf_samples)
         self._leaf_sketches = None if leaf_sketches is None else list(leaf_sketches)
@@ -114,6 +132,8 @@ class PASSSynopsis:
         self._with_fpc = with_fpc
         self.build_seconds = build_seconds
         self.effective_partitioner = effective_partitioner
+        self._execution = execution
+        self._flat: FlatSynopsis | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -127,6 +147,45 @@ class PASSSynopsis:
     def zero_variance_rule(self) -> bool:
         """Whether AVG lookups apply the zero-variance descent rule (3.4)."""
         return self._zero_variance_rule
+
+    @property
+    def execution(self) -> str:
+        """Active execution engine: ``"soa"`` (array-native) or ``"object"``."""
+        return self._execution
+
+    @execution.setter
+    def execution(self, value: str) -> None:
+        """Switch engines; the flat arrays stay warm across toggles."""
+        if value not in ("soa", "object"):
+            raise ValueError(f"execution must be 'soa' or 'object', got {value!r}")
+        self._execution = value
+
+    @property
+    def flat(self) -> FlatSynopsis:
+        """The lazily-built structure-of-arrays engine over this synopsis.
+
+        Built on first access and kept in sync by the mutation hooks
+        (:meth:`notify_stats_mutated`, :meth:`replace_leaf_sample`); drop it
+        with :meth:`invalidate_flat` after out-of-band tree surgery.
+        """
+        flat = self._flat
+        if flat is None:
+            flat = FlatSynopsis(self)
+            self._flat = flat
+        return flat
+
+    def invalidate_flat(self) -> None:
+        """Discard the flat engine (rebuilt from scratch on next access)."""
+        self._flat = None
+
+    def notify_stats_mutated(self, nodes: Sequence[PartitionNode]) -> None:
+        """Mirror in-place node-statistics mutations into the flat engine.
+
+        The dynamic update path calls this after rewriting the statistics
+        along a root-to-leaf path; a no-op until the flat engine exists.
+        """
+        if self._flat is not None:
+            self._flat.update_node_stats(nodes)
 
     @property
     def leaf_samples(self) -> list[Stratum]:
@@ -196,6 +255,8 @@ class PASSSynopsis:
         if not 0 <= leaf_index < len(self._leaf_samples):
             raise IndexError(f"leaf index {leaf_index} out of range")
         self._leaf_samples[leaf_index] = stratum
+        if self._flat is not None:
+            self._flat.replace_leaf_sample(leaf_index, stratum)
 
     # ------------------------------------------------------------------
     # Persistence (array export / import)
@@ -246,6 +307,7 @@ class PASSSynopsis:
             "effective_partitioner": self.effective_partitioner,
             "sample_columns": sample_columns,
             "with_sketches": self._leaf_sketches is not None,
+            "execution": self._execution,
         }
         return arrays, header
 
@@ -307,6 +369,8 @@ class PASSSynopsis:
             build_seconds=float(header["build_seconds"]),
             effective_partitioner=header.get("effective_partitioner"),
             leaf_sketches=leaf_sketches,
+            # Archives written before the array-native engine default to it.
+            execution=str(header.get("execution", "soa")),
         )
 
     # ------------------------------------------------------------------
@@ -345,6 +409,31 @@ class PASSSynopsis:
         frontier:
             Optional precomputed MCF result for this query (must come from
             :meth:`lookup` on this synopsis); skips the index lookup.
+        """
+        if (
+            self._execution == "soa"
+            and frontier is None
+            and match_masks is None
+            and query.agg not in SKETCH_AGGREGATES
+        ):
+            return self.flat.query(query, lam=lam)
+        return self.query_object(
+            query, lam=lam, match_masks=match_masks, frontier=frontier
+        )
+
+    def query_object(
+        self,
+        query: AggregateQuery,
+        lam: float | None = None,
+        match_masks: Mapping[int, np.ndarray] | None = None,
+        frontier: MCFResult | None = None,
+    ) -> AQPResult:
+        """Answer a query over the per-node object path (the oracle).
+
+        Same parameters and semantics as :meth:`query`; always traverses
+        the Python object graph regardless of the ``execution`` switch.
+        The array path is property-tested bit-identical against this
+        implementation.
         """
         if query.value_column != self._value_column:
             raise ValueError(

@@ -1,0 +1,1263 @@
+"""Array-native (structure-of-arrays) execution core for the PASS synopsis.
+
+The object execution path answers a query by walking ``PartitionNode``
+objects and touching one Python ``Stratum`` per partially-overlapped leaf;
+profiling shows that per-node/per-leaf Python dispatch — not arithmetic —
+dominates single-query latency.  This module re-hosts the synopsis state in
+a handful of contiguous arrays (:class:`FlatSynopsis`) and rewrites the hot
+kernels (frontier descent, predicate mask evaluation, moment reductions) to
+run over those arrays with zero Python-object traversal.
+
+Layout (specified normatively in ``docs/ARCHITECTURE.md``):
+
+* **Node order** — every per-node array is indexed by the tree's *geometry
+  order*: the DFS stack-pop order of ``PartitionTree.minimal_coverage_
+  frontier`` (root first, children pushed left-to-right and popped in
+  reverse).  Ascending row order therefore *is* the object path's visit
+  order, which is what makes frontier extraction order-preserving.
+* **Stats** — ``node_sum`` / ``node_min`` / ``node_max`` (float64) and
+  ``node_count`` (int64, with a float64 mirror for matmul consumers),
+  kept in sync with the object tree by :meth:`FlatSynopsis.
+  update_node_stats`.
+* **Bounds** — one contiguous float64 low/high array *per predicate
+  column* (±inf where a node's box does not constrain the column).
+* **Samples** — CSR: ``offsets`` (int64, ``n_leaves + 1``) into one
+  concatenated float64 array per sample column; leaf ``i`` owns
+  ``column[offsets[i]:offsets[i + 1]]``.
+
+Equivalence contract: with the same synopsis state, every answer produced
+here is **bit-identical** to the object path — same covered/partial order,
+same floating-point summation order, same ``nodes_visited`` — enforced by
+the property suite in ``tests/test_soa_equivalence.py``.  The object path
+(``PASSSynopsis.query_object``) remains the oracle behind the
+``execution="object"`` switch.
+
+The frontier uses a closed form instead of replaying the descent: box
+nesting means a predicate that covers (or misses) a node also covers
+(misses) all of its descendants, so — absent zero-variance stops — a node
+is *visited* iff its parent is partially overlapped, making the MCF
+``covered = cover & partial[parent]`` and ``partial = partial & is_leaf``
+with no level-by-level loop.  When the AVG zero-variance rule could stop
+the descent early (some partially-overlapped node has ``min == max``), the
+code falls back to the exact level-order replay of
+``PartitionTree.batch_coverage_frontiers``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.aggregation.strat_agg import HardBounds
+from repro.core.tree import MCFResult
+from repro.query.aggregates import SKETCH_AGGREGATES, AggregateType
+from repro.query.predicate import RectPredicate
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult
+from repro.sampling.estimators import (
+    EstimateWithVariance,
+    finite_population_correction,
+    ratio_estimate,
+)
+from repro.sampling.stratified import Stratum
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.pass_synopsis import PASSSynopsis
+
+__all__ = ["FlatFrontier", "FlatSamples", "FlatSynopsis"]
+
+#: Per-(cell, leaf) masked-sample sufficient statistics, identical in shape
+#: and construction to ``repro.core.batching._LeafMoments``.
+_LeafMoments = tuple[int, float, float, float, float, float]
+
+
+def _fast_mean(values: np.ndarray) -> float:
+    """``float(values.mean())`` without the ``np.mean`` dispatch overhead.
+
+    ``ndarray.mean`` reduces with ``umr_sum`` — the very ufunc reachable as
+    ``np.add.reduce`` (same pairwise summation) — then divides by the count,
+    so this replica is bit-identical while skipping ~10µs of numpy dispatch
+    per call.  The caller guarantees ``values`` is non-empty float64.
+    """
+    return float(np.add.reduce(values) / values.shape[0])
+
+
+def _fast_var(values: np.ndarray) -> float:
+    """``float(np.var(values))`` (ddof=0) as raw ufunc calls, bit-identical.
+
+    Mirrors numpy's ``_var``: mean via ``umr_sum / n``, squared deviations
+    in place, reduced by the same pairwise sum.  The caller guarantees at
+    least two float64 elements.  ``values`` is not modified.
+    """
+    n = values.shape[0]
+    mean = np.add.reduce(values) / n
+    deviations = values - mean
+    np.multiply(deviations, deviations, out=deviations)
+    return float(np.add.reduce(deviations) / n)
+
+
+def _sum_contribution(
+    values: np.ndarray, mask: np.ndarray, size: int, with_fpc: bool
+) -> tuple[float, float]:
+    """One partial leaf's SUM contribution ``(estimate, variance)``.
+
+    Bit-identical replica of
+    :func:`repro.sampling.estimators.stratum_sum_contribution` minus the
+    defensive ``asarray`` casts (inputs are CSR float64 slices already).
+    The caller guarantees a non-empty sample.
+    """
+    sample_size = values.shape[0]
+    contributions = mask.astype(float)
+    np.multiply(contributions, values, out=contributions)
+    estimate = _fast_mean(contributions) * size
+    if sample_size <= 1:
+        sample_variance = 0.0
+    else:
+        sample_variance = _fast_var(contributions)
+    variance = (size**2) * sample_variance / sample_size
+    if with_fpc:
+        variance *= finite_population_correction(size, sample_size)
+    return estimate, variance
+
+
+def _count_contribution(
+    mask: np.ndarray, size: int, with_fpc: bool
+) -> tuple[float, float]:
+    """One partial leaf's COUNT contribution ``(estimate, variance)``.
+
+    Bit-identical replica of
+    :func:`repro.sampling.estimators.stratum_count_contribution` for a
+    non-empty sample.
+    """
+    sample_size = mask.shape[0]
+    indicator = mask.astype(float)
+    estimate = _fast_mean(indicator) * size
+    if sample_size <= 1:
+        sample_variance = 0.0
+    else:
+        sample_variance = _fast_var(indicator)
+    variance = (size**2) * sample_variance / sample_size
+    if with_fpc:
+        variance *= finite_population_correction(size, sample_size)
+    return estimate, variance
+
+
+@dataclass(frozen=True)
+class FlatFrontier:
+    """An MCF result as geometry-order node rows instead of node objects.
+
+    ``covered`` / ``partial`` hold ascending node-row indices; because
+    geometry order equals the object descent's visit order, iterating them
+    reproduces the object path's covered/partial order exactly.
+    """
+
+    covered: np.ndarray
+    partial: np.ndarray
+    nodes_visited: int
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no partially-overlapped leaf remains (exact answer)."""
+        return self.partial.shape[0] == 0
+
+
+@dataclass
+class FlatSamples:
+    """CSR leaf samples: per-column concatenated values plus row offsets.
+
+    ``offsets`` has ``n_leaves + 1`` entries; leaf ``i``'s sample occupies
+    ``columns[c][offsets[i]:offsets[i + 1]]`` for every sample column
+    ``c``.  Offsets are *compact* (no slack): a same-length reservoir swap
+    writes in place, a length-changing one marks the structure stale for a
+    lazy rebuild.
+    """
+
+    offsets: np.ndarray
+    columns: dict[str, np.ndarray]
+
+
+class FlatSynopsis:
+    """Structure-of-arrays execution engine over a :class:`PASSSynopsis`.
+
+    Built once from the object synopsis (the same encoding
+    ``PASSSynopsis.to_arrays`` uses) and kept in sync through the
+    :meth:`update_node_stats` / :meth:`replace_leaf_sample` hooks that
+    ``PASSSynopsis`` and ``DynamicPASS`` call on every mutation.  All query
+    entry points return answers bit-identical to the object path; see the
+    module docstring for the contract.
+
+    Parameters
+    ----------
+    synopsis:
+        The owning object synopsis; tree geometry, statistics, and leaf
+        samples are snapshotted into arrays at construction.
+    """
+
+    def __init__(self, synopsis: "PASSSynopsis") -> None:
+        self._synopsis = synopsis
+        self._value_column = synopsis.value_column
+        self._lam = synopsis.lam
+        self._zero_variance_rule = synopsis.zero_variance_rule
+        self._with_fpc = synopsis.with_fpc
+
+        geometry = synopsis.tree.geometry()
+        self._geometry = geometry
+        nodes = geometry.nodes
+        n = len(nodes)
+        self._n_nodes = n
+        self._node_sum = np.fromiter(
+            (node.stats.sum for node in nodes), dtype=float, count=n
+        )
+        self._node_count = np.fromiter(
+            (node.stats.count for node in nodes), dtype=np.int64, count=n
+        )
+        self._node_count_f = self._node_count.astype(float)
+        self._node_min = np.fromiter(
+            (node.stats.min for node in nodes), dtype=float, count=n
+        )
+        self._node_max = np.fromiter(
+            (node.stats.max for node in nodes), dtype=float, count=n
+        )
+        self._row_by_id = {id(node): row for row, node in enumerate(nodes)}
+        self._zv_cache: np.ndarray | None = None
+
+        self._parent = geometry.parent
+        parent0 = geometry.parent.copy()
+        parent0[0] = 0  # root "reaches" itself in the closed-form extraction
+        self._parent0 = parent0
+        self._is_leaf = geometry.is_leaf
+        self._leaf_of_row = geometry.leaf_index
+        self._levels = geometry.levels
+        self._column_index = geometry.column_index
+        self._col_lows = tuple(
+            np.ascontiguousarray(geometry.lows[:, c])
+            for c in range(len(geometry.column_index))
+        )
+        self._col_highs = tuple(
+            np.ascontiguousarray(geometry.highs[:, c])
+            for c in range(len(geometry.column_index))
+        )
+
+        self._samples: FlatSamples = self._build_samples()
+        self._samples_stale = False
+
+    # ------------------------------------------------------------------
+    # Construction / synchronisation
+    # ------------------------------------------------------------------
+    def _build_samples(self) -> FlatSamples:
+        """Snapshot the object strata into compact CSR arrays."""
+        strata = self._synopsis.leaf_samples
+        sizes = [stratum.sample_size for stratum in strata]
+        offsets = np.zeros(len(strata) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(sizes, dtype=np.int64), out=offsets[1:])
+        # Column set: insertion order of the first stratum, restricted to
+        # columns every stratum carries (builders always produce a uniform
+        # set; hand-assembled synopses may not).
+        columns: dict[str, np.ndarray] = {}
+        if strata:
+            shared = [
+                column
+                for column in strata[0].sample_columns
+                if all(column in stratum.sample_columns for stratum in strata)
+            ]
+            for column in shared:
+                columns[column] = (
+                    np.concatenate(
+                        [
+                            np.asarray(stratum.sample_columns[column], dtype=float)
+                            for stratum in strata
+                        ]
+                    )
+                    if int(offsets[-1])
+                    else np.zeros(0, dtype=float)
+                )
+        self._sample_counts = np.diff(offsets)
+        return FlatSamples(offsets=offsets, columns=columns)
+
+    def _ensure_samples(self) -> FlatSamples:
+        """The CSR samples, rebuilt lazily after a length-changing swap."""
+        if self._samples_stale:
+            self._samples = self._build_samples()
+            self._samples_stale = False
+        return self._samples
+
+    def update_node_stats(self, nodes: Sequence[object]) -> None:
+        """Mirror in-place statistic mutations of the given tree nodes.
+
+        Called by the dynamic update path after a root-to-leaf insert /
+        delete pass; cost is O(path length) array writes.  Nodes not in
+        this tree are ignored (defensive: never happens in-process).
+        """
+        row_by_id = self._row_by_id
+        for node in nodes:
+            row = row_by_id.get(id(node))
+            if row is None:
+                continue
+            stats = node.stats  # type: ignore[attr-defined]
+            self._node_sum[row] = stats.sum
+            self._node_count[row] = stats.count
+            self._node_count_f[row] = stats.count
+            self._node_min[row] = stats.min
+            self._node_max[row] = stats.max
+        self._zv_cache = None
+
+    def replace_leaf_sample(self, leaf_index: int, stratum: Stratum) -> None:
+        """Mirror a leaf-sample replacement into the CSR arrays.
+
+        A same-length swap with the same column set (the common case —
+        reservoir replacement preserves the sample size) writes in place;
+        anything else marks the CSR structure stale for a lazy rebuild on
+        the next access.
+        """
+        if self._samples_stale:
+            return
+        samples = self._samples
+        start = int(samples.offsets[leaf_index])
+        stop = int(samples.offsets[leaf_index + 1])
+        if stratum.sample_size != stop - start or any(
+            column not in stratum.sample_columns for column in samples.columns
+        ):
+            self._samples_stale = True
+            return
+        for column, array in samples.columns.items():
+            array[start:stop] = np.asarray(
+                stratum.sample_columns[column], dtype=float
+            )
+
+    def _zv_flags(self) -> np.ndarray:
+        """Per-node ``stats.has_zero_variance`` flags, cached until stats change."""
+        flags = self._zv_cache
+        if flags is None:
+            flags = (self._node_count > 0) & (self._node_min == self._node_max)
+            self._zv_cache = flags
+        return flags
+
+    # ------------------------------------------------------------------
+    # Frontier kernels
+    # ------------------------------------------------------------------
+    def frontier(
+        self, predicate: RectPredicate, zero_variance: bool = False
+    ) -> FlatFrontier:
+        """Run the MCF index lookup over the bound arrays (Algorithm 1).
+
+        Identical to ``PartitionTree.minimal_coverage_frontier`` — covered /
+        partial order and ``nodes_visited`` included — via the closed form
+        described in the module docstring, with a level-order replay
+        fallback when ``zero_variance`` stops could fire.
+        """
+        n = self._n_nodes
+        disjoint: np.ndarray | None = None
+        cover: np.ndarray | None = None
+        never_covers = False
+        column_index = self._column_index
+        for column, low, high in predicate.canonical_key():
+            c = column_index.get(column)
+            if c is None:
+                never_covers = True
+                continue
+            node_lows = self._col_lows[c]
+            node_highs = self._col_highs[c]
+            dis = np.greater(low, node_highs)
+            np.logical_or(dis, np.greater(node_lows, high), out=dis)
+            if disjoint is None:
+                disjoint = dis
+            else:
+                np.logical_or(disjoint, dis, out=disjoint)
+            cov = np.less_equal(low, node_lows)
+            np.logical_and(cov, np.less_equal(node_highs, high), out=cov)
+            if cover is None:
+                cover = cov
+            else:
+                np.logical_and(cover, cov, out=cover)
+        if disjoint is None:
+            disjoint = np.zeros(n, dtype=bool)
+        if never_covers:
+            cover = np.zeros(n, dtype=bool)
+        elif cover is None:
+            # No geometry column constrained: containment is vacuously true
+            # for every node (the predicate region is the whole space).
+            cover = np.ones(n, dtype=bool)
+        partial = np.logical_or(cover, disjoint)
+        np.logical_not(partial, out=partial)
+
+        if zero_variance:
+            zv = self._zv_flags()
+            if bool(np.any(np.logical_and(partial, zv))):
+                return self._replay_frontier(cover, partial, zv)
+
+        reached = partial[self._parent0]
+        reached[0] = True
+        covered_rows = np.flatnonzero(np.logical_and(cover, reached))
+        partial_mask = np.logical_and(partial, reached)
+        np.logical_and(partial_mask, self._is_leaf, out=partial_mask)
+        partial_rows = np.flatnonzero(partial_mask)
+        return FlatFrontier(
+            covered=covered_rows,
+            partial=partial_rows,
+            nodes_visited=int(np.count_nonzero(reached)),
+        )
+
+    def _replay_frontier(
+        self, cover: np.ndarray, partial: np.ndarray, zv: np.ndarray
+    ) -> FlatFrontier:
+        """Level-order descent replay for the AVG zero-variance shortcut.
+
+        Exact single-query mirror of the replay in
+        ``PartitionTree.batch_coverage_frontiers`` (which is itself proven
+        identical to the sequential descent): a node is visited iff its
+        parent was reached, partially overlapped, not stopped by a cover /
+        zero-variance hit, and not a leaf.
+        """
+        stops = np.logical_and(partial, zv)
+        np.logical_or(stops, cover, out=stops)
+        internal_partial = partial & ~stops & ~self._is_leaf
+        n = self._n_nodes
+        reached = np.zeros(n, dtype=bool)
+        descends = np.zeros(n, dtype=bool)
+        for level in self._levels:
+            if level[0] == 0:
+                reached[0] = True
+            else:
+                reached[level] = descends[self._parent[level]]
+            descends[level] = reached[level] & internal_partial[level]
+        covered_rows = np.flatnonzero(reached & stops)
+        partial_rows = np.flatnonzero(
+            reached & partial & ~stops & self._is_leaf
+        )
+        return FlatFrontier(
+            covered=covered_rows,
+            partial=partial_rows,
+            nodes_visited=int(reached.sum()),
+        )
+
+    def frontiers_for(
+        self, predicates: Sequence[RectPredicate]
+    ) -> list[FlatFrontier]:
+        """One MCF lookup per predicate in a single broadcasted pass.
+
+        Used by the grouped executor (which never applies the zero-variance
+        rule, so the closed form is always valid); each returned frontier is
+        identical to :meth:`frontier` — and therefore to the sequential
+        object descent — on the same predicate.
+        """
+        n_queries = len(predicates)
+        if n_queries == 0:
+            return []
+        column_index = self._column_index
+        n_cols = len(column_index)
+        lows = np.full((n_queries, n_cols), -np.inf)
+        highs = np.full((n_queries, n_cols), np.inf)
+        never_covers = np.zeros(n_queries, dtype=bool)
+        for j, predicate in enumerate(predicates):
+            for column, low, high in predicate.canonical_key():
+                c = column_index.get(column)
+                if c is None:
+                    never_covers[j] = True
+                else:
+                    lows[j, c] = low
+                    highs[j, c] = high
+
+        node_lows = self._geometry.lows[:, :, None]
+        node_highs = self._geometry.highs[:, :, None]
+        p_lows = lows.T[None, :, :]
+        p_highs = highs.T[None, :, :]
+        disjoint = ((p_lows > node_highs) | (node_lows > p_highs)).any(axis=1)
+        cover = ((p_lows <= node_lows) & (node_highs <= p_highs)).all(axis=1)
+        cover &= ~never_covers[None, :]
+        partial = ~cover & ~disjoint
+
+        reached = partial[self._parent0, :]
+        reached[0, :] = True
+        covered_mask = cover & reached
+        partial_mask = partial & reached & self._is_leaf[:, None]
+        visited = np.count_nonzero(reached, axis=0)
+        return [
+            FlatFrontier(
+                covered=np.flatnonzero(covered_mask[:, j]),
+                partial=np.flatnonzero(partial_mask[:, j]),
+                nodes_visited=int(visited[j]),
+            )
+            for j in range(n_queries)
+        ]
+
+    def frontier_count(self, frontier: FlatFrontier) -> int:
+        """Tuples inside the frontier's covered + partial nodes (exact)."""
+        return int(
+            self._node_count[frontier.covered].sum()
+            + self._node_count[frontier.partial].sum()
+        )
+
+    def materialize(self, frontier: FlatFrontier) -> MCFResult:
+        """The equivalent object-path :class:`MCFResult` (for sketch reuse)."""
+        nodes = self._geometry.nodes
+        return MCFResult(
+            covered=tuple(nodes[row] for row in frontier.covered.tolist()),
+            partial=tuple(nodes[row] for row in frontier.partial.tolist()),
+            nodes_visited=frontier.nodes_visited,
+        )
+
+    # ------------------------------------------------------------------
+    # Array views for the batch executor
+    # ------------------------------------------------------------------
+    def node_stat_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Synced per-node ``(sum, count, min, max)`` float arrays.
+
+        Same values (and dtypes) as ``_TreeGeometry.node_stat_arrays`` but
+        without the O(nodes) ``fromiter`` rebuild per call.  Treat as
+        read-only — these are the live synced arrays, not copies.
+        """
+        return self._node_sum, self._node_count_f, self._node_min, self._node_max
+
+    def sample_count(self, leaf_index: int) -> int:
+        """Number of stored sample rows for one leaf."""
+        self._ensure_samples()
+        return int(self._sample_counts[leaf_index])
+
+    def gather_samples(
+        self, leaf_indices: Sequence[int], column: str
+    ) -> np.ndarray:
+        """Concatenated sample values of ``column`` for the given leaves.
+
+        Bit-identical to concatenating the object strata's per-leaf arrays
+        in the same leaf order (the CSR arrays are float64 copies of the
+        same data).
+        """
+        samples = self._ensure_samples()
+        offsets = samples.offsets
+        values = samples.columns[column]
+        return np.concatenate(
+            [
+                values[int(offsets[leaf]) : int(offsets[leaf + 1])]
+                for leaf in leaf_indices
+            ]
+            or [np.zeros(0, dtype=float)]
+        )
+
+    # ------------------------------------------------------------------
+    # Hard bounds (Section 2.3) over node rows
+    # ------------------------------------------------------------------
+    def hard_bounds_rows(
+        self,
+        agg: AggregateType,
+        covered_rows: np.ndarray,
+        partial_rows: np.ndarray,
+    ) -> HardBounds:
+        """:func:`repro.aggregation.strat_agg.hard_bounds` over node rows.
+
+        Faithful replication — Python-scalar summation in row order after
+        dropping empty partitions — so the bounds are bit-identical to the
+        object path's.
+        """
+        counts_cov = self._node_count[covered_rows].tolist()
+        counts_par = self._node_count[partial_rows].tolist()
+
+        if agg in (AggregateType.SUM, AggregateType.COUNT):
+            if agg == AggregateType.SUM:
+                vals_cov = self._node_sum[covered_rows].tolist()
+                vals_par = self._node_sum[partial_rows].tolist()
+                covered_total = sum(
+                    value for value, count in zip(vals_cov, counts_cov) if count
+                )
+                partial_total = sum(
+                    value for value, count in zip(vals_par, counts_par) if count
+                )
+            else:
+                covered_total = sum(float(count) for count in counts_cov if count)
+                partial_total = sum(float(count) for count in counts_par if count)
+            return HardBounds(
+                lower=covered_total, upper=covered_total + partial_total
+            )
+
+        if agg == AggregateType.AVG:
+            sums_cov = self._node_sum[covered_rows].tolist()
+            covered_sum = sum(
+                value for value, count in zip(sums_cov, counts_cov) if count
+            )
+            covered_count = sum(count for count in counts_cov if count)
+            covered_avg = (
+                covered_sum / covered_count if covered_count else float("nan")
+            )
+            maxs_par = self._node_max[partial_rows].tolist()
+            mins_par = self._node_min[partial_rows].tolist()
+            partial_max = max(
+                (value for value, count in zip(maxs_par, counts_par) if count),
+                default=-math.inf,
+            )
+            partial_min = min(
+                (value for value, count in zip(mins_par, counts_par) if count),
+                default=math.inf,
+            )
+            has_partial = any(counts_par)
+            if covered_count and has_partial:
+                return HardBounds(
+                    lower=min(covered_avg, partial_min),
+                    upper=max(covered_avg, partial_max),
+                )
+            if covered_count:
+                return HardBounds(lower=covered_avg, upper=covered_avg)
+            if has_partial:
+                return HardBounds(lower=partial_min, upper=partial_max)
+            return HardBounds(lower=math.nan, upper=math.nan)
+
+        if agg == AggregateType.MAX:
+            maxs_cov = self._node_max[covered_rows].tolist()
+            maxs_par = self._node_max[partial_rows].tolist()
+            covered_max = max(
+                (value for value, count in zip(maxs_cov, counts_cov) if count),
+                default=-math.inf,
+            )
+            partial_max = max(
+                (value for value, count in zip(maxs_par, counts_par) if count),
+                default=-math.inf,
+            )
+            has_covered = any(counts_cov)
+            if not has_covered and not any(counts_par):
+                return HardBounds(lower=math.nan, upper=math.nan)
+            lower = covered_max if has_covered else -math.inf
+            return HardBounds(lower=lower, upper=max(covered_max, partial_max))
+
+        if agg == AggregateType.MIN:
+            mins_cov = self._node_min[covered_rows].tolist()
+            mins_par = self._node_min[partial_rows].tolist()
+            covered_min = min(
+                (value for value, count in zip(mins_cov, counts_cov) if count),
+                default=math.inf,
+            )
+            partial_min = min(
+                (value for value, count in zip(mins_par, counts_par) if count),
+                default=math.inf,
+            )
+            has_covered = any(counts_cov)
+            if not has_covered and not any(counts_par):
+                return HardBounds(lower=math.nan, upper=math.nan)
+            upper = covered_min if has_covered else math.inf
+            return HardBounds(lower=min(covered_min, partial_min), upper=upper)
+
+        raise ValueError(f"unsupported aggregate: {agg!r}")
+
+    # ------------------------------------------------------------------
+    # Predicate mask evaluation over CSR slices
+    # ------------------------------------------------------------------
+    def _mask_constraints(
+        self, predicate: RectPredicate
+    ) -> list[tuple[np.ndarray, float, float]]:
+        """Per-column ``(values, low, high)`` triples for CSR mask slicing.
+
+        Raises the same ``KeyError`` as ``Stratum.match_mask`` when the
+        predicate constrains a column the samples do not carry — callers
+        must only invoke this when at least one partial leaf exists, which
+        is exactly when the object path would evaluate (and raise).
+        """
+        columns = self._ensure_samples().columns
+        for column in predicate.columns:
+            if column not in columns:
+                raise KeyError(f"column {column!r} not provided for mask evaluation")
+        return [
+            (columns[column], low, high)
+            for column, low, high in predicate.canonical_key()
+        ]
+
+    @staticmethod
+    def _leaf_mask(
+        constraints: Sequence[tuple[np.ndarray, float, float]],
+        start: int,
+        stop: int,
+    ) -> np.ndarray:
+        """Boolean match mask for one leaf's CSR slice.
+
+        Conjunction of per-column range tests — identical bools to
+        ``RectPredicate.mask`` on the object stratum (boolean AND is exact,
+        so dropping the unbounded intervals the canonical key omits cannot
+        change the result).
+        """
+        mask: np.ndarray | None = None
+        for values, low, high in constraints:
+            window = values[start:stop]
+            column_mask = np.greater_equal(window, low)
+            np.logical_and(column_mask, np.less_equal(window, high), out=column_mask)
+            if mask is None:
+                mask = column_mask
+            else:
+                np.logical_and(mask, column_mask, out=mask)
+        if mask is None:
+            return np.ones(stop - start, dtype=bool)
+        return mask
+
+    # ------------------------------------------------------------------
+    # Single-query answering (Section 3.3)
+    # ------------------------------------------------------------------
+    def query(self, query: AggregateQuery, lam: float | None = None) -> AQPResult:
+        """Answer a classic aggregate query entirely over the flat arrays.
+
+        Bit-identical to ``PASSSynopsis.query_object`` for SUM / COUNT /
+        AVG / MIN / MAX; sketch aggregates must go through the object path
+        (they reduce to mergeable per-leaf sketches, not arrays).
+        """
+        if query.agg in SKETCH_AGGREGATES:
+            raise ValueError(
+                f"{query.agg.value} is a sketch aggregate; use the object path"
+            )
+        if query.value_column != self._value_column:
+            raise ValueError(
+                f"synopsis was built for column {self._value_column!r}, "
+                f"query aggregates {query.value_column!r}"
+            )
+        lam = self._lam if lam is None else lam
+        agg = query.agg
+        use_zero_variance = self._zero_variance_rule and agg == AggregateType.AVG
+        frontier = self.frontier(query.predicate, zero_variance=use_zero_variance)
+        bounds = self.hard_bounds_rows(agg, frontier.covered, frontier.partial)
+
+        self._ensure_samples()
+        partial_rows = frontier.partial
+        leaves = self._leaf_of_row[partial_rows]
+        processed = int(self._sample_counts[leaves].sum())
+        partial_population = int(self._node_count[partial_rows].sum())
+        skipped = int(self._node_count[0]) - partial_population
+
+        constraints = (
+            self._mask_constraints(query.predicate)
+            if partial_rows.shape[0]
+            else []
+        )
+        if agg in (AggregateType.MIN, AggregateType.MAX):
+            return self._extremum_answer(
+                agg, frontier, constraints, bounds, processed, skipped
+            )
+        if agg == AggregateType.AVG:
+            estimate, variance = self._avg_estimate(frontier, constraints)
+        else:
+            estimate, variance = self._sum_count_estimate(agg, frontier, constraints)
+
+        exact = frontier.is_exact
+        if exact:
+            half_width = 0.0
+            variance = 0.0
+        elif math.isnan(variance):
+            half_width = float("nan")
+            variance = float("nan")
+        else:
+            half_width = lam * math.sqrt(max(variance, 0.0))
+        return AQPResult(
+            estimate=estimate,
+            ci_half_width=half_width,
+            variance=variance,
+            hard_lower=bounds.lower,
+            hard_upper=bounds.upper,
+            tuples_processed=processed,
+            tuples_skipped=skipped,
+            exact=exact,
+        )
+
+    def _partial_iter(
+        self, frontier: FlatFrontier
+    ) -> tuple[list[int], list[int], list[float], list[int]]:
+        """Per-partial-row ``(sizes, leaf indices, node sums, sample counts)``."""
+        partial_rows = frontier.partial
+        leaves_arr = self._leaf_of_row[partial_rows]
+        sizes = self._node_count[partial_rows].tolist()
+        node_sums = self._node_sum[partial_rows].tolist()
+        sample_counts = self._sample_counts[leaves_arr].tolist()
+        return sizes, leaves_arr.tolist(), node_sums, sample_counts
+
+    def _batched_partial_moments(
+        self,
+        sizes: Sequence[int],
+        leaves: Sequence[int],
+        constraints: Sequence[tuple[np.ndarray, float, float]],
+        need_sum: bool,
+        need_count: bool,
+    ) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:
+        """Stratified ``(estimate, variance)`` pairs for sampled partial leaves.
+
+        Evaluates the predicate mask and the squared deviations once over the
+        *gathered* CSR segments of all ``leaves`` (a handful of vector ops
+        total), then reduces each leaf's contiguous slice with
+        ``np.add.reduce`` — the same pairwise summation over the same values
+        in the same order as the per-leaf scalar path, so every returned pair
+        is bit-identical to :func:`_sum_contribution` /
+        :func:`_count_contribution` on that leaf while amortizing the numpy
+        call overhead across the whole frontier.  Callers must pre-filter to
+        leaves with ``size > 0`` and a non-empty sample.
+        """
+        samples = self._samples
+        offsets = samples.offsets
+        if len(leaves) <= 2:
+            # Gathering cannot amortize anything over one or two leaves
+            # (the 1-D boundary case); the per-leaf scalar replicas are
+            # cheaper and produce the same bits.
+            values_column = (
+                samples.columns[self._value_column] if need_sum else None
+            )
+            sum_pairs = []
+            count_pairs = []
+            for size, leaf in zip(sizes, leaves):
+                start = int(offsets[leaf])
+                stop = int(offsets[leaf + 1])
+                mask = self._leaf_mask(constraints, start, stop)
+                if need_sum:
+                    sum_pairs.append(
+                        _sum_contribution(
+                            values_column[start:stop], mask, size, self._with_fpc
+                        )
+                    )
+                if need_count:
+                    count_pairs.append(
+                        _count_contribution(mask, size, self._with_fpc)
+                    )
+            return sum_pairs, count_pairs
+        leaf_arr = np.asarray(leaves, dtype=np.int64)
+        starts = offsets[leaf_arr].tolist()
+        stops = offsets[leaf_arr + 1].tolist()
+        slices = list(zip(starts, stops))
+        counts = [stop - start for start, stop in slices]
+        loc = [0]
+        for count in counts:
+            loc.append(loc[-1] + count)
+        total = loc[-1]
+
+        mask: np.ndarray | None = None
+        for values, low, high in constraints:
+            window = np.concatenate([values[s:e] for s, e in slices])
+            column_mask = np.greater_equal(window, low)
+            np.logical_and(column_mask, np.less_equal(window, high), out=column_mask)
+            if mask is None:
+                mask = column_mask
+            else:
+                np.logical_and(mask, column_mask, out=mask)
+        if mask is None:
+            mask = np.ones(total, dtype=bool)
+        indicator = mask.astype(float)
+
+        sum_pairs: list[tuple[float, float]] = []
+        count_pairs: list[tuple[float, float]] = []
+        if need_sum:
+            values_column = samples.columns[self._value_column]
+            gathered_values = np.concatenate([values_column[s:e] for s, e in slices])
+            contributions = np.multiply(indicator, gathered_values)
+            sum_pairs = self._segment_pairs(contributions, loc, counts, sizes)
+        if need_count:
+            count_pairs = self._segment_pairs(indicator, loc, counts, sizes)
+        return sum_pairs, count_pairs
+
+    def _segment_pairs(
+        self,
+        data: np.ndarray,
+        loc: Sequence[int],
+        counts: Sequence[int],
+        sizes: Sequence[int],
+    ) -> list[tuple[float, float]]:
+        """Per-segment stratified ``(estimate, variance)`` over ``data``.
+
+        Segment ``i`` spans ``data[loc[i]:loc[i + 1]]`` and scales to stratum
+        size ``sizes[i]``.  Means and squared deviations follow the exact
+        ufunc sequence of :func:`_fast_mean` / :func:`_fast_var` (segment
+        means are divided vectorized, but float64 division by an exactly
+        representable integer is the same IEEE operation either way).
+        """
+        n_segments = len(counts)
+        segment_sums = [
+            np.add.reduce(data[loc[i] : loc[i + 1]]) for i in range(n_segments)
+        ]
+        means = np.array(segment_sums, dtype=np.float64) / np.asarray(
+            counts, dtype=np.float64
+        )
+        deviations = data - np.repeat(means, counts)
+        np.multiply(deviations, deviations, out=deviations)
+        with_fpc = self._with_fpc
+        pairs: list[tuple[float, float]] = []
+        for i, (size, sample_size) in enumerate(zip(sizes, counts)):
+            estimate = float(means[i]) * size
+            if sample_size <= 1:
+                sample_variance = 0.0
+            else:
+                sample_variance = float(
+                    np.add.reduce(deviations[loc[i] : loc[i + 1]]) / sample_size
+                )
+            variance = (size**2) * sample_variance / sample_size
+            if with_fpc:
+                variance *= finite_population_correction(size, sample_size)
+            pairs.append((estimate, variance))
+        return pairs
+
+    def _sum_count_estimate(
+        self,
+        agg: AggregateType,
+        frontier: FlatFrontier,
+        constraints: Sequence[tuple[np.ndarray, float, float]],
+    ) -> tuple[float, float]:
+        """SUM / COUNT estimate + variance, mirroring the object accumulation.
+
+        Covered nodes contribute exactly (Python-scalar sums in row order);
+        each sampled partial leaf adds its stratified contribution; an
+        unsampled one adds the hard-bound midpoint and poisons the variance
+        with NaN — exactly ``PASSSynopsis._sum_count_estimate``.
+        """
+        is_sum = agg == AggregateType.SUM
+        if is_sum:
+            estimate = sum(self._node_sum[frontier.covered].tolist())
+        else:
+            estimate = float(sum(self._node_count[frontier.covered].tolist()))
+        variance = 0.0
+        sizes, leaves, node_sums, sample_counts = self._partial_iter(frontier)
+        sampled_sizes = []
+        sampled_leaves = []
+        for size, leaf, n_sample in zip(sizes, leaves, sample_counts):
+            if size > 0 and n_sample > 0:
+                sampled_sizes.append(size)
+                sampled_leaves.append(leaf)
+        if sampled_leaves:
+            sum_pairs, count_pairs = self._batched_partial_moments(
+                sampled_sizes,
+                sampled_leaves,
+                constraints,
+                need_sum=is_sum,
+                need_count=not is_sum,
+            )
+            pairs = sum_pairs if is_sum else count_pairs
+        else:
+            pairs = []
+        next_pair = 0
+        for size, node_sum, n_sample in zip(sizes, node_sums, sample_counts):
+            if size == 0:
+                estimate = estimate + 0.0
+                variance = variance + 0.0
+                continue
+            if n_sample == 0:
+                midpoint = 0.5 * (node_sum if is_sum else size)
+                estimate = estimate + midpoint
+                variance = float("nan")
+                continue
+            part_est, part_var = pairs[next_pair]
+            next_pair += 1
+            estimate = estimate + part_est
+            variance = variance + part_var
+        return estimate, variance
+
+    def _avg_estimate(
+        self,
+        frontier: FlatFrontier,
+        constraints: Sequence[tuple[np.ndarray, float, float]],
+    ) -> tuple[float, float]:
+        """AVG as the SUM/COUNT delta-method ratio, with one mask per leaf.
+
+        The object path runs two independent passes (SUM then COUNT), each
+        re-evaluating the predicate mask; both accumulate the exact same
+        per-leaf masks, so computing the mask once and feeding both
+        accumulators yields bit-identical numerator and denominator.
+        """
+        num = sum(self._node_sum[frontier.covered].tolist())
+        num_var = 0.0
+        den = float(sum(self._node_count[frontier.covered].tolist()))
+        den_var = 0.0
+        sizes, leaves, node_sums, sample_counts = self._partial_iter(frontier)
+        sampled_sizes = []
+        sampled_leaves = []
+        for size, leaf, n_sample in zip(sizes, leaves, sample_counts):
+            if size > 0 and n_sample > 0:
+                sampled_sizes.append(size)
+                sampled_leaves.append(leaf)
+        if sampled_leaves:
+            sum_pairs, count_pairs = self._batched_partial_moments(
+                sampled_sizes,
+                sampled_leaves,
+                constraints,
+                need_sum=True,
+                need_count=True,
+            )
+        else:
+            sum_pairs, count_pairs = [], []
+        next_pair = 0
+        for size, node_sum, n_sample in zip(sizes, node_sums, sample_counts):
+            if size == 0:
+                num = num + 0.0
+                num_var = num_var + 0.0
+                den = den + 0.0
+                den_var = den_var + 0.0
+                continue
+            if n_sample == 0:
+                num = num + 0.5 * node_sum
+                num_var = float("nan")
+                den = den + 0.5 * size
+                den_var = float("nan")
+                continue
+            sum_est, sum_var = sum_pairs[next_pair]
+            cnt_est, cnt_var = count_pairs[next_pair]
+            next_pair += 1
+            num = num + sum_est
+            num_var = num_var + sum_var
+            den = den + cnt_est
+            den_var = den_var + cnt_var
+        if den == 0:
+            return float("nan"), float("nan")
+        if frontier.is_exact:
+            return num / den, 0.0
+        combined = ratio_estimate(
+            EstimateWithVariance(num, num_var), EstimateWithVariance(den, den_var)
+        )
+        return combined.estimate, combined.variance
+
+    def _extremum_answer(
+        self,
+        agg: AggregateType,
+        frontier: FlatFrontier,
+        constraints: Sequence[tuple[np.ndarray, float, float]],
+        bounds: HardBounds,
+        processed: int,
+        skipped: int,
+    ) -> AQPResult:
+        """MIN / MAX: exact over covered rows, sample-refined over partial leaves."""
+        is_max = agg == AggregateType.MAX
+        stats_values = (self._node_max if is_max else self._node_min)[
+            frontier.covered
+        ].tolist()
+        candidates = [value for value in stats_values if not math.isinf(value)]
+        offsets = self._samples.offsets
+        values_column = self._samples.columns.get(self._value_column)
+        for leaf in self._leaf_of_row[frontier.partial].tolist():
+            start = int(offsets[leaf])
+            stop = int(offsets[leaf + 1])
+            if stop == start:
+                continue
+            mask = self._leaf_mask(constraints, start, stop)
+            matched = values_column[start:stop][mask]
+            if matched.shape[0]:
+                candidates.append(
+                    float(matched.max() if is_max else matched.min())
+                )
+        if candidates:
+            estimate = max(candidates) if is_max else min(candidates)
+        else:
+            estimate = float("nan")
+        exact = frontier.is_exact
+        return AQPResult(
+            estimate=estimate,
+            ci_half_width=0.0 if exact else float("nan"),
+            variance=0.0 if exact else float("nan"),
+            hard_lower=bounds.lower,
+            hard_upper=bounds.upper,
+            tuples_processed=processed,
+            tuples_skipped=skipped,
+            exact=exact,
+        )
+
+    # ------------------------------------------------------------------
+    # Grouped execution kernels (mirrors of repro.core.batching internals)
+    # ------------------------------------------------------------------
+    def grouped_leaf_moments(
+        self,
+        items: Sequence[tuple[RectPredicate, FlatFrontier]],
+        need_extrema: bool,
+    ) -> dict[tuple[int, int], _LeafMoments | None]:
+        """Per-(cell slot, leaf) masked-sample moments over CSR slices.
+
+        Bit-identical mirror of ``batching._grouped_leaf_moments``: same
+        per-leaf slot grouping (dict insertion order), same broadcasted
+        comparisons and matrix products, over CSR slices instead of object
+        strata.  ``None`` marks an unsampled leaf.
+        """
+        per_leaf: dict[int, list[int]] = {}
+        leaf_of_row = self._leaf_of_row
+        for slot, (_, frontier) in enumerate(items):
+            for leaf in leaf_of_row[frontier.partial].tolist():
+                per_leaf.setdefault(leaf, []).append(slot)
+
+        moments: dict[tuple[int, int], _LeafMoments | None] = {}
+        samples = self._ensure_samples()
+        offsets = samples.offsets
+        value_values = samples.columns.get(self._value_column)
+        for leaf_index, slots in per_leaf.items():
+            start = int(offsets[leaf_index])
+            stop = int(offsets[leaf_index + 1])
+            n_samples = stop - start
+            if n_samples == 0:
+                for slot in slots:
+                    moments[(slot, leaf_index)] = None
+                continue
+            matrix = np.ones((len(slots), n_samples), dtype=bool)
+            columns: dict[str, None] = {}
+            for slot in slots:
+                for column, _, _ in items[slot][0].canonical_key():
+                    columns.setdefault(column, None)
+            for column in columns:
+                values = samples.columns[column][start:stop]
+                intervals = [items[slot][0].interval(column) for slot in slots]
+                lows = np.array([interval.low for interval in intervals])
+                highs = np.array([interval.high for interval in intervals])
+                matrix &= (values[None, :] >= lows[:, None]) & (
+                    values[None, :] <= highs[:, None]
+                )
+            sample_values = value_values[start:stop]
+            matched = matrix.sum(axis=1)
+            sums = matrix @ sample_values
+            sums_sq = matrix @ (sample_values * sample_values)
+            if need_extrema:
+                minima = np.where(matrix, sample_values[None, :], np.inf).min(axis=1)
+                maxima = np.where(matrix, sample_values[None, :], -np.inf).max(
+                    axis=1
+                )
+            else:
+                minima = maxima = np.zeros(len(slots))
+            for row, slot in enumerate(slots):
+                moments[(slot, leaf_index)] = (
+                    int(matched[row]),
+                    float(sums[row]),
+                    float(sums_sq[row]),
+                    float(minima[row]),
+                    float(maxima[row]),
+                    float(n_samples),
+                )
+        return moments
+
+    def _stratified_total(
+        self,
+        agg: AggregateType,
+        frontier: FlatFrontier,
+        cell_moments: Sequence[_LeafMoments | None],
+        with_fpc: bool,
+    ) -> tuple[float, float]:
+        """SUM / COUNT estimate + variance from per-leaf moments.
+
+        Mirror of ``batching._stratified_total`` over node rows; note the
+        covered total here does *not* drop empty partitions (neither does
+        the original).
+        """
+        is_sum = agg == AggregateType.SUM
+        if is_sum:
+            estimate = sum(self._node_sum[frontier.covered].tolist())
+        else:
+            estimate = sum(
+                float(count) for count in self._node_count[frontier.covered].tolist()
+            )
+        variance = 0.0
+        sizes = self._node_count[frontier.partial].tolist()
+        node_sums = self._node_sum[frontier.partial].tolist()
+        for size, node_sum, data in zip(sizes, node_sums, cell_moments):
+            if size == 0:
+                continue
+            if data is None:
+                estimate += 0.5 * (node_sum if is_sum else size)
+                variance = float("nan")
+                continue
+            matched, sums, sums_sq, _, _, n_samples = data
+            if is_sum:
+                mean = sums / n_samples
+                mean_sq = sums_sq / n_samples
+            else:
+                mean = matched / n_samples
+                mean_sq = mean
+            sample_variance = (
+                max(mean_sq - mean * mean, 0.0) if n_samples > 1 else 0.0
+            )
+            estimate += size * mean
+            contribution = size * size * sample_variance / n_samples
+            if with_fpc:
+                contribution *= finite_population_correction(size, int(n_samples))
+            variance += contribution
+        return estimate, variance
+
+    def assemble_cell_row(
+        self,
+        aggs: Sequence[AggregateType],
+        frontier: FlatFrontier,
+        moments: dict[tuple[int, int], _LeafMoments | None],
+        slot: int,
+        lam: float,
+        with_fpc: bool,
+        population: int,
+    ) -> tuple[AQPResult, ...]:
+        """One group cell's per-aggregate answers from rows and moments.
+
+        Bit-identical mirror of ``batching._assemble_cell_row`` (shared
+        SUM/COUNT totals for AVG, hard bounds, extremum candidates,
+        processed / skipped accounting) over the flat arrays.
+        """
+        partial_rows = frontier.partial
+        leaf_ids = self._leaf_of_row[partial_rows].tolist()
+        cell_moments = [moments[(slot, leaf)] for leaf in leaf_ids]
+        processed = sum(int(data[5]) for data in cell_moments if data is not None)
+        partial_sizes = self._node_count[partial_rows].tolist()
+        skipped = population - sum(partial_sizes)
+        exact = frontier.is_exact
+        totals: dict[AggregateType, tuple[float, float]] = {}
+
+        def total(agg: AggregateType) -> tuple[float, float]:
+            if agg not in totals:
+                totals[agg] = self._stratified_total(
+                    agg, frontier, cell_moments, with_fpc
+                )
+            return totals[agg]
+
+        row = []
+        for agg in aggs:
+            bounds = self.hard_bounds_rows(agg, frontier.covered, partial_rows)
+            if agg in (AggregateType.MIN, AggregateType.MAX):
+                is_max = agg == AggregateType.MAX
+                stats_values = (self._node_max if is_max else self._node_min)[
+                    frontier.covered
+                ].tolist()
+                candidates = [
+                    value for value in stats_values if not math.isinf(value)
+                ]
+                for data in cell_moments:
+                    if data is not None and data[0] > 0:
+                        candidates.append(data[4] if is_max else data[3])
+                estimate = (
+                    (max(candidates) if is_max else min(candidates))
+                    if candidates
+                    else float("nan")
+                )
+                row.append(
+                    AQPResult(
+                        estimate=estimate,
+                        ci_half_width=0.0 if exact else float("nan"),
+                        variance=0.0 if exact else float("nan"),
+                        hard_lower=bounds.lower,
+                        hard_upper=bounds.upper,
+                        tuples_processed=processed,
+                        tuples_skipped=skipped,
+                        exact=exact,
+                    )
+                )
+                continue
+
+            if agg == AggregateType.AVG:
+                num, num_var = total(AggregateType.SUM)
+                den, den_var = total(AggregateType.COUNT)
+                if den == 0:
+                    estimate, variance = float("nan"), float("nan")
+                elif exact:
+                    estimate, variance = num / den, 0.0
+                else:
+                    combined = ratio_estimate(
+                        EstimateWithVariance(num, num_var),
+                        EstimateWithVariance(den, den_var),
+                    )
+                    estimate, variance = combined.estimate, combined.variance
+            else:
+                estimate, variance = total(agg)
+
+            if exact:
+                half_width, variance = 0.0, 0.0
+            elif math.isnan(variance):
+                half_width = float("nan")
+            else:
+                half_width = lam * math.sqrt(max(variance, 0.0))
+            row.append(
+                AQPResult(
+                    estimate=estimate,
+                    ci_half_width=half_width,
+                    variance=variance,
+                    hard_lower=bounds.lower,
+                    hard_upper=bounds.upper,
+                    tuples_processed=processed,
+                    tuples_skipped=skipped,
+                    exact=exact,
+                )
+            )
+        return tuple(row)

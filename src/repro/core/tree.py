@@ -568,6 +568,16 @@ class PartitionTree:
             self._geometry_cache = geometry
         return geometry
 
+    def geometry(self) -> "_TreeGeometry":
+        """The cached flat node-geometry table (see :meth:`_geometry`).
+
+        Public accessor used by the array-native execution core
+        (:mod:`repro.core.soa`); rows are ordered by the DFS visit order of
+        :meth:`minimal_coverage_frontier`, which every flat-array consumer
+        relies on for order-preserving frontier extraction.
+        """
+        return self._geometry()
+
     def batch_coverage_frontiers(
         self,
         predicates: Sequence[RectPredicate],

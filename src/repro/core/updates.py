@@ -225,8 +225,10 @@ class DynamicPASS:
         """Insert one tuple: update path statistics, sketches, and the reservoir."""
         leaf = self._route(row)
         value = float(row[self._value_column])
-        for node in self._synopsis.tree.path_to_leaf(leaf):
+        path = self._synopsis.tree.path_to_leaf(leaf)
+        for node in path:
             node.stats = node.stats.add_value(value)
+        self._synopsis.notify_stats_mutated(path)
         if self._synopsis.has_sketches and not np.isnan(value):
             sketches = self._synopsis.leaf_sketches_at(leaf.leaf_index)
             sketches.quantile.update(value)
@@ -258,8 +260,10 @@ class DynamicPASS:
                 )
             self._minmax_possibly_stale = True
             self._extrema_stale_deletes += 1
-        for node in self._synopsis.tree.path_to_leaf(leaf):
+        path = self._synopsis.tree.path_to_leaf(leaf)
+        for node in path:
             node.stats = node.stats.remove_value(value)
+        self._synopsis.notify_stats_mutated(path)
         if self._synopsis.has_sketches and not np.isnan(value):
             # Sketches cannot un-see a value; track the drift instead (see
             # the module docstring and sketch_staleness).

@@ -1,0 +1,341 @@
+"""Property tests: the SoA execution engine is bit-identical to the object path.
+
+The contract documented in ``docs/ARCHITECTURE.md`` and ``repro.core.soa`` is
+not "numerically close" but *bit-identical*: for every classic aggregate the
+flat engine must reproduce the object path's `AQPResult` field for field at
+the level of IEEE-754 bit patterns — same covered/partial frontier order,
+same floating-point summation order, same NaN poisoning, same
+``nodes_visited`` count.  These tests compare float bits (``struct.pack``)
+rather than values so that ``-0.0 != 0.0`` and differing NaN payloads would
+fail, across random trees, predicates, grouped plans, the zero-variance
+shortcut, and post-insert/delete staleness states.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import struct
+import warnings
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st
+
+from repro.core.batching import grouped_query
+from repro.core.builder import build_pass
+from repro.core.config import PASSConfig
+from repro.core.soa import (
+    _count_contribution,
+    _fast_mean,
+    _fast_var,
+    _sum_contribution,
+)
+from repro.core.updates import DynamicPASS, StaleExtremaWarning
+from repro.data.table import Table
+from repro.query.aggregates import AggregateType
+from repro.query.groupby import AggregateSpec, GroupByQuery, GroupingColumn
+from repro.query.predicate import Interval, RectPredicate
+from repro.query.query import AggregateQuery
+
+N_ROWS = 1500
+CLASSIC_AGGS = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+RESULT_FLOAT_FIELDS = (
+    "estimate",
+    "ci_half_width",
+    "variance",
+    "hard_lower",
+    "hard_upper",
+)
+
+
+def _bits(value: float) -> bytes:
+    """The IEEE-754 bit pattern of a float — the equality the contract uses."""
+    return struct.pack("<d", float(value))
+
+
+def assert_results_identical(flat, obj, context: str = "") -> None:
+    """Every AQPResult field matches bit for bit between the two paths."""
+    for field in RESULT_FLOAT_FIELDS:
+        left, right = getattr(flat, field), getattr(obj, field)
+        assert _bits(left) == _bits(right), (
+            f"{context}{field}: soa={left!r} object={right!r}"
+        )
+    assert flat.tuples_processed == obj.tuples_processed, context
+    assert flat.tuples_skipped == obj.tuples_skipped, context
+    assert flat.exact == obj.exact, context
+
+
+@functools.lru_cache(maxsize=None)
+def _table(n_columns: int, seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    columns = {
+        f"c{i}": rng.uniform(0.0, 100.0, size=N_ROWS) for i in range(n_columns)
+    }
+    columns["value"] = np.abs(rng.normal(50.0, 15.0, size=N_ROWS))
+    return Table(columns, name="soa_equivalence")
+
+
+@functools.lru_cache(maxsize=None)
+def _synopsis(n_columns: int, n_partitions: int, seed: int, zero_variance: bool):
+    table = _table(n_columns, seed)
+    config = PASSConfig(
+        n_partitions=n_partitions,
+        sample_rate=0.05,
+        partitioner="equal" if n_columns == 1 else "kd",
+        opt_sample_size=200,
+        zero_variance_rule=zero_variance,
+        with_sketches=False,
+        seed=seed,
+    )
+    return build_pass(table, "value", [f"c{i}" for i in range(n_columns)], config)
+
+
+def _predicate(n_columns: int, fractions) -> RectPredicate:
+    """A rectangle from per-column (start, width) fractions of [0, 100].
+
+    Widths above 1 spill past the data domain, producing covered-root and
+    empty-intersection cases alongside ordinary partial frontiers.
+    """
+    intervals = {}
+    for i in range(n_columns):
+        start, width = fractions[i]
+        low = 100.0 * start
+        intervals[f"c{i}"] = Interval(low, low + 100.0 * width)
+    return RectPredicate(intervals)
+
+
+_fraction_pair = st.tuples(
+    st.floats(min_value=-0.2, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.4),
+)
+
+
+class TestSingleQueryBitIdentity:
+    @given(
+        n_columns=st.integers(min_value=1, max_value=3),
+        n_partitions=st.sampled_from([16, 64, 128]),
+        seed=st.integers(min_value=0, max_value=3),
+        fractions=st.lists(_fraction_pair, min_size=3, max_size=3),
+        agg=st.sampled_from(CLASSIC_AGGS),
+    )
+    def test_random_trees_and_predicates(
+        self, n_columns, n_partitions, seed, fractions, agg
+    ):
+        synopsis = _synopsis(n_columns, n_partitions, seed, False)
+        predicate = _predicate(n_columns, fractions)
+        query = AggregateQuery(agg, "value", predicate)
+        assert_results_identical(
+            synopsis.query(query),
+            synopsis.query_object(query),
+            context=f"{agg} {predicate} ",
+        )
+
+    @given(agg=st.sampled_from(CLASSIC_AGGS))
+    def test_unconstrained_predicate_is_exact_on_both_paths(self, agg):
+        synopsis = _synopsis(1, 64, 0, False)
+        query = AggregateQuery(agg, "value", RectPredicate.everything())
+        flat, obj = synopsis.query(query), synopsis.query_object(query)
+        assert_results_identical(flat, obj)
+        assert flat.exact
+
+    @given(
+        fractions=st.lists(_fraction_pair, min_size=3, max_size=3),
+        agg=st.sampled_from(("SUM", "AVG", "COUNT")),
+    )
+    def test_zero_variance_rule_replay(self, fractions, agg):
+        """The level-order zero-variance replay matches the object descent."""
+        synopsis = _synopsis(2, 64, 1, True)
+        predicate = _predicate(2, fractions)
+        query = AggregateQuery(agg, "value", predicate)
+        assert_results_identical(synopsis.query(query), synopsis.query_object(query))
+
+
+class TestFrontierBitIdentity:
+    @given(
+        n_columns=st.integers(min_value=1, max_value=3),
+        fractions=st.lists(_fraction_pair, min_size=3, max_size=3),
+    )
+    def test_frontier_order_and_visit_count(self, n_columns, fractions):
+        """Covered/partial node order and nodes_visited match the descent."""
+        synopsis = _synopsis(n_columns, 64, 2, False)
+        predicate = _predicate(n_columns, fractions)
+        flat = synopsis.flat.materialize(synopsis.flat.frontier(predicate))
+        obj = synopsis.tree.minimal_coverage_frontier(predicate)
+        assert [id(node) for node in flat.covered] == [
+            id(node) for node in obj.covered
+        ]
+        assert [id(node) for node in flat.partial] == [
+            id(node) for node in obj.partial
+        ]
+        assert flat.nodes_visited == obj.nodes_visited
+
+
+class TestGroupedBitIdentity:
+    @given(
+        n_bins=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2),
+    )
+    def test_grouped_plan_matches_object_execution(self, n_bins, seed):
+        synopsis = _synopsis(2, 64, seed, False)
+        edges = [100.0 * i / n_bins for i in range(n_bins + 1)]
+        plan = GroupByQuery(
+            groupings=(
+                GroupingColumn.bins("c0", edges),
+                GroupingColumn.bins("c1", [0.0, 50.0, 100.0]),
+            ),
+            aggregates=tuple(
+                AggregateSpec(agg, "value") for agg in CLASSIC_AGGS
+            ),
+        ).compile()
+        synopsis.execution = "soa"
+        flat_result = grouped_query(synopsis, plan)
+        synopsis.execution = "object"
+        try:
+            object_result = grouped_query(synopsis, plan)
+        finally:
+            synopsis.execution = "soa"
+        assert flat_result.labels == object_result.labels
+        for label, flat_row, object_row in zip(
+            flat_result.labels, flat_result.cells, object_result.cells
+        ):
+            for spec, flat_cell, object_cell in zip(
+                plan.aggregates, flat_row, object_row
+            ):
+                assert_results_identical(
+                    flat_cell, object_cell, context=f"{label} {spec.name} "
+                )
+
+
+class TestDynamicStalenessBitIdentity:
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        n_inserts=st.integers(min_value=0, max_value=25),
+        n_deletes=st.integers(min_value=0, max_value=10),
+        fractions=st.lists(_fraction_pair, min_size=1, max_size=1),
+        agg=st.sampled_from(CLASSIC_AGGS),
+    )
+    def test_post_update_queries_stay_identical(
+        self, seed, n_inserts, n_deletes, fractions, agg
+    ):
+        """Insert/delete-synced flat arrays answer like the mutated objects."""
+        table = _table(1, seed)
+        config = PASSConfig(
+            n_partitions=16,
+            sample_rate=0.05,
+            partitioner="equal",
+            opt_sample_size=200,
+            with_sketches=False,
+            seed=seed,
+        )
+        dynamic = DynamicPASS(table, "value", ["c0"], config=config)
+        synopsis = dynamic.synopsis
+        # Warm the flat engine *before* mutating so the test exercises the
+        # incremental sync hooks, not a post-mutation rebuild.
+        synopsis.flat
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(n_inserts):
+            dynamic.insert(
+                {"c0": float(rng.uniform(0, 100)), "value": float(rng.uniform(0, 90))}
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StaleExtremaWarning)
+            for _ in range(n_deletes):
+                row = int(rng.integers(0, N_ROWS))
+                dynamic.delete(
+                    {
+                        "c0": float(table.column("c0")[row]),
+                        "value": float(table.column("value")[row]),
+                    }
+                )
+        predicate = _predicate(1, fractions)
+        query = AggregateQuery(agg, "value", predicate)
+        assert_results_identical(
+            synopsis.query(query),
+            synopsis.query_object(query),
+            context=f"after {n_inserts} inserts / {n_deletes} deletes ",
+        )
+
+
+class TestUfuncReplicas:
+    """The scalar numpy replicas used by the flat path are bitwise faithful."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=4096),
+        scale=st.sampled_from([1e-6, 1.0, 1e6]),
+        seed=st.integers(min_value=0, max_value=9),
+    )
+    def test_fast_mean_matches_numpy(self, n, scale, seed):
+        values = np.random.default_rng(seed).normal(0.0, scale, size=n)
+        assert _bits(_fast_mean(values)) == _bits(float(values.mean()))
+
+    @given(
+        n=st.integers(min_value=2, max_value=4096),
+        scale=st.sampled_from([1e-6, 1.0, 1e6]),
+        seed=st.integers(min_value=0, max_value=9),
+    )
+    def test_fast_var_matches_numpy(self, n, scale, seed):
+        values = np.random.default_rng(seed).normal(0.0, scale, size=n)
+        assert _bits(_fast_var(values)) == _bits(float(np.var(values)))
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=60), min_size=3, max_size=8),
+        seed=st.integers(min_value=0, max_value=9),
+    )
+    def test_batched_moments_match_scalar_contributions(self, sizes, seed):
+        """`_segment_pairs` over gathered segments == the per-leaf replicas."""
+        synopsis = _synopsis(1, 16, 0, False)
+        flat = synopsis.flat
+        rng = np.random.default_rng(seed)
+        n_leaves = len(synopsis.leaf_samples)
+        leaves = [
+            int(leaf)
+            for leaf in rng.choice(n_leaves, size=len(sizes), replace=False)
+            if flat.sample_count(int(leaf)) > 0
+        ]
+        strata_sizes = [int(s) for s in sizes[: len(leaves)]]
+        if not leaves:
+            return
+        low, high = 20.0, 80.0
+        constraints = flat._mask_constraints(
+            RectPredicate({"c0": Interval(low, high)})
+        )
+        sum_pairs, count_pairs = flat._batched_partial_moments(
+            strata_sizes, leaves, constraints, need_sum=True, need_count=True
+        )
+        offsets = flat._samples.offsets
+        values_column = flat._samples.columns["value"]
+        for i, (size, leaf) in enumerate(zip(strata_sizes, leaves)):
+            start, stop = int(offsets[leaf]), int(offsets[leaf + 1])
+            mask = flat._leaf_mask(constraints, start, stop)
+            expect_sum = _sum_contribution(
+                values_column[start:stop], mask, size, flat._with_fpc
+            )
+            expect_count = _count_contribution(mask, size, flat._with_fpc)
+            assert _bits(sum_pairs[i][0]) == _bits(expect_sum[0])
+            assert _bits(sum_pairs[i][1]) == _bits(expect_sum[1])
+            assert _bits(count_pairs[i][0]) == _bits(expect_count[0])
+            assert _bits(count_pairs[i][1]) == _bits(expect_count[1])
+
+
+class TestExecutionSwitch:
+    def test_object_execution_never_builds_flat(self):
+        table = _table(1, 0)
+        config = PASSConfig(
+            n_partitions=16, sample_rate=0.05, with_sketches=False, execution="object"
+        )
+        synopsis = build_pass(table, "value", ["c0"], config)
+        query = AggregateQuery("SUM", "value", _predicate(1, [(0.1, 0.5)]))
+        synopsis.query(query)
+        assert synopsis._flat is None
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ValueError, match="execution"):
+            PASSConfig(execution="vectorized")
+
+    def test_nan_bits_still_compare_equal(self):
+        assert _bits(float("nan")) == _bits(float("nan"))
+        assert _bits(-0.0) != _bits(0.0)
+        assert math.isnan(float("nan"))

@@ -1,0 +1,110 @@
+"""Docstring-coverage check for the public API of ``core/`` and ``serving/``.
+
+Mirrors ruff's pydocstyle rules D100-D103 (undocumented public module /
+class / method / function) over the enforced packages, so the docs CI job
+can fail on regressions even where ruff is unavailable, and local runs need
+no extra dependency.  "Public" follows pydocstyle: names without a leading
+underscore, methods of public classes, skipping magic methods (D105 and
+D107 are deliberately out of scope — ``__init__`` semantics live on the
+class docstring in this codebase).
+
+Run from the repository root::
+
+    python tools/check_docstrings.py            # check, exit 1 on gaps
+    python tools/check_docstrings.py --stats    # coverage summary only
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+ENFORCED = ("src/repro/core", "src/repro/serving")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in_file(path: Path) -> tuple[list[str], int, int]:
+    """``(violations, documented, total)`` for one module's public API."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    violations: list[str] = []
+    documented = 0
+    total = 1  # the module itself
+    if ast.get_docstring(tree) is None:
+        violations.append(f"{path}:1 undocumented public module")
+    else:
+        documented += 1
+
+    def visit(node: ast.AST, prefix: str, inside_class: bool) -> None:
+        nonlocal documented, total
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                if not _is_public(name):
+                    continue
+                kind = "method" if inside_class else "function"
+                total += 1
+                if ast.get_docstring(child) is None:
+                    violations.append(
+                        f"{path}:{child.lineno} undocumented public "
+                        f"{kind} {prefix}{name}"
+                    )
+                else:
+                    documented += 1
+            elif isinstance(child, ast.ClassDef):
+                if not _is_public(child.name):
+                    continue
+                total += 1
+                if ast.get_docstring(child) is None:
+                    violations.append(
+                        f"{path}:{child.lineno} undocumented public class "
+                        f"{prefix}{child.name}"
+                    )
+                else:
+                    documented += 1
+                visit(child, f"{prefix}{child.name}.", inside_class=True)
+
+    visit(tree, "", inside_class=False)
+    return violations, documented, total
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Check every enforced package; print gaps and the coverage ratio."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stats", action="store_true", help="print the summary only, never fail"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    all_violations: list[str] = []
+    documented = total = 0
+    for package in ENFORCED:
+        for path in sorted((root / package).rglob("*.py")):
+            violations, file_documented, file_total = _missing_in_file(path)
+            all_violations.extend(violations)
+            documented += file_documented
+            total += file_total
+
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage over {', '.join(ENFORCED)}: "
+        f"{documented}/{total} public objects ({coverage:.1f}%)"
+    )
+    if args.stats:
+        return 0
+    for violation in all_violations:
+        print(violation)
+    if all_violations:
+        print(f"FAIL: {len(all_violations)} undocumented public objects")
+        return 1
+    print("docstring coverage check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Fail on broken intra-repository links in the repo's Markdown files.
+
+Scans every tracked ``*.md`` file for inline links and images
+(``[text](target)``), resolves relative targets against the linking file,
+and reports targets that do not exist — including ``#fragment`` anchors
+against the target file's headings (GitHub's slug rules: lowercase,
+punctuation stripped, spaces to dashes).  External links (``http(s)://``,
+``mailto:``) are out of scope: CI must not depend on network availability.
+
+Run from the repository root::
+
+    python tools/check_md_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: strip punctuation, dash spaces."""
+    text = re.sub(r"[`*_~\[\]()]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a Markdown file exposes (fences stripped first)."""
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in HEADING_RE.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken-link messages for one Markdown file."""
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    errors: list[str] = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("<"):
+            continue
+        target, _, fragment = target.partition("#")
+        if not target:  # same-file anchor
+            resolved = path
+        else:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+                continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved):
+                errors.append(
+                    f"{path.relative_to(root)}: broken anchor -> "
+                    f"{target or path.name}#{fragment}"
+                )
+    return errors
+
+
+def main() -> int:
+    """Check every Markdown file outside hidden/vendored directories."""
+    root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts):
+            continue
+        checked += 1
+        errors.extend(check_file(path, root))
+    print(f"checked {checked} Markdown files")
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"FAIL: {len(errors)} broken intra-repo links")
+        return 1
+    print("markdown link check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
