@@ -146,6 +146,21 @@ def _count_contribution(
 
 
 @dataclass(frozen=True)
+class _ExternalGeometry:
+    """Bound-array stand-in for ``_TreeGeometry`` on buffer-backed instances.
+
+    Carries only what the flat kernels read — the per-node bound matrices —
+    as transposed views of the externally owned column-major buffers.  There
+    are no node objects behind an external instance, so ``nodes`` stays
+    empty and :meth:`FlatSynopsis.materialize` is unavailable.
+    """
+
+    lows: np.ndarray
+    highs: np.ndarray
+    nodes: tuple = ()
+
+
+@dataclass(frozen=True)
 class FlatFrontier:
     """An MCF result as geometry-order node rows instead of node objects.
 
@@ -283,6 +298,128 @@ class FlatSynopsis:
             self._samples = self._build_samples()
             self._samples_stale = False
         return self._samples
+
+    def export_buffers(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Export the execution state as ``(header, arrays)`` flat buffers.
+
+        The returned arrays are exactly the contiguous buffers the query
+        kernels read — node statistics, descent topology, column-major bound
+        rows, and the CSR samples — so :meth:`from_buffers` over them (or
+        over byte-identical copies, e.g. views into a shared-memory segment)
+        reconstructs an engine whose answers are bit-identical to this one.
+        The header carries the scalar configuration (value column, lambda,
+        zero-variance rule, FPC flag) plus the ordered predicate-column and
+        sample-column name lists that give the anonymous arrays meaning.
+
+        Arrays holding live synced state (node stats) are snapshot copies,
+        so later dynamic updates to this instance do not mutate the export.
+        """
+        samples = self._ensure_samples()
+        n = self._n_nodes
+        n_cols = len(self._column_index)
+        depth = np.zeros(n, dtype=np.int64)
+        for level_depth, level in enumerate(self._levels):
+            depth[level] = level_depth
+        col_lows = np.zeros((n_cols, n), dtype=float)
+        col_highs = np.zeros((n_cols, n), dtype=float)
+        for c in range(n_cols):
+            col_lows[c] = self._col_lows[c]
+            col_highs[c] = self._col_highs[c]
+        header = {
+            "value_column": self._value_column,
+            "lam": float(self._lam),
+            "zero_variance_rule": bool(self._zero_variance_rule),
+            "with_fpc": bool(self._with_fpc),
+            "columns": list(self._column_index),
+            "sample_columns": list(samples.columns),
+        }
+        arrays: dict[str, np.ndarray] = {
+            "node_sum": self._node_sum.copy(),
+            "node_count": self._node_count.copy(),
+            "node_count_f": self._node_count_f.copy(),
+            "node_min": self._node_min.copy(),
+            "node_max": self._node_max.copy(),
+            "parent": np.ascontiguousarray(self._parent, dtype=np.int64),
+            "parent0": np.ascontiguousarray(self._parent0, dtype=np.int64),
+            "is_leaf": np.ascontiguousarray(self._is_leaf, dtype=bool),
+            "leaf_of_row": np.ascontiguousarray(self._leaf_of_row, dtype=np.int64),
+            "depth": depth,
+            "col_lows": col_lows,
+            "col_highs": col_highs,
+            "sample_offsets": samples.offsets.copy(),
+        }
+        for column, values in samples.columns.items():
+            arrays[f"sample/{column}"] = values.copy()
+        return header, arrays
+
+    @classmethod
+    def from_buffers(
+        cls, header: dict, arrays: dict[str, np.ndarray]
+    ) -> "FlatSynopsis":
+        """Build an execution engine over externally owned buffers, zero-copy.
+
+        The inverse of :meth:`export_buffers`: every kernel array is taken
+        *by reference* — no sample or statistic array is copied — so the
+        caller can hand in views over a read-only shared-memory segment and
+        serve queries without duplicating the synopsis in each process.
+        Derived index structures (descent levels from the depth array,
+        per-leaf sample counts from the CSR offsets) are the only
+        allocations, both O(nodes).
+
+        Buffer-backed instances are read-only query engines: there is no
+        owning object synopsis behind them, so :meth:`materialize` raises
+        and the mutation hooks (:meth:`update_node_stats`,
+        :meth:`replace_leaf_sample`) must not be used — writers rebuild and
+        republish a fresh segment instead (see
+        :mod:`repro.serving.shm`).  Answers are bit-identical to the
+        instance that exported the buffers.
+        """
+        self = cls.__new__(cls)
+        self._synopsis = None  # type: ignore[assignment]
+        self._value_column = str(header["value_column"])
+        self._lam = float(header["lam"])
+        self._zero_variance_rule = bool(header["zero_variance_rule"])
+        self._with_fpc = bool(header["with_fpc"])
+
+        node_sum = arrays["node_sum"]
+        n = int(node_sum.shape[0])
+        self._n_nodes = n
+        self._node_sum = node_sum
+        self._node_count = arrays["node_count"]
+        self._node_count_f = arrays["node_count_f"]
+        self._node_min = arrays["node_min"]
+        self._node_max = arrays["node_max"]
+        self._row_by_id = {}
+        self._zv_cache = None
+
+        self._parent = arrays["parent"]
+        self._parent0 = arrays["parent0"]
+        self._is_leaf = arrays["is_leaf"]
+        self._leaf_of_row = arrays["leaf_of_row"]
+        depth = arrays["depth"]
+        self._levels = tuple(
+            np.flatnonzero(depth == level_depth)
+            for level_depth in range(int(depth.max()) + 1 if n else 0)
+        )
+        columns = [str(column) for column in header["columns"]]
+        self._column_index = {column: c for c, column in enumerate(columns)}
+        col_lows = arrays["col_lows"]
+        col_highs = arrays["col_highs"]
+        self._col_lows = tuple(col_lows[c] for c in range(len(columns)))
+        self._col_highs = tuple(col_highs[c] for c in range(len(columns)))
+        self._geometry = _ExternalGeometry(lows=col_lows.T, highs=col_highs.T)
+
+        offsets = arrays["sample_offsets"]
+        self._samples = FlatSamples(
+            offsets=offsets,
+            columns={
+                str(column): arrays[f"sample/{column}"]
+                for column in header["sample_columns"]
+            },
+        )
+        self._samples_stale = False
+        self._sample_counts = np.diff(offsets)
+        return self
 
     def update_node_stats(self, nodes: Sequence[object]) -> None:
         """Mirror in-place statistic mutations of the given tree nodes.
@@ -491,8 +628,16 @@ class FlatSynopsis:
         )
 
     def materialize(self, frontier: FlatFrontier) -> MCFResult:
-        """The equivalent object-path :class:`MCFResult` (for sketch reuse)."""
+        """The equivalent object-path :class:`MCFResult` (for sketch reuse).
+
+        Unavailable on buffer-backed instances (:meth:`from_buffers`), which
+        carry no node objects.
+        """
         nodes = self._geometry.nodes
+        if not nodes:
+            raise ValueError(
+                "a buffer-backed FlatSynopsis has no node objects to materialize"
+            )
         return MCFResult(
             covered=tuple(nodes[row] for row in frontier.covered.tolist()),
             partial=tuple(nodes[row] for row in frontier.partial.tolist()),

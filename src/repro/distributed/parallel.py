@@ -21,6 +21,7 @@ measures.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -36,10 +37,26 @@ from repro.data.table import Table
 from repro.distributed.planner import ShardPlan, ShardPlanner
 from repro.distributed.sharded import ShardedSynopsis
 
-__all__ = ["ShardBuildSpec", "ParallelBuilder", "build_sharded_pass", "EXECUTORS"]
+__all__ = [
+    "ShardBuildSpec",
+    "ParallelBuilder",
+    "build_sharded_pass",
+    "EXECUTORS",
+    "SPAWN_CONTEXT",
+]
 
 #: Valid values of :attr:`ParallelBuilder.executor`.
 EXECUTORS = ("process", "thread", "serial")
+
+#: The one multiprocessing context every pool in this codebase uses.  The
+#: platform default on Linux is ``fork``, which clones a process that may be
+#: holding serving locks, metrics-registry mutexes, or the accuracy auditor's
+#: daemon-thread state mid-operation — a forked child then deadlocks the
+#: moment it touches one of those orphaned locks.  ``spawn`` starts workers
+#: from a clean interpreter, which is safe to combine with the threaded
+#: serving stack (and is the only start method the shared-memory serving
+#: workers in :mod:`repro.serving.server` support).
+SPAWN_CONTEXT = multiprocessing.get_context("spawn")
 
 
 @dataclass(frozen=True)
@@ -198,13 +215,19 @@ class ParallelBuilder:
     ) -> list[tuple[dict[str, np.ndarray], dict]]:
         if self.executor == "serial" or len(specs) <= 1:
             return [_build_shard(spec) for spec in specs]
-        pool_cls = (
-            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
-        )
         workers = self.max_workers
         if workers is not None:
             workers = min(workers, len(specs))
-        with pool_cls(max_workers=workers) as pool:
+        if self.executor == "process":
+            # Pinned to the spawn context: see SPAWN_CONTEXT.  Forked
+            # children inherit whatever locks the serving threads held at
+            # fork time and can deadlock the shard builds.
+            pool: ProcessPoolExecutor | ThreadPoolExecutor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=SPAWN_CONTEXT
+            )
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+        with pool:
             return list(pool.map(_build_shard, specs))
 
 

@@ -162,6 +162,7 @@ class StreamingShardRouter:
         self._insert_counts = [0] * sharded.n_shards
         self._delete_counts = [0] * sharded.n_shards
         self._rebuild_counts = [0] * sharded.n_shards
+        self._swap_listeners: list[Callable[[int, DynamicPASS], None]] = []
         self._obs = obs if obs is not None else Observability.disabled()
         registry = self._obs.metrics
         update_help = "Streaming updates routed to each shard."
@@ -230,6 +231,27 @@ class StreamingShardRouter:
     def rebuild_threshold(self) -> float | None:
         """Staleness ratio that triggers an automatic per-shard rebuild."""
         return self._rebuild_threshold
+
+    def add_swap_listener(
+        self, listener: Callable[[int, DynamicPASS], None]
+    ) -> None:
+        """Invoke ``listener(shard_index, replacement)`` after each rebuild.
+
+        Listeners fire right after the atomic :meth:`~repro.distributed.
+        sharded.ShardedSynopsis.replace_shard` swap, still under the
+        rebuilding shard's lock, so they observe swaps in order and never
+        see a torn shard.  This is how the shared-memory publisher
+        (:meth:`repro.serving.shm.SynopsisPublisher.watch_router`)
+        republishes a rebuilt shard to the worker pool.  Listener
+        exceptions propagate to the updater that triggered the rebuild.
+        """
+        self._swap_listeners.append(listener)
+
+    def remove_swap_listener(
+        self, listener: Callable[[int, DynamicPASS], None]
+    ) -> None:
+        """Detach a listener added with :meth:`add_swap_listener`."""
+        self._swap_listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Write path
@@ -386,6 +408,8 @@ class StreamingShardRouter:
         # Atomic swap: readers see the old shard until this assignment and
         # the fresh one after; no read on any shard ever waits for the build.
         self._sharded.replace_shard(index, replacement)
+        for listener in self._swap_listeners:
+            listener(index, replacement)
         self._base_tables[index] = snapshot
         self._inserted[index].clear()
         self._deleted[index].clear()

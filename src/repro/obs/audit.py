@@ -38,6 +38,7 @@ import math
 import queue
 import threading
 import time
+import warnings
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -322,13 +323,28 @@ class AccuracyAuditor:
             return self._pending == 0
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Detach from the engine and join the worker thread."""
+        """Detach from the engine and join the worker thread.
+
+        A join that times out is *reported* (``RuntimeWarning``), not
+        swallowed: the worker is a daemon thread, so a silently missed join
+        leaves it recomputing exact answers — and holding the engine's read
+        lock — while teardown proceeds, which surfaces as flaky shutdown
+        hangs far from the cause.
+        """
         if self._engine.auditor is self:
             self._engine.detach_auditor()
         if not self._stop_event.is_set():
             self._stop_event.set()
             self._queue.put(_STOP)
         self._worker.join(timeout)
+        if self._worker.is_alive():
+            warnings.warn(
+                f"accuracy-auditor worker did not stop within {timeout}s; "
+                "it is a daemon thread and may still hold the engine's read "
+                "lock (an in-flight exact recomputation is likely stuck)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "AccuracyAuditor":
         return self

@@ -12,6 +12,13 @@ on top: in-flight request coalescing by canonical cache key, micro-batch
 scheduling into the vectorized batch path, bounded-queue backpressure with
 typed :class:`Overloaded` rejections, and writes serialized through the
 same scheduler with atomic box-overlap invalidation of coalesced futures.
+
+For multi-core traffic, the shared-memory tier serves one copy of each
+synopsis to a process-per-core worker pool: a :class:`SynopsisPublisher`
+lays the flat buffers out in shared memory behind an epoch register, an
+:class:`MPServingPool` answers queries over zero-copy worker views, and an
+:class:`MPHTTPServer` front-ends the pool with a JSON protocol behind the
+same admission-control semantics.
 """
 
 from repro.serving.async_engine import AsyncServingEngine, AsyncServingStats
@@ -31,6 +38,8 @@ from repro.serving.persistence import (
     save_synopsis,
     save_workload_fingerprint,
 )
+from repro.serving.server import MPHTTPServer, MPServingPool
+from repro.serving.shm import EpochRegister, SynopsisPublisher, attach_flat_synopsis
 from repro.serving.stats import ServingStats, StatsSnapshot
 
 __all__ = [
@@ -56,4 +65,9 @@ __all__ = [
     "load_catalog_workloads",
     "ServingStats",
     "StatsSnapshot",
+    "EpochRegister",
+    "SynopsisPublisher",
+    "attach_flat_synopsis",
+    "MPServingPool",
+    "MPHTTPServer",
 ]

@@ -159,6 +159,32 @@ class ServingEngine:
         """Detach the current auditor (offers and update notes stop)."""
         self._auditor = None
 
+    def close(self, timeout: float = 5.0) -> None:
+        """Tear the engine down: stop and detach the attached auditor.
+
+        The auditor runs a daemon worker thread that periodically takes the
+        engine's read lock; leaving it behind keeps that thread recomputing
+        against a catalog nobody serves anymore and makes test processes and
+        servers exit uncleanly.  ``close`` stops it (warning if the join
+        times out — see :meth:`AccuracyAuditor.stop`), detaches it, and is
+        idempotent.  The engine itself holds no other background resources;
+        the async tier's scheduler stops in ``AsyncServingEngine.stop``, and
+        the multi-process server closes its engine through this method.
+        """
+        auditor = self._auditor
+        if auditor is not None:
+            # stop() detaches via detach_auditor when still attached.
+            auditor.stop(timeout)
+            self._auditor = None
+
+    def __enter__(self) -> "ServingEngine":
+        """Context-manager support: ``with ServingEngine(...) as engine:``."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close the engine (auditor shutdown) on context exit."""
+        self.close()
+
     def read_locked(self):
         """The engine's shared read-lock context manager.
 

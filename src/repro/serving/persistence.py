@@ -18,11 +18,21 @@ sibling ``<name>.workload.npz`` next to each synopsis archive — a separate
 file, not extra keys inside the synopsis npz, because ``from_arrays`` passes
 every non-header array through to the synopsis loaders.  A reloaded catalog
 therefore keeps its drift baselines via :func:`load_catalog_workloads`.
+
+Every write in this module is crash-safe: archives are written to a
+same-directory temporary file and published with an atomic ``os.replace``,
+fingerprint siblings are written before the synopsis archive that references
+them, and the catalog manifest is written last.  Killing the process at any
+instant — including ``kill -9`` mid-write — leaves only complete archives on
+disk (the crash-injection tests in ``tests/test_persistence_crash.py``
+assert exactly this).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Mapping
 
@@ -65,6 +75,35 @@ def _workload_path(path: Path) -> Path:
     return path.with_name(path.name[: -len(".npz")] + ".workload.npz")
 
 
+def _atomic_savez(path: Path, header: Mapping, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write an npz archive durably: temp file in the same directory + rename.
+
+    ``np.savez_compressed`` straight to the final path leaves a truncated zip
+    behind if the process dies mid-write, and the loader then fails with
+    ``zipfile.BadZipFile`` on what used to be a good archive.  Writing to a
+    same-directory temporary file and ``os.replace``-ing it into place makes
+    the publish atomic on POSIX: a reader (or a post-crash restart) sees
+    either the complete old archive or the complete new one, never a torn
+    file.  The temp file is cleaned up on any failure before the rename.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **{_HEADER_KEY: json.dumps(header)}, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_synopsis(
     synopsis: PASSSynopsis | DynamicPASS | ShardedSynopsis,
     path: str | Path,
@@ -80,6 +119,11 @@ def save_synopsis(
     Sharded synopses persist every shard (static or dynamic) plus the shard
     routing metadata in the same archive.  Passing ``workload`` additionally
     writes the build-time fingerprint to a sibling ``<stem>.workload.npz``.
+
+    Both writes are atomic (same-directory temp file + ``os.replace``), and
+    the workload sibling is written *before* the synopsis archive, so a crash
+    at any point leaves every existing archive loadable and never a synopsis
+    whose fingerprint pair is missing or staler than the synopsis itself.
     """
     if isinstance(synopsis, (DynamicPASS, ShardedSynopsis)):
         arrays, header = synopsis.to_arrays()
@@ -93,22 +137,24 @@ def save_synopsis(
         )
     header["format"] = FORMAT_VERSION
     path = _normalize(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **{_HEADER_KEY: json.dumps(header)}, **arrays)
     if workload is not None:
         save_workload_fingerprint(workload, _workload_path(path))
+    _atomic_savez(path, header, arrays)
     return path
 
 
 def save_workload_fingerprint(
     fingerprint: WorkloadFingerprint, path: str | Path
 ) -> Path:
-    """Persist a build-time workload fingerprint to a ``.npz`` archive."""
+    """Persist a build-time workload fingerprint to a ``.npz`` archive.
+
+    The write is atomic (temp file + ``os.replace``), like every archive
+    this module produces.
+    """
     header, arrays = fingerprint.to_arrays()
     header["format"] = FORMAT_VERSION
     path = _normalize(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **{_HEADER_KEY: json.dumps(header)}, **arrays)
+    _atomic_savez(path, header, arrays)
     return path
 
 
@@ -184,7 +230,23 @@ def save_catalog(
             meta["workload"] = workload_file
         manifest["entries"].append(meta)
     manifest_path = directory / "catalog.json"
-    manifest_path.write_text(json.dumps(manifest, indent=2))
+    # The manifest is the catalog's commit point — write it atomically too,
+    # after every archive it references exists on disk.
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".catalog.json.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(manifest, indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, manifest_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return manifest_path
 
 

@@ -1,0 +1,607 @@
+"""Multi-process serving: a spawn-based worker pool plus an HTTP front end.
+
+The single-process serving tier (:class:`~repro.serving.engine.ServingEngine`
+and the asyncio :class:`~repro.serving.async_engine.AsyncServingEngine`) is
+bounded by one interpreter's GIL: the numpy kernels release it only in
+bursts, so CPU-bound query traffic cannot use more than roughly one core.
+This module is the scale-out tier:
+
+* a :class:`SynopsisPublisher` (:mod:`repro.serving.shm`) lays the flat
+  synopsis buffers out in shared memory, once;
+* :class:`MPServingPool` runs one worker process per core (``spawn`` start
+  method, shared with :data:`repro.distributed.parallel.SPAWN_CONTEXT`);
+  each worker rehydrates zero-copy :class:`~repro.core.soa.FlatSynopsis`
+  views over the shared segments — no worker ever holds a private copy of
+  a synopsis, so memory stays O(one synopsis) no matter the core count;
+* workers validate the publisher's epoch on every chunk and re-attach when
+  a rebuild flipped it, so they never serve a torn synopsis;
+* :class:`MPHTTPServer` is a small stdlib HTTP front end mapping a JSON
+  protocol onto canonical :class:`~repro.query.query.AggregateQuery` /
+  :class:`~repro.query.groupby.GroupByQuery` objects, behind the same
+  bounded admission control (typed
+  :class:`~repro.serving.scheduler.Overloaded` -> HTTP 429) as the async
+  tier.
+
+Worker-side routing mirrors :meth:`repro.serving.catalog.SynopsisCatalog.
+route` — same column checks, same tightest-fit scoring — so a query
+answered by the pool routes to the same synopsis the in-process engine
+would pick, and (because the flat engine is bit-identical to the object
+path) returns the identical :class:`~repro.result.AQPResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping, Sequence
+
+from repro.distributed.parallel import SPAWN_CONTEXT
+from repro.obs import Observability
+from repro.obs.export import prometheus_text
+from repro.query.aggregates import SKETCH_AGGREGATES
+from repro.query.groupby import GroupByQuery, GroupingColumn
+from repro.query.predicate import Interval, RectPredicate
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult
+from repro.serving.scheduler import Overloaded
+from repro.serving.shm import EpochRegister, attach_flat_synopsis
+
+__all__ = [
+    "MPServingPool",
+    "MPHTTPServer",
+    "query_from_payload",
+    "query_to_payload",
+    "result_to_payload",
+    "result_from_payload",
+]
+
+
+# ----------------------------------------------------------------------
+# JSON protocol (the HTTP boundary; the pool itself ships pickled queries)
+# ----------------------------------------------------------------------
+def query_to_payload(query: AggregateQuery, table: str | None = None) -> dict:
+    """Encode a canonical query as the wire-protocol JSON payload."""
+    payload: dict = {
+        "agg": query.agg.name,
+        "value_column": query.value_column,
+        "predicate": {
+            column: [low, high]
+            for column, low, high in query.predicate.canonical_key()
+        },
+    }
+    if query.quantile is not None:
+        payload["quantile"] = query.quantile
+    if table is not None:
+        payload["table"] = table
+    return payload
+
+
+def query_from_payload(payload: Mapping) -> tuple[AggregateQuery, str | None]:
+    """Decode a wire-protocol payload into ``(query, table_name)``.
+
+    Raises ``ValueError`` on malformed payloads (unknown aggregate, bad
+    interval bounds) — the HTTP front end maps that to a 400 response.
+    """
+    try:
+        agg = payload["agg"]
+        value_column = payload["value_column"]
+    except KeyError as missing:
+        raise ValueError(f"query payload is missing {missing}") from None
+    intervals = {}
+    for column, bounds in dict(payload.get("predicate", {})).items():
+        low, high = bounds
+        intervals[str(column)] = Interval(
+            float(low) if low is not None else -math.inf,
+            float(high) if high is not None else math.inf,
+        )
+    query = AggregateQuery(
+        agg,
+        str(value_column),
+        RectPredicate(intervals),
+        quantile=payload.get("quantile"),
+    )
+    return query, payload.get("table")
+
+
+def result_to_payload(result: AQPResult) -> dict:
+    """Encode an :class:`AQPResult` as its JSON wire form (field-exact).
+
+    Floats pass through ``repr``-faithful JSON encoding (NaN and the
+    infinities included), so decoding with :func:`result_from_payload`
+    reproduces a bit-identical result.
+    """
+    return {
+        "estimate": result.estimate,
+        "ci_half_width": result.ci_half_width,
+        "variance": result.variance,
+        "hard_lower": result.hard_lower,
+        "hard_upper": result.hard_upper,
+        "tuples_processed": result.tuples_processed,
+        "tuples_skipped": result.tuples_skipped,
+        "exact": result.exact,
+    }
+
+
+def result_from_payload(payload: Mapping) -> AQPResult:
+    """Decode the JSON wire form back into an :class:`AQPResult`."""
+    return AQPResult(
+        estimate=float(payload["estimate"]),
+        ci_half_width=float(payload["ci_half_width"]),
+        variance=float(payload["variance"]),
+        hard_lower=float(payload["hard_lower"]),
+        hard_upper=float(payload["hard_upper"]),
+        tuples_processed=int(payload["tuples_processed"]),
+        tuples_skipped=int(payload["tuples_skipped"]),
+        exact=bool(payload["exact"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side (module-level so the spawn pickler can reach it)
+# ----------------------------------------------------------------------
+#: Per-worker-process state: the attached epoch register, the epoch the
+#: current attachments were made under, and the rehydrated engines.
+_WORKER: dict = {}
+
+
+def _worker_init(register_name: str) -> None:
+    """Pool initializer: attach the epoch register in this worker process."""
+    _WORKER.clear()
+    _WORKER["register"] = EpochRegister.attach(register_name)
+    _WORKER["epoch"] = -1
+    _WORKER["engines"] = {}
+    _WORKER["reattaches"] = 0
+
+
+def _worker_refresh() -> int:
+    """Re-attach to the current generation when the epoch moved.
+
+    Returns the epoch the worker is serving under.  A publish can race the
+    manifest read (the named segment may be unlinked between the manifest
+    snapshot and the attach) — the refresh simply retries from a fresh
+    snapshot; the seqlock guarantees each snapshot is internally
+    consistent.
+    """
+    register: EpochRegister = _WORKER["register"]
+    if register.epoch() == _WORKER["epoch"]:
+        return _WORKER["epoch"]
+    while True:
+        epoch, manifest = register.read()
+        engines = {}
+        attached = []
+        try:
+            for entry in manifest.get("entries", []):
+                flat, attachment = attach_flat_synopsis(entry["segment"])
+                attached.append(attachment)
+                engines[entry["name"]] = (entry, flat, attachment)
+        except FileNotFoundError:
+            for attachment in attached:
+                attachment.close()
+            continue  # lost the race with a publish; take a fresh snapshot
+        for _, _, old in _WORKER["engines"].values():
+            old.close()
+        _WORKER["engines"] = engines
+        _WORKER["epoch"] = epoch
+        _WORKER["reattaches"] += 1
+        return epoch
+
+
+def _worker_route(query: AggregateQuery, table: str | None):
+    """Mirror of :meth:`SynopsisCatalog.route` over the published entries.
+
+    Same candidate filter (table, value column, constrained columns,
+    sketch support — the flat engine carries no sketches, so QUANTILE /
+    COUNT_DISTINCT never match) and the same tightest-fit scoring, so the
+    pool and the in-process engine pick the same synopsis for any query
+    both can answer.
+    """
+    if query.agg in SKETCH_AGGREGATES:
+        return None
+    constrained = {column for column, _, _ in query.predicate.canonical_key()}
+    best = None
+    best_score = None
+    for entry, flat, _ in _WORKER["engines"].values():
+        if table is not None and entry["table_name"] not in (None, table):
+            continue
+        if query.value_column != entry["value_column"]:
+            continue
+        if not constrained <= set(entry["predicate_columns"]):
+            continue
+        surplus = len(set(entry["predicate_columns"]) - constrained)
+        score = (-surplus, entry["n_partitions"])
+        if best_score is None or score > best_score:
+            best, best_score = flat, score
+    return best
+
+
+def _worker_execute_chunk(
+    items: Sequence[tuple[AggregateQuery, str | None]],
+) -> tuple[list[AQPResult], dict]:
+    """Execute one chunk of ``(query, table)`` pairs in this worker.
+
+    Returns the results (input order) plus a stats delta the parent merges
+    into its metrics registry: served count, the epoch the chunk ran
+    under, and how many re-attach cycles this worker has performed.
+    """
+    epoch = _worker_refresh()
+    results = []
+    for query, table in items:
+        flat = _worker_route(query, table)
+        if flat is None:
+            published = ", ".join(_WORKER["engines"]) or "<none>"
+            raise LookupError(
+                f"no published synopsis answers {query.agg.name} over "
+                f"{query.value_column!r} (published: {published}); serve it "
+                "through the in-process engine"
+            )
+        results.append(flat.query(query))
+    return results, {
+        "served": len(results),
+        "epoch": epoch,
+        "reattaches": _WORKER["reattaches"],
+        "pid": os.getpid(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class MPServingPool:
+    """A process-per-core pool answering queries over published synopses.
+
+    Parameters
+    ----------
+    register_name:
+        The :attr:`SynopsisPublisher.register_name` of the owner's epoch
+        register (pass ``publisher.register_name``; the pool never writes).
+    n_workers:
+        Worker process count (process-per-core; defaults to the machine's
+        core count).
+    chunk_size:
+        Queries shipped per worker dispatch in :meth:`execute_batch`.
+        ``None`` auto-sizes to roughly four chunks per worker, which
+        amortizes the pickle/IPC round trip while keeping the pool busy.
+    obs:
+        Observability context; worker stats deltas merge into its metrics
+        registry (``repro_mp_requests_total`` per worker dispatch,
+        ``repro_mp_chunks_total``, ``repro_mp_reattach_total``) so one
+        ``/metrics`` scrape covers the whole pool.
+
+    Workers start lazily on the first query and are shut down by
+    :meth:`close` (also a context manager), which the shutdown-leak check
+    in CI verifies leaves no live worker processes behind.
+    """
+
+    def __init__(
+        self,
+        register_name: str,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        if n_workers is not None and n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers or (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self._register_name = register_name
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._obs = obs if obs is not None else Observability.disabled()
+        registry = self._obs.metrics
+        self._m_requests = registry.counter(
+            "repro_mp_requests_total",
+            "Queries answered by the multi-process serving pool.",
+        )
+        self._m_chunks = registry.counter(
+            "repro_mp_chunks_total",
+            "Chunk dispatches to multi-process serving workers.",
+        )
+        self._m_reattach = registry.counter(
+            "repro_mp_reattach_total",
+            "Worker re-attachments observed after epoch flips.",
+        )
+        self._seen_reattaches: dict[int, int] = {}
+        self._last_epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """The latest publisher epoch reported by a worker (0 before any)."""
+        return self._last_epoch
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=SPAWN_CONTEXT,
+                    initializer=_worker_init,
+                    initargs=(self._register_name,),
+                )
+            return self._pool
+
+    def _merge_stats(self, stats: dict) -> None:
+        self._m_requests.inc(float(stats["served"]))
+        self._m_chunks.inc()
+        self._last_epoch = max(self._last_epoch, stats["epoch"])
+        # Reattach counts are cumulative per worker; meter the delta.
+        key = stats.get("pid", 0)
+        previous = self._seen_reattaches.get(key, 0)
+        if stats["reattaches"] > previous:
+            self._m_reattach.inc(float(stats["reattaches"] - previous))
+            self._seen_reattaches[key] = stats["reattaches"]
+
+    def execute(
+        self, query: AggregateQuery, table: str | None = None
+    ) -> AQPResult:
+        """Answer one query on a worker process.
+
+        Raises ``LookupError`` when no published synopsis can answer it
+        (sketch aggregates included — the flat engine carries no
+        sketches); such queries belong on the in-process engine.
+        """
+        return self.execute_batch([query], table)[0]
+
+    def execute_batch(
+        self, queries: Sequence[AggregateQuery], table: str | None = None
+    ) -> list[AQPResult]:
+        """Answer a batch across the pool; results align with input order.
+
+        The batch is split into chunks dispatched concurrently to the
+        workers, so wall-clock cost is the per-chunk critical path — the
+        near-linear scaling ``benchmarks/bench_mp_serving.py`` measures.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        pool = self._ensure_pool()
+        chunk = self.chunk_size or max(
+            1, -(-len(queries) // (self.n_workers * 4))
+        )
+        items = [(query, table) for query in queries]
+        futures = [
+            pool.submit(_worker_execute_chunk, items[start : start + chunk])
+            for start in range(0, len(items), chunk)
+        ]
+        results: list[AQPResult] = []
+        for future in futures:
+            chunk_results, stats = future.result()
+            self._merge_stats(stats)
+            results.extend(chunk_results)
+        return results
+
+    def execute_grouped(self, groupby: GroupByQuery, table: str | None = None):
+        """Answer a group-by query by fanning its cells out over the pool.
+
+        The query is compiled without a distinct source, so every grouping
+        must carry explicit bin edges or values (the pool has no fallback
+        table to discover distinct values from).  Returns
+        ``(plan, cell_results)`` where ``cell_results[i]`` holds one
+        :class:`AQPResult` per aggregate for the i-th live cell.
+        """
+        plan = groupby.compile()
+        queries = plan.queries()
+        flat = self.execute_batch(queries, table)
+        n_aggs = len(plan.aggregates)
+        cells = [
+            tuple(flat[start : start + n_aggs])
+            for start in range(0, len(flat), n_aggs)
+        ]
+        return plan, cells
+
+    def close(self) -> None:
+        """Shut the worker processes down; idempotent."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MPServingPool":
+        """Context-manager support; workers are shut down on exit."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Shut the pool down on context exit."""
+        self.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler mapping the JSON protocol onto the worker pool."""
+
+    protocol_version = "HTTP/1.1"
+    server: "MPHTTPServer"
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default per-request stderr logging."""
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/healthz`` and the Prometheus ``/metrics`` exposition."""
+        if self.path == "/healthz":
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "epoch": self.server.pool.epoch,
+                    "workers": self.server.pool.n_workers,
+                },
+            )
+        elif self.path == "/metrics":
+            text = prometheus_text(self.server.obs.metrics)
+            body = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._reply(404, {"error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/query`` (one aggregate) and ``/groupby`` (cell fan-out)."""
+        if self.path not in ("/query", "/groupby"):
+            self._reply(404, {"error": f"no route {self.path}"})
+            return
+        if not self.server.admit():
+            rejection = Overloaded(
+                self.server.pending, self.server.max_pending
+            )
+            self._reply(
+                429,
+                {
+                    "error": "overloaded",
+                    "detail": str(rejection),
+                    "pending": rejection.pending,
+                    "capacity": rejection.capacity,
+                },
+            )
+            return
+        try:
+            payload = self._read_json()
+            if self.path == "/query":
+                query, table = query_from_payload(payload)
+                result = self.server.pool.execute(query, table)
+                self._reply(200, {"result": result_to_payload(result)})
+            else:
+                self._groupby(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except LookupError as exc:
+            self._reply(404, {"error": str(exc)})
+        finally:
+            self.server.release()
+
+    def _groupby(self, payload: Mapping) -> None:
+        groupby = GroupByQuery(
+            groupings=tuple(
+                GroupingColumn(
+                    column=str(grouping["column"]),
+                    edges=(
+                        tuple(grouping["edges"])
+                        if grouping.get("edges") is not None
+                        else None
+                    ),
+                    values=(
+                        tuple(grouping["values"])
+                        if grouping.get("values") is not None
+                        else None
+                    ),
+                )
+                for grouping in payload["groupings"]
+            ),
+            aggregates=tuple(
+                (spec["agg"], spec["value_column"], spec.get("quantile"))
+                for spec in payload["aggregates"]
+            ),
+        )
+        plan, cells = self.server.pool.execute_grouped(
+            groupby, payload.get("table")
+        )
+        records = [
+            {
+                "labels": list(plan.cells[index].labels),
+                "results": [result_to_payload(result) for result in row],
+            }
+            for (index, _), row in zip(plan.live_cells(), cells)
+        ]
+        self._reply(200, {"group_columns": list(plan.group_columns), "cells": records})
+
+
+class MPHTTPServer(ThreadingHTTPServer):
+    """A JSON-over-HTTP front end for an :class:`MPServingPool`.
+
+    Endpoints: ``POST /query`` (one aggregate query), ``POST /groupby``
+    (explicit-binning group-by fan-out), ``GET /healthz``, and ``GET
+    /metrics`` (Prometheus exposition of the pool's registry).  Admission
+    is a bounded in-flight counter: past ``max_pending`` concurrent
+    requests the server answers 429 with the async tier's
+    :class:`~repro.serving.scheduler.Overloaded` semantics instead of
+    queueing unboundedly.
+
+    Start with :meth:`serve_in_thread`; ``close`` stops the listener (the
+    pool is the caller's to close — it may outlive the front end).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        pool: MPServingPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 64,
+        obs: Observability | None = None,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.pool = pool
+        self.max_pending = max_pending
+        self.obs = obs if obs is not None else Observability.disabled()
+        self._pending = 0
+        self._admission = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._m_rejected = self.obs.metrics.counter(
+            "repro_mp_http_rejected_total",
+            "HTTP requests refused by admission control (429).",
+        )
+
+    @property
+    def address(self) -> str:
+        """The server's ``http://host:port`` base URL."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def pending(self) -> int:
+        """Currently admitted (in-flight) requests."""
+        return self._pending
+
+    def admit(self) -> bool:
+        """Try to admit one request; False means reject with 429."""
+        with self._admission:
+            if self._pending >= self.max_pending:
+                self._m_rejected.inc()
+                return False
+            self._pending += 1
+            return True
+
+    def release(self) -> None:
+        """Mark one admitted request finished."""
+        with self._admission:
+            self._pending -= 1
+
+    def serve_in_thread(self) -> str:
+        """Start serving on a daemon thread; returns the base URL."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="mp-http-server", daemon=True
+            )
+            self._thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop the listener and join the serving thread; idempotent."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self.shutdown()
+            thread.join(timeout=5.0)
+        self.server_close()

@@ -1,0 +1,539 @@
+"""Shared-memory synopsis segments and the epoch/generation publish protocol.
+
+PR 8's array-native :class:`~repro.core.soa.FlatSynopsis` made a synopsis a
+handful of flat numpy buffers; this module lays those buffers out in
+:class:`multiprocessing.shared_memory.SharedMemory` so a process-per-core
+worker pool (:mod:`repro.serving.server`) can serve queries over **zero-copy
+read-only views** of one shared copy instead of pickling the synopsis into
+every worker.
+
+Segment layout (one segment per synopsis; normative, mirrored in
+``docs/ARCHITECTURE.md``):
+
+* bytes ``0..8`` — magic ``b"PASSSEG1"``;
+* bytes ``8..16`` — little-endian ``uint64`` length of the JSON header;
+* bytes ``16..16+len`` — the JSON header: the synopsis scalars from
+  :meth:`FlatSynopsis.export_buffers` plus an array directory (key, dtype,
+  shape, byte offset per buffer);
+* each array payload at its directory offset, every offset **page-aligned**
+  (so a buffer never straddles an unrelated buffer's cache lines and the
+  kernel can share pages cleanly).
+
+Coordination between the single writer and the readers is a tiny separate
+**epoch register** segment updated with a seqlock:
+
+* the owner process is the only writer — it rebuilds into a *fresh* data
+  segment, then flips the register: sequence number to odd (write in
+  progress), payload (the entry -> segment-name manifest), sequence to the
+  next even value;
+* a reader snapshots the sequence number, copies the payload, and re-reads
+  the sequence — a torn read (writer raced it) shows as odd or changed and
+  the reader simply retries.  Workers validate the epoch per request and
+  re-attach to the new segments when it moved, so a reader never observes a
+  torn synopsis: old segments stay mapped (and therefore alive) in any
+  worker still finishing a request against them, even after the owner
+  unlinks the names.
+
+Segment lifetime is owned by the single owner process: readers attach with
+``track=False`` where available (Python 3.13+); on older interpreters the
+attach-side tracker registration is left in place — workers are spawned
+from the owner and share its resource tracker, where registration is
+idempotent and doubles as crash cleanup (see :func:`_attach_untracked`).
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import secrets
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.pass_synopsis import PASSSynopsis
+from repro.core.soa import FlatSynopsis
+from repro.core.updates import DynamicPASS
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "REGISTER_MAGIC",
+    "SynopsisSegment",
+    "AttachedSegment",
+    "EpochRegister",
+    "SynopsisPublisher",
+    "attach_flat_synopsis",
+]
+
+#: First eight bytes of every synopsis data segment.
+SEGMENT_MAGIC = b"PASSSEG1"
+
+#: First eight bytes of every epoch-register segment.
+REGISTER_MAGIC = b"PASSEPR1"
+
+_PAGE = mmap.PAGESIZE
+_SEQ_OFFSET = 8
+_LEN_OFFSET = 16
+_PAYLOAD_OFFSET = 24
+
+
+def _segment_name(prefix: str) -> str:
+    """A collision-resistant shared-memory name under ``prefix``."""
+    return f"{prefix}-{secrets.token_hex(6)}"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking tracker ownership.
+
+    On Python 3.13+ this is ``SharedMemory(name, track=False)``.  Earlier
+    interpreters register every attach with the resource tracker; that is
+    harmless here because the serving workers are spawned from the owner
+    process and inherit its tracker (registration is idempotent in the
+    shared tracker, and the tracker only unlinks at full-tree shutdown —
+    which doubles as crash cleanup).  Explicitly *unregistering* after
+    attach would be wrong: it erases the owner's registration from the
+    shared tracker and the owner's own ``unlink`` then trips a tracker
+    ``KeyError``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 fallback
+        return shared_memory.SharedMemory(name=name)
+
+
+def _align(offset: int) -> int:
+    """Round ``offset`` up to the next page boundary."""
+    return (offset + _PAGE - 1) // _PAGE * _PAGE
+
+
+def _flat_of(
+    synopsis: "PASSSynopsis | DynamicPASS | FlatSynopsis",
+) -> FlatSynopsis:
+    """The flat execution engine behind any supported synopsis kind."""
+    if isinstance(synopsis, FlatSynopsis):
+        return synopsis
+    if isinstance(synopsis, DynamicPASS):
+        return synopsis.synopsis.flat
+    if isinstance(synopsis, PASSSynopsis):
+        return synopsis.flat
+    raise TypeError(
+        "expected a PASSSynopsis, DynamicPASS, or FlatSynopsis, "
+        f"got {type(synopsis)!r}"
+    )
+
+
+class SynopsisSegment:
+    """Owner-side handle of one published synopsis data segment.
+
+    Created by :meth:`write`; the owner keeps the handle to ``unlink`` the
+    name once a newer generation has been published (readers still attached
+    keep the memory alive until they re-attach).
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        self._segment = segment
+
+    @property
+    def name(self) -> str:
+        """The shared-memory name readers attach with."""
+        return self._segment.name
+
+    @property
+    def size(self) -> int:
+        """Allocated segment size in bytes."""
+        return self._segment.size
+
+    @classmethod
+    def write(
+        cls,
+        header: Mapping,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        prefix: str = "pass-seg",
+    ) -> "SynopsisSegment":
+        """Lay ``(header, arrays)`` out in a fresh shared-memory segment.
+
+        ``header`` must be JSON-safe (the :meth:`FlatSynopsis.
+        export_buffers` header is); each array is copied once into the
+        segment at a page-aligned offset recorded in the embedded
+        directory.  Returns the owning handle.
+        """
+        directory = []
+        payloads = []
+        for key, array in arrays.items():
+            contiguous = np.ascontiguousarray(array)
+            directory.append(
+                {
+                    "key": key,
+                    "dtype": contiguous.dtype.str,
+                    "shape": list(contiguous.shape),
+                }
+            )
+            payloads.append(contiguous)
+        header_doc = {
+            "format": 1,
+            "synopsis": dict(header),
+            "arrays": directory,
+        }
+        # Two passes: offsets depend on the header length, which depends on
+        # the offsets (they are JSON numbers).  Size the header area from a
+        # zero-offset template plus generous per-entry slack for the digits.
+        for entry in directory:
+            entry["offset"] = 0
+        template = json.dumps(header_doc).encode("utf-8")
+        offset = _align(16 + len(template) + 32 * len(directory) + 64)
+        for entry, payload in zip(directory, payloads):
+            entry["offset"] = offset
+            offset = _align(offset + max(payload.nbytes, 1))
+        encoded = json.dumps(header_doc).encode("utf-8")
+        if directory and 16 + len(encoded) > directory[0]["offset"]:
+            raise RuntimeError("segment header overflowed its reserved space")
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(offset, _PAGE), name=_segment_name(prefix)
+        )
+        buf = segment.buf
+        buf[0:8] = SEGMENT_MAGIC
+        struct.pack_into("<Q", buf, 8, len(encoded))
+        buf[16 : 16 + len(encoded)] = encoded
+        for entry, payload in zip(directory, payloads):
+            start = entry["offset"]
+            view = np.ndarray(
+                payload.shape,
+                dtype=np.dtype(entry["dtype"]),
+                buffer=buf,
+                offset=start,
+            )
+            view[...] = payload
+        return cls(segment)
+
+    def close(self) -> None:
+        """Close the owner's mapping (the segment itself stays published)."""
+        self._segment.close()
+
+    def unlink(self) -> None:
+        """Remove the segment's name; mapped readers keep the memory alive."""
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class AttachedSegment:
+    """A reader's zero-copy view of a published synopsis segment.
+
+    ``header`` is the synopsis scalar header; ``arrays`` maps buffer keys to
+    read-only numpy views straight over the shared mapping.  Keep the
+    instance referenced for as long as any view (or a :class:`FlatSynopsis`
+    built over the views) is in use, then :meth:`close`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._segment = _attach_untracked(name)
+        buf = self._segment.buf
+        if bytes(buf[0:8]) != SEGMENT_MAGIC:
+            self._segment.close()
+            raise ValueError(f"{name} is not a synopsis segment (bad magic)")
+        (header_len,) = struct.unpack_from("<Q", buf, 8)
+        doc = json.loads(bytes(buf[16 : 16 + header_len]).decode("utf-8"))
+        self.header: dict = doc["synopsis"]
+        self.arrays: dict[str, np.ndarray] = {}
+        for entry in doc["arrays"]:
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=buf,
+                offset=entry["offset"],
+            )
+            view.flags.writeable = False
+            self.arrays[entry["key"]] = view
+
+    @property
+    def name(self) -> str:
+        """The attached segment's shared-memory name."""
+        return self._segment.name
+
+    def close(self) -> None:
+        """Drop the mapping.  Views into ``arrays`` must not be used after."""
+        self.arrays = {}
+        self._segment.close()
+
+
+def attach_flat_synopsis(name: str) -> tuple[FlatSynopsis, AttachedSegment]:
+    """Attach a segment and rehydrate a zero-copy :class:`FlatSynopsis`.
+
+    Returns the engine plus the attachment handle keeping the mapping
+    alive; close the handle only after the engine is discarded.
+    """
+    attached = AttachedSegment(name)
+    return FlatSynopsis.from_buffers(attached.header, attached.arrays), attached
+
+
+class EpochRegister:
+    """The tiny seqlock-guarded control segment naming the live generation.
+
+    One writer (the owner process) and any number of readers (workers).
+    The payload is an arbitrary JSON document — the publisher stores the
+    entry manifest (synopsis name -> data-segment name plus routing
+    metadata).  The sequence number at byte 8 doubles as the **epoch**: it
+    is even when the register is consistent and increments by 2 per
+    publish, so workers detect staleness with a single 8-byte read.
+    """
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, *, owner: bool
+    ) -> None:
+        self._segment = segment
+        self._owner = owner
+
+    @classmethod
+    def create(
+        cls, *, capacity: int = 1 << 16, prefix: str = "pass-epoch"
+    ) -> "EpochRegister":
+        """Allocate a fresh register (epoch 0, empty payload); owner side."""
+        segment = shared_memory.SharedMemory(
+            create=True, size=capacity, name=_segment_name(prefix)
+        )
+        segment.buf[0:8] = REGISTER_MAGIC
+        struct.pack_into("<Q", segment.buf, _SEQ_OFFSET, 0)
+        struct.pack_into("<Q", segment.buf, _LEN_OFFSET, 0)
+        return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "EpochRegister":
+        """Attach to an existing register by name; reader side."""
+        segment = _attach_untracked(name)
+        if bytes(segment.buf[0:8]) != REGISTER_MAGIC:
+            segment.close()
+            raise ValueError(f"{name} is not an epoch register (bad magic)")
+        return cls(segment, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The register's shared-memory name (hand this to workers)."""
+        return self._segment.name
+
+    def epoch(self) -> int:
+        """The current generation (even; odd means a publish is in flight)."""
+        (seq,) = struct.unpack_from("<Q", self._segment.buf, _SEQ_OFFSET)
+        return seq
+
+    def publish(self, manifest: Mapping) -> int:
+        """Atomically install a new manifest; returns the new (even) epoch.
+
+        Seqlock write protocol: bump the sequence to odd, write the
+        payload, bump to the next even value.  Readers that race the write
+        observe the odd sequence (or a changed one) and retry, so they
+        only ever act on a complete manifest.
+        """
+        if not self._owner:
+            raise RuntimeError("only the owning process may publish")
+        encoded = json.dumps(manifest).encode("utf-8")
+        capacity = self._segment.size - _PAYLOAD_OFFSET
+        if len(encoded) > capacity:
+            raise ValueError(
+                f"manifest ({len(encoded)} bytes) exceeds the register "
+                f"capacity ({capacity} bytes)"
+            )
+        buf = self._segment.buf
+        (seq,) = struct.unpack_from("<Q", buf, _SEQ_OFFSET)
+        struct.pack_into("<Q", buf, _SEQ_OFFSET, seq + 1)  # odd: in progress
+        struct.pack_into("<Q", buf, _LEN_OFFSET, len(encoded))
+        buf[_PAYLOAD_OFFSET : _PAYLOAD_OFFSET + len(encoded)] = encoded
+        struct.pack_into("<Q", buf, _SEQ_OFFSET, seq + 2)  # even: consistent
+        return seq + 2
+
+    def read(self, *, spin_interval: float = 0.0005) -> tuple[int, dict]:
+        """A consistent ``(epoch, manifest)`` snapshot (seqlock read side)."""
+        buf = self._segment.buf
+        while True:
+            (seq1,) = struct.unpack_from("<Q", buf, _SEQ_OFFSET)
+            if seq1 % 2:
+                time.sleep(spin_interval)
+                continue
+            (length,) = struct.unpack_from("<Q", buf, _LEN_OFFSET)
+            payload = bytes(buf[_PAYLOAD_OFFSET : _PAYLOAD_OFFSET + length])
+            (seq2,) = struct.unpack_from("<Q", buf, _SEQ_OFFSET)
+            if seq1 == seq2:
+                manifest = json.loads(payload.decode("utf-8")) if length else {}
+                return seq1, manifest
+            time.sleep(spin_interval)
+
+    def close(self) -> None:
+        """Drop this process's mapping of the register."""
+        self._segment.close()
+
+    def unlink(self) -> None:
+        """Remove the register's name (owner teardown)."""
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class SynopsisPublisher:
+    """Single-writer owner of a set of published synopses.
+
+    Holds the epoch register plus the current generation's data segments.
+    :meth:`publish` installs a synopsis under a name (replacing any previous
+    generation atomically via the register flip), after which the previous
+    segment's name is unlinked — workers mid-request on the old generation
+    keep it alive through their mapping and re-attach on their next epoch
+    check.  Typical write path::
+
+        publisher = SynopsisPublisher()
+        publisher.publish("sensors", synopsis, table_name="intel")
+        ...                        # workers attach via publisher.register_name
+        publisher.publish("sensors", rebuilt)   # epoch flip; readers migrate
+        publisher.close()          # unlink everything
+
+    A :class:`~repro.distributed.router.StreamingShardRouter` rebuild can be
+    wired straight in through :meth:`watch_router`: every atomic shard swap
+    republishes the rebuilt shard's segment under this publisher.
+    """
+
+    def __init__(self, *, register_capacity: int = 1 << 16) -> None:
+        self._register = EpochRegister.create(capacity=register_capacity)
+        self._segments: dict[str, SynopsisSegment] = {}
+        self._entries: dict[str, dict] = {}
+        self._closed = False
+
+    @property
+    def register_name(self) -> str:
+        """The epoch register name worker pools attach to."""
+        return self._register.name
+
+    @property
+    def epoch(self) -> int:
+        """The current published generation."""
+        return self._register.epoch()
+
+    def publish(
+        self,
+        name: str,
+        synopsis: "PASSSynopsis | DynamicPASS | FlatSynopsis",
+        *,
+        table_name: str | None = None,
+        predicate_columns: tuple[str, ...] | None = None,
+    ) -> int:
+        """Publish (or republish) one synopsis; returns the new epoch.
+
+        The flat buffers are laid out in a fresh segment *first*, then the
+        register flips to the manifest naming it — readers either see the
+        old complete generation or the new one.  ``predicate_columns``
+        defaults to the synopsis' bound columns and, with ``table_name``,
+        feeds worker-side routing (mirroring
+        :meth:`repro.serving.catalog.CatalogEntry.can_answer`).
+        """
+        self._require_open()
+        flat = _flat_of(synopsis)
+        header, arrays = flat.export_buffers()
+        segment = SynopsisSegment.write(header, arrays)
+        previous = self._segments.get(name)
+        self._segments[name] = segment
+        self._entries[name] = {
+            "name": name,
+            "segment": segment.name,
+            "table_name": table_name,
+            "value_column": header["value_column"],
+            "predicate_columns": list(
+                predicate_columns
+                if predicate_columns is not None
+                else header["columns"]
+            ),
+            "n_partitions": int(arrays["is_leaf"].sum()),
+        }
+        epoch = self._register.publish({"entries": list(self._entries.values())})
+        if previous is not None:
+            previous.unlink()
+            previous.close()
+        return epoch
+
+    def publish_catalog(self, catalog) -> tuple[int, list[str]]:
+        """Publish every eligible entry of a :class:`SynopsisCatalog`.
+
+        Single-synopsis entries (static or dynamic) publish under their
+        catalog name with their registered routing metadata, so worker-side
+        routing sees the same candidates as the in-process engine.  Sharded
+        entries are skipped — the worker pool routes whole queries, not
+        shard scatter/gather — and returned in the skipped list so callers
+        can keep serving them in-process.  Returns ``(epoch, skipped)``.
+        """
+        self._require_open()
+        skipped = []
+        epoch = self.epoch
+        for entry in catalog.entries():
+            if entry.is_sharded:
+                skipped.append(entry.name)
+                continue
+            epoch = self.publish(
+                entry.name,
+                entry.synopsis,
+                table_name=entry.table_name,
+                predicate_columns=entry.predicate_columns,
+            )
+        return epoch, skipped
+
+    def retire(self, name: str) -> int:
+        """Withdraw a published synopsis; returns the new epoch."""
+        self._require_open()
+        segment = self._segments.pop(name, None)
+        self._entries.pop(name, None)
+        epoch = self._register.publish({"entries": list(self._entries.values())})
+        if segment is not None:
+            segment.unlink()
+            segment.close()
+        return epoch
+
+    def watch_router(self, router, name: str, *, table_name: str | None = None):
+        """Republish on every atomic shard swap of a streaming router.
+
+        Registers a swap listener on ``router`` (a
+        :class:`~repro.distributed.router.StreamingShardRouter`) that
+        republishes the swapped shard's synopsis under ``name`` — the
+        "rebuild into a fresh segment, flip the epoch" write path.  Only
+        single-shard routers are publishable today (the worker pool routes
+        whole queries, not shard scatter/gather); a multi-shard router
+        raises.  Returns the listener so callers can detach it with
+        ``router.remove_swap_listener``.
+        """
+        self._require_open()
+        if router.sharded.n_shards != 1:
+            raise ValueError(
+                "only single-shard routers can republish through the worker "
+                f"pool (got {router.sharded.n_shards} shards); serve "
+                "multi-shard synopses through the in-process engine"
+            )
+
+        def on_swap(index: int, shard) -> None:
+            self.publish(name, shard, table_name=table_name)
+
+        router.add_swap_listener(on_swap)
+        self.publish(name, router.sharded.shards[0], table_name=table_name)
+        return on_swap
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("publisher is closed")
+
+    def close(self) -> None:
+        """Unlink every segment and the register; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments.values():
+            segment.unlink()
+            segment.close()
+        self._segments.clear()
+        self._entries.clear()
+        self._register.unlink()
+        self._register.close()
+
+    def __enter__(self) -> "SynopsisPublisher":
+        """Context-manager support; closes (and unlinks) on exit."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Unlink all published segments on context exit."""
+        self.close()

@@ -1,0 +1,475 @@
+"""Tests for multi-process serving over shared-memory synopses.
+
+The acceptance bar is bit-identity: every query answered by the worker pool
+(and through its HTTP front end) must return exactly the result the
+in-process :class:`~repro.serving.engine.ServingEngine` produces — including
+across an epoch flip mid-stream, where workers re-attach to a freshly
+published generation without ever serving a torn synopsis.
+
+The shutdown-leak tests double as the CI leak check's unit-level mirror: a
+closed pool leaves no live worker processes and a closed publisher leaves no
+named shared-memory segments behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import json
+import math
+import multiprocessing
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_pass
+from repro.core.config import PASSConfig
+from repro.core.soa import FlatSynopsis
+from repro.data.table import Table
+from repro.distributed.parallel import ParallelBuilder
+from repro.distributed.planner import ShardPlanner
+from repro.distributed.router import StreamingShardRouter
+from repro.obs import Observability
+from repro.query.predicate import Interval, RectPredicate
+from repro.query.query import AggregateQuery
+from repro.result import AQPResult
+from repro.serving import (
+    MPHTTPServer,
+    MPServingPool,
+    ServingEngine,
+    SynopsisCatalog,
+    SynopsisPublisher,
+)
+from repro.serving.server import (
+    query_from_payload,
+    query_to_payload,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.serving.shm import EpochRegister, attach_flat_synopsis
+
+AGGS = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+
+
+def assert_identical(a, b):
+    """AQPResult equality treating NaN fields as equal (NaN != NaN otherwise)."""
+    for field in dataclasses.fields(a):
+        x, y = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(x, float) and math.isnan(x):
+            assert isinstance(y, float) and math.isnan(y), field.name
+        else:
+            assert x == y, f"{field.name}: {x!r} != {y!r}"
+
+
+def make_table(seed: int, n: int = 4000) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "key": rng.uniform(0.0, 50.0, size=n),
+            "value": np.abs(rng.lognormal(1.2, 0.6, size=n)),
+        },
+        name="mp_test",
+    )
+
+
+def build_synopsis(seed: int):
+    return build_pass(
+        make_table(seed),
+        "value",
+        ["key"],
+        PASSConfig(n_partitions=16, sample_rate=0.01, opt_sample_size=400, seed=0),
+    )
+
+
+def seeded_queries(seed: int, n: int) -> list[AggregateQuery]:
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(n):
+        low, high = sorted(rng.uniform(0.0, 50.0, size=2).tolist())
+        queries.append(
+            AggregateQuery(
+                AGGS[index % len(AGGS)],
+                "value",
+                RectPredicate({"key": Interval(low, high)}),
+            )
+        )
+    return queries
+
+
+@pytest.fixture(scope="module")
+def synopses():
+    return build_synopsis(seed=1), build_synopsis(seed=2)
+
+
+def make_engine(synopsis) -> ServingEngine:
+    catalog = SynopsisCatalog()
+    catalog.register("mp_main", synopsis, table_name="mp_test")
+    return ServingEngine(catalog)
+
+
+class TestSegmentRoundTrip:
+    def test_attach_is_zero_copy_and_bit_identical(self, synopses):
+        synopsis, _ = synopses
+        publisher = SynopsisPublisher()
+        try:
+            publisher.publish("mp_main", synopsis, table_name="mp_test")
+            register = EpochRegister.attach(publisher.register_name)
+            _, manifest = register.read()
+            flat, attached = attach_flat_synopsis(
+                manifest["entries"][0]["segment"]
+            )
+            assert isinstance(flat, FlatSynopsis)
+            # Views point into the shared mapping and are read-only.
+            for view in attached.arrays.values():
+                assert not view.flags.writeable
+                assert not view.flags.owndata
+            for query in seeded_queries(seed=3, n=50):
+                assert_identical(flat.query(query), synopsis.flat.query(query))
+            attached.close()
+            register.close()
+        finally:
+            publisher.close()
+
+    def test_epoch_register_flips_are_atomic(self, synopses):
+        synopsis, other = synopses
+        publisher = SynopsisPublisher()
+        try:
+            first = publisher.publish("mp_main", synopsis, table_name="mp_test")
+            register = EpochRegister.attach(publisher.register_name)
+            epoch, manifest = register.read()
+            assert epoch == first
+            second = publisher.publish("mp_main", other, table_name="mp_test")
+            assert second == first + 2  # seqlock epochs stay even
+            epoch, manifest = register.read()
+            assert epoch == second
+            assert len(manifest["entries"]) == 1
+            register.close()
+        finally:
+            publisher.close()
+
+    def test_old_generation_stays_mapped_until_reader_closes(self, synopses):
+        synopsis, other = synopses
+        publisher = SynopsisPublisher()
+        try:
+            publisher.publish("mp_main", synopsis, table_name="mp_test")
+            register = EpochRegister.attach(publisher.register_name)
+            _, manifest = register.read()
+            flat, attached = attach_flat_synopsis(
+                manifest["entries"][0]["segment"]
+            )
+            publisher.publish("mp_main", other, table_name="mp_test")
+            # The old segment's name is unlinked, but this reader's mapping
+            # keeps the memory alive: answers stay bit-identical to the old
+            # generation, never torn.
+            for query in seeded_queries(seed=4, n=20):
+                assert_identical(flat.query(query), synopsis.flat.query(query))
+            attached.close()
+            register.close()
+        finally:
+            publisher.close()
+
+    def test_publish_catalog_skips_sharded_entries(self, synopses):
+        synopsis, _ = synopses
+        table = make_table(seed=9, n=1200)
+        plan = ShardPlanner(2, "range").plan(table, "key")
+        sharded = ParallelBuilder(executor="serial").build(
+            plan,
+            "value",
+            ["key"],
+            PASSConfig(n_partitions=4, sample_rate=0.05, opt_sample_size=200, seed=0),
+        )
+        catalog = SynopsisCatalog()
+        catalog.register("single", synopsis, table_name="mp_test")
+        catalog.register("sharded", sharded, table_name="mp_test")
+        publisher = SynopsisPublisher()
+        try:
+            epoch, skipped = publisher.publish_catalog(catalog)
+            assert skipped == ["sharded"]
+            register = EpochRegister.attach(publisher.register_name)
+            _, manifest = register.read()
+            assert [e["name"] for e in manifest["entries"]] == ["single"]
+            register.close()
+        finally:
+            publisher.close()
+
+
+class TestMPServingPool:
+    def test_batch_results_bit_identical_to_in_process_engine(self, synopses):
+        synopsis, _ = synopses
+        engine = make_engine(synopsis)
+        queries = seeded_queries(seed=5, n=60)
+        with SynopsisPublisher() as publisher:
+            publisher.publish("mp_main", synopsis, table_name="mp_test")
+            with MPServingPool(publisher.register_name, n_workers=2) as pool:
+                results = pool.execute_batch(queries, table="mp_test")
+                for result, query in zip(results, queries):
+                    assert_identical(result, engine.execute(query, "mp_test"))
+
+    def test_epoch_flip_mid_stream_never_serves_a_torn_synopsis(self, synopses):
+        """Property-style: random interleave of batches and epoch flips.
+
+        Every batch must be bit-identical to the generation live at dispatch
+        time — the old one before the flip, the new one after — across a
+        seeded schedule of publishes.
+        """
+        synopsis, other = synopses
+        engines = {0: make_engine(synopsis), 1: make_engine(other)}
+        generations = {0: synopsis, 1: other}
+        rng = np.random.default_rng(12)
+        with SynopsisPublisher() as publisher:
+            publisher.publish("mp_main", synopsis, table_name="mp_test")
+            live = 0
+            with MPServingPool(publisher.register_name, n_workers=2) as pool:
+                for round_index in range(6):
+                    if round_index and rng.random() < 0.5:
+                        live = 1 - live
+                        publisher.publish(
+                            "mp_main", generations[live], table_name="mp_test"
+                        )
+                    queries = seeded_queries(
+                        seed=100 + round_index, n=int(rng.integers(5, 25))
+                    )
+                    results = pool.execute_batch(queries, table="mp_test")
+                    for result, query in zip(results, queries):
+                        assert_identical(
+                            result, engines[live].execute(query, "mp_test")
+                        )
+
+    def test_unanswerable_queries_raise_lookup_error(self, synopses):
+        synopsis, _ = synopses
+        with SynopsisPublisher() as publisher:
+            publisher.publish("mp_main", synopsis, table_name="mp_test")
+            with MPServingPool(publisher.register_name, n_workers=1) as pool:
+                unknown = AggregateQuery(
+                    "SUM", "other_column", RectPredicate.everything()
+                )
+                with pytest.raises(LookupError):
+                    pool.execute(unknown, table="mp_test")
+                sketch = AggregateQuery(
+                    "QUANTILE", "value", RectPredicate.everything(), quantile=0.5
+                )
+                with pytest.raises(LookupError):
+                    pool.execute(sketch, table="mp_test")
+
+    def test_pool_merges_worker_metrics_into_parent_registry(self, synopses):
+        synopsis, _ = synopses
+        obs = Observability()
+        with SynopsisPublisher() as publisher:
+            publisher.publish("mp_main", synopsis, table_name="mp_test")
+            with MPServingPool(
+                publisher.register_name, n_workers=1, obs=obs
+            ) as pool:
+                pool.execute_batch(seeded_queries(seed=6, n=10), table="mp_test")
+        assert obs.metrics.counter("repro_mp_requests_total").value == 10
+        assert obs.metrics.counter("repro_mp_chunks_total").value >= 1
+
+    def test_shutdown_leaves_no_workers_or_segments(self, synopses):
+        synopsis, _ = synopses
+        publisher = SynopsisPublisher()
+        publisher.publish("mp_main", synopsis, table_name="mp_test")
+        pool = MPServingPool(publisher.register_name, n_workers=2)
+        pool.execute_batch(seeded_queries(seed=7, n=5), table="mp_test")
+        pool.close()
+        assert multiprocessing.active_children() == []
+        publisher.close()
+        assert glob.glob("/dev/shm/pass-*") == []
+        # Idempotent: closing again is a no-op, not an error.
+        pool.close()
+        publisher.close()
+        with pytest.raises(RuntimeError):
+            pool.execute_batch(seeded_queries(seed=7, n=1), table="mp_test")
+
+    def test_router_swap_republishes_through_the_publisher(self):
+        table = make_table(seed=11, n=1500)
+        plan = ShardPlanner(1, "range").plan(table, "key")
+        sharded = ParallelBuilder(executor="serial").build(
+            plan,
+            "value",
+            ["key"],
+            PASSConfig(n_partitions=4, sample_rate=0.05, opt_sample_size=200, seed=0),
+            dynamic=True,
+        )
+        router = StreamingShardRouter(sharded, plan.tables, rebuild_threshold=0.05)
+        with SynopsisPublisher() as publisher:
+            listener = publisher.watch_router(router, "stream", table_name="mp_test")
+            first_epoch = publisher.epoch
+            rng = np.random.default_rng(13)
+            for _ in range(sharded.shards[0].population_size):
+                router.insert(
+                    {
+                        "key": float(rng.uniform(0.0, 50.0)),
+                        "value": float(rng.uniform(1.0, 20.0)),
+                    }
+                )
+                if router.stats()[0].rebuilds:
+                    # Stop at the swap so the live shard IS the published
+                    # generation (later inserts would drift past it until
+                    # the next rebuild republishes).
+                    break
+            assert router.stats()[0].rebuilds >= 1
+            assert publisher.epoch > first_epoch
+            # The published generation is the swapped-in shard.
+            register = EpochRegister.attach(publisher.register_name)
+            _, manifest = register.read()
+            flat, attached = attach_flat_synopsis(
+                manifest["entries"][0]["segment"]
+            )
+            live = sharded.shards[0]
+            for query in seeded_queries(seed=14, n=15):
+                assert_identical(flat.query(query), live.synopsis.flat.query(query))
+            attached.close()
+            register.close()
+            router.remove_swap_listener(listener)
+
+    def test_multi_shard_router_is_rejected(self):
+        table = make_table(seed=15, n=1200)
+        plan = ShardPlanner(2, "range").plan(table, "key")
+        sharded = ParallelBuilder(executor="serial").build(
+            plan,
+            "value",
+            ["key"],
+            PASSConfig(n_partitions=4, sample_rate=0.05, opt_sample_size=200, seed=0),
+            dynamic=True,
+        )
+        router = StreamingShardRouter(sharded, plan.tables, rebuild_threshold=None)
+        with SynopsisPublisher() as publisher:
+            with pytest.raises(ValueError, match="single-shard"):
+                publisher.watch_router(router, "stream")
+
+
+class TestJSONProtocol:
+    def test_query_payload_round_trip_is_canonical(self):
+        query = AggregateQuery(
+            "AVG", "value", RectPredicate({"key": Interval(1.5, 7.25)})
+        )
+        decoded, table = query_from_payload(query_to_payload(query, "mp_test"))
+        assert decoded == query
+        assert table == "mp_test"
+
+    def test_result_payload_round_trip_is_exact_with_nan(self):
+        result_nan = result_from_payload(
+            result_to_payload(
+                AQPResult(
+                    estimate=3.5,
+                    ci_half_width=float("nan"),
+                    variance=float("nan"),
+                    hard_lower=-math.inf,
+                    hard_upper=math.inf,
+                    tuples_processed=7,
+                    tuples_skipped=2,
+                    exact=False,
+                )
+            )
+        )
+        assert result_nan.estimate == 3.5
+        assert math.isnan(result_nan.ci_half_width)
+        assert result_nan.hard_lower == -math.inf
+
+    def test_malformed_payload_raises_value_error(self):
+        with pytest.raises(ValueError):
+            query_from_payload({"value_column": "value"})
+
+
+class TestHTTPFrontEnd:
+    @pytest.fixture()
+    def stack(self, synopses):
+        synopsis, _ = synopses
+        obs = Observability()
+        publisher = SynopsisPublisher()
+        publisher.publish("mp_main", synopsis, table_name="mp_test")
+        pool = MPServingPool(publisher.register_name, n_workers=1, obs=obs)
+        server = MPHTTPServer(pool, max_pending=8, obs=obs)
+        base = server.serve_in_thread()
+        yield base, server, synopsis
+        server.close()
+        pool.close()
+        publisher.close()
+
+    def post(self, url: str, payload: dict):
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_query_round_trip_matches_engine(self, stack):
+        base, _, synopsis = stack
+        engine = make_engine(synopsis)
+        for query in seeded_queries(seed=8, n=10):
+            status, payload = self.post(
+                base + "/query", query_to_payload(query, "mp_test")
+            )
+            assert status == 200
+            assert_identical(
+                result_from_payload(payload["result"]),
+                engine.execute(query, "mp_test"),
+            )
+
+    def test_healthz_reports_epoch_and_workers(self, stack):
+        base, _, _ = stack
+        with urllib.request.urlopen(base + "/healthz") as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 1
+
+    def test_metrics_exposition_includes_pool_counters(self, stack):
+        base, server, _ = stack
+        self.post(
+            base + "/query",
+            query_to_payload(seeded_queries(seed=8, n=1)[0], "mp_test"),
+        )
+        with urllib.request.urlopen(base + "/metrics") as response:
+            text = response.read().decode("utf-8")
+        assert "repro_mp_requests_total" in text
+
+    def test_groupby_fans_out_cells(self, stack):
+        base, _, synopsis = stack
+        engine = make_engine(synopsis)
+        status, payload = self.post(
+            base + "/groupby",
+            {
+                "groupings": [{"column": "key", "edges": [0.0, 25.0, 50.0]}],
+                "aggregates": [{"agg": "AVG", "value_column": "value"}],
+                "table": "mp_test",
+            },
+        )
+        assert status == 200
+        assert len(payload["cells"]) == 2
+        for cell in payload["cells"]:
+            low, high = cell["labels"][0]
+            query = AggregateQuery(
+                "AVG", "value", RectPredicate({"key": Interval(low, high)})
+            )
+            assert_identical(
+                result_from_payload(cell["results"][0]),
+                engine.execute(query, "mp_test"),
+            )
+
+    def test_bad_payload_is_a_400_not_a_crash(self, stack):
+        base, _, _ = stack
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(base + "/query", {"value_column": "value"})
+        assert excinfo.value.code == 400
+
+    def test_admission_control_rejects_with_429(self, stack):
+        base, server, _ = stack
+        # Fill the admission window by hand, then knock: typed 429.
+        admitted = [server.admit() for _ in range(server.max_pending)]
+        assert all(admitted)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.post(
+                    base + "/query",
+                    query_to_payload(seeded_queries(seed=8, n=1)[0], "mp_test"),
+                )
+            assert excinfo.value.code == 429
+            detail = json.loads(excinfo.value.read())
+            assert detail["error"] == "overloaded"
+            assert detail["capacity"] == server.max_pending
+        finally:
+            for _ in admitted:
+                server.release()

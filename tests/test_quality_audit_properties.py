@@ -157,3 +157,55 @@ def test_sketch_answers_stay_inside_self_certified_bounds(workload):
         # violations — but the truth must respect the sketch's own bounds.
         assert card.sketch_misses == 0
         assert card.bound_violations == 0
+
+
+class TestEngineCloseStopsAuditor:
+    """Engine teardown owns auditor shutdown (no leaked daemon workers)."""
+
+    def test_close_stops_and_detaches_the_auditor(self):
+        engine, _ = _serving(n_shards=1)
+        auditor = AccuracyAuditor(engine, sample_every=1, max_rate=None)
+        assert engine.auditor is auditor
+        assert auditor._worker.is_alive()
+
+        engine.close()
+        assert engine.auditor is None
+        assert not auditor._worker.is_alive()
+        # Idempotent: a second close (and a second stop) is a no-op.
+        engine.close()
+        auditor.stop()
+
+    def test_context_manager_close_stops_the_auditor(self):
+        with _serving(n_shards=1)[0] as engine:
+            auditor = AccuracyAuditor(engine, sample_every=1, max_rate=None)
+            engine.execute(
+                AggregateQuery("SUM", "value", RectPredicate.from_bounds(key=(0, 60)))
+            )
+            assert auditor.flush(), "auditor did not drain"
+        assert engine.auditor is None
+        assert not auditor._worker.is_alive()
+
+    def test_stop_warns_when_join_times_out(self):
+        """A worker stuck past the join deadline is reported, not swallowed."""
+        engine, _ = _serving(n_shards=1)
+        auditor = AccuracyAuditor(engine, sample_every=1, max_rate=None)
+        # Simulate a wedged worker: a thread that ignores the stop signal.
+        import threading
+        import warnings as _warnings
+
+        release = threading.Event()
+        stuck = threading.Thread(target=release.wait, daemon=True)
+        stuck.start()
+        real_worker, auditor._worker = auditor._worker, stuck
+        try:
+            with pytest.warns(RuntimeWarning, match="did not stop"):
+                auditor.stop(timeout=0.05)
+        finally:
+            release.set()
+            stuck.join(5.0)
+            # Drain the real worker too so nothing outlives the test.
+            auditor._worker = real_worker
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", RuntimeWarning)
+                auditor.stop()
+        assert engine.auditor is None
